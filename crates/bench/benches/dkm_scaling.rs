@@ -1,0 +1,50 @@
+//! Scaling bench (figure-style): DKM forward+backward cost versus the
+//! number of weights |W| and the palette size |C| — the O(|W|·|C|)
+//! complexity Fig. 1 of the paper is about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use edkm_autograd::Var;
+use edkm_core::{DkmConfig, DkmLayer};
+use edkm_tensor::{DType, Device, Tensor};
+use std::hint::black_box;
+
+fn bench_weights_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dkm_scaling_weights");
+    group.sample_size(10);
+    for &n in &[1024usize, 4096, 16384] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("cluster_bwd_3bit", n), &n, |b, &n| {
+            let w = Tensor::randn(&[n], DType::Bf16, Device::Cpu, 0).map(|v| v * 0.02);
+            let layer = DkmLayer::new(DkmConfig {
+                iters: 3,
+                ..DkmConfig::with_bits(3)
+            });
+            b.iter(|| {
+                let v = Var::param(w.clone());
+                let out = layer.cluster(&v);
+                out.soft.mean_all().backward();
+                black_box(v.grad())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_palette_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dkm_scaling_bits");
+    group.sample_size(10);
+    let w = Tensor::randn(&[8192], DType::Bf16, Device::Cpu, 1).map(|v| v * 0.02);
+    for &bits in &[1u8, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("cluster_fwd", bits), &bits, |b, &bits| {
+            let layer = DkmLayer::new(DkmConfig {
+                iters: 3,
+                ..DkmConfig::with_bits(bits)
+            });
+            b.iter(|| black_box(layer.cluster_tensor(&w)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weights_scaling, bench_palette_scaling);
+criterion_main!(benches);

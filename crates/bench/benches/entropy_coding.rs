@@ -1,0 +1,63 @@
+//! Extension bench: Huffman entropy coding of palette index streams
+//! (Deep Compression's final stage) versus fixed-width bit packing —
+//! encode/decode throughput on uniform and skewed assignment
+//! distributions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use edkm_core::entropy::EntropyCoded;
+use edkm_core::palettize::{pack_bits, unpack_bits};
+use std::hint::black_box;
+
+/// Index stream over `0..8` with a controllable skew: `skew = 0` is
+/// uniform; higher skews concentrate mass on symbol 0.
+fn stream(n: usize, skew: u32) -> Vec<u32> {
+    (0..n)
+        .map(|i| {
+            let r = (i as u64).wrapping_mul(2654435761) % 100;
+            if r < 12 * u64::from(skew) {
+                0
+            } else {
+                (i % 8) as u32
+            }
+        })
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entropy_encode");
+    group.sample_size(20);
+    let n = 65536usize;
+    for &skew in &[0u32, 4, 7] {
+        let idx = stream(n, skew);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("huffman", skew), &idx, |b, idx| {
+            b.iter(|| black_box(EntropyCoded::encode(idx, 8)));
+        });
+        group.bench_with_input(BenchmarkId::new("pack_bits", skew), &idx, |b, idx| {
+            b.iter(|| black_box(pack_bits(idx, 3)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entropy_decode");
+    group.sample_size(20);
+    let n = 65536usize;
+    for &skew in &[0u32, 7] {
+        let idx = stream(n, skew);
+        let ec = EntropyCoded::encode(&idx, 8);
+        let packed = pack_bits(&idx, 3);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("huffman", skew), &ec, |b, ec| {
+            b.iter(|| black_box(ec.decode().unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("unpack_bits", skew), &packed, |b, p| {
+            b.iter(|| black_box(unpack_bits(p, 3, n)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

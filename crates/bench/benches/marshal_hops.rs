@@ -1,0 +1,51 @@
+//! Bench of the marshaling graph walk: pack cost versus provenance depth
+//! and hop limit (the paper found 4 hops sufficient).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edkm_autograd::SavedTensorHooks;
+use edkm_core::{EdkmConfig, EdkmHooks};
+use edkm_tensor::{runtime, DType, Device, Tensor};
+use std::hint::black_box;
+
+fn chain(depth: usize) -> (Tensor, Tensor) {
+    runtime::reset();
+    let root = Tensor::randn(&[64, 64], DType::F32, Device::gpu(), 0);
+    let mut t = root.clone();
+    for i in 0..depth {
+        t = match i % 3 {
+            0 => t.transpose(0, 1),
+            1 => t.alias(),
+            _ => t.reshape(&[64, 64]),
+        };
+    }
+    (root, t)
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marshal_walk");
+    group.sample_size(20);
+    for &depth in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("pack_at_depth", depth),
+            &depth,
+            |b, &depth| {
+                let (root, leaf) = chain(depth);
+                let hooks = EdkmHooks::new(EdkmConfig::marshal_only());
+                let _warm = hooks.pack(&root);
+                b.iter(|| black_box(hooks.pack(&leaf)));
+            },
+        );
+    }
+    // Miss path: hop limit exhausted, full copy.
+    group.bench_function("pack_miss_full_copy", |b| {
+        let (_root, leaf) = chain(8);
+        let mut cfg = EdkmConfig::marshal_only();
+        cfg.hop_limit = 2;
+        let hooks = EdkmHooks::new(cfg);
+        b.iter(|| black_box(hooks.pack(&leaf)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_walk);
+criterion_main!(benches);

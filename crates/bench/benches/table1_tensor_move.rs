@@ -1,0 +1,65 @@
+//! Criterion bench for the Table 1 mechanics: cross-device copies with and
+//! without marshaling.
+//!
+//! Prints the memory side of the table once (bytes are deterministic), then
+//! measures the wall-clock cost of the pack path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edkm_autograd::SavedTensorHooks;
+use edkm_core::{EdkmConfig, EdkmHooks};
+use edkm_tensor::{runtime, DType, Device, Tensor};
+use std::hint::black_box;
+
+fn report_memory_once() {
+    runtime::reset();
+    let x0 = Tensor::rand(&[1024, 1024], DType::F32, Device::gpu(), 42);
+    let x1 = x0.reshape(&[1024 * 1024, 1]);
+    let naive = EdkmHooks::new(EdkmConfig::baseline());
+    let _a = naive.pack(&x0);
+    let _b = naive.pack(&x1);
+    let without = runtime::cpu_live_bytes();
+    runtime::reset();
+    let x0 = Tensor::rand(&[1024, 1024], DType::F32, Device::gpu(), 42);
+    let x1 = x0.reshape(&[1024 * 1024, 1]);
+    let marshal = EdkmHooks::new(EdkmConfig::marshal_only());
+    let _a = marshal.pack(&x0);
+    let _b = marshal.pack(&x1);
+    let with = runtime::cpu_live_bytes();
+    eprintln!(
+        "[table1] CPU bytes after two saves: without marshaling {} MB, with {} MB (paper: 8 vs 4)",
+        without >> 20,
+        with >> 20
+    );
+}
+
+fn bench_tensor_move(c: &mut Criterion) {
+    report_memory_once();
+    let mut group = c.benchmark_group("table1_tensor_move");
+    for &side in &[128usize, 512, 1024] {
+        group.bench_with_input(BenchmarkId::new("to_cpu_copy", side), &side, |b, &side| {
+            runtime::reset();
+            let x = Tensor::rand(&[side, side], DType::F32, Device::gpu(), 0);
+            b.iter(|| black_box(x.to_device(Device::Cpu)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("pack_after_registry_hit", side),
+            &side,
+            |b, &side| {
+                runtime::reset();
+                let x = Tensor::rand(&[side, side], DType::F32, Device::gpu(), 0);
+                let hooks = EdkmHooks::new(EdkmConfig::marshal_only());
+                let _first = hooks.pack(&x); // registry now warm
+                let view = x.reshape(&[side * side]);
+                b.iter(|| black_box(hooks.pack(&view)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tensor_move
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Table 2: wall-clock of the full fwd+bwd ablation at
+//! smoke scale, one measurement per M/U/S configuration. (The paper-scale
+//! numbers come from the `table2` binary.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edkm_core::{run_one, AblationSetup, EdkmConfig};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let setup = AblationSetup {
+        d_model: 64,
+        n_heads: 4,
+        seq: 8,
+        batch: 1,
+        bits: 3,
+        cluster_dim: 1,
+        dkm_iters: 2,
+        overlap_pcie: false,
+    };
+    let configs = [
+        ("baseline", EdkmConfig::baseline()),
+        ("M", EdkmConfig::marshal_only()),
+        ("M+U", EdkmConfig::marshal_uniquify()),
+        ("M+S", EdkmConfig::marshal_shard()),
+        ("M+U+S", EdkmConfig::full(8)),
+    ];
+    let mut group = c.benchmark_group("table2_ablation");
+    group.sample_size(10);
+    for (label, cfg) in configs {
+        group.bench_with_input(BenchmarkId::new("fwd_bwd", label), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_one(&setup, *cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for the Table 3 machinery at smoke scale: quantizer
+//! throughput and suite-evaluation latency. (The accuracy table itself comes
+//! from the `table3` binary.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edkm_data::{Grammar, TaskSuite};
+use edkm_eval::evaluate_suite;
+use edkm_nn::{LlamaConfig, LlamaModel};
+use edkm_quant::{AwqQuantizer, GptqQuantizer, RtnQuantizer, WeightQuantizer};
+use edkm_tensor::{DType, Device, Tensor};
+use std::hint::black_box;
+
+fn bench_quantizers(c: &mut Criterion) {
+    let w = Tensor::randn(&[64, 64], DType::F32, Device::Cpu, 0);
+    let x = Tensor::randn(&[128, 64], DType::F32, Device::Cpu, 1);
+    let quantizers: Vec<(&str, Box<dyn WeightQuantizer>)> = vec![
+        ("rtn", Box::new(RtnQuantizer::new(3, 0))),
+        ("gptq", Box::new(GptqQuantizer::new(3, 32))),
+        ("awq", Box::new(AwqQuantizer::new(3, 32))),
+    ];
+    let mut group = c.benchmark_group("table3_quantizers");
+    group.sample_size(10);
+    for (name, q) in &quantizers {
+        group.bench_with_input(BenchmarkId::new("quantize_64x64", name), q, |b, q| {
+            b.iter(|| black_box(q.quantize(&w, Some(&x))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_suite_eval(c: &mut Criterion) {
+    // Must cover the grammar's 64-token vocabulary.
+    let cfg = LlamaConfig {
+        vocab: 64,
+        d_model: 16,
+        n_heads: 2,
+        n_layers: 1,
+        d_ff: 32,
+        max_seq: 32,
+    };
+    let model = LlamaModel::new(cfg, DType::F32, Device::Cpu, 0);
+    let grammar = Grammar::default_with_seed(0);
+    let suite = TaskSuite::generate(&grammar, 4, 1);
+    let mut group = c.benchmark_group("table3_eval");
+    group.sample_size(10);
+    group.bench_function("suite_4_items_per_task", |b| {
+        b.iter(|| black_box(evaluate_suite(&model, &suite)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantizers, bench_suite_eval);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Palettized inference: run a linear projection *directly* from the
+//! compressed representation (LUT + packed indices), the way the paper's
+//! target accelerators consume weight-clustered models ("a lookup table and
+//! a list of low-precision indices … consumed by modern inference
+//! accelerators").
+//!
+//! For scalar clustering the matvec `y = x Wᵀ` factors through the palette:
+//! for each output row, accumulate `Σ_j x_j · lut[idx[row, j]]` — but since
+//! `lut` has only `k ≤ 256` values, we can instead accumulate *per-centroid
+//! partial sums* `b[c] = Σ_{j: idx=c} x_j` and finish with `Σ_c lut[c]·b[c]`
+//! (k multiplies per row instead of `in` multiplies). This is the classic
+//! LUT-GEMM trick.
+
+use crate::palettize::PalettizedTensor;
+use edkm_tensor::{runtime, DType, Tensor};
+
+/// A linear layer evaluated straight from its palettized weights.
+#[derive(Debug, Clone)]
+pub struct PalettizedLinear {
+    weights: PalettizedTensor,
+    out_features: usize,
+    in_features: usize,
+    /// Unpacked indices, row-major `[out, in]` (cached for speed).
+    indices: Vec<u32>,
+}
+
+impl PalettizedLinear {
+    /// Wrap a palettized `[out, in]` scalar-clustered weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the palette is not 2-D scalar-clustered.
+    pub fn new(weights: PalettizedTensor) -> Self {
+        assert_eq!(weights.shape().len(), 2, "palettized linear expects [out, in]");
+        let (out_features, in_features) = (weights.shape()[0], weights.shape()[1]);
+        let indices = weights.indices();
+        assert_eq!(
+            indices.len(),
+            out_features * in_features,
+            "palette must be scalar-clustered (cluster_dim = 1)"
+        );
+        PalettizedLinear {
+            weights,
+            out_features,
+            in_features,
+            indices,
+        }
+    }
+
+    /// Output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// The compressed weights.
+    pub fn weights(&self) -> &PalettizedTensor {
+        &self.weights
+    }
+
+    /// Serialized parameter bytes of this layer.
+    pub fn size_bytes(&self) -> usize {
+        self.weights.size_bytes()
+    }
+
+    /// `y = x Wᵀ` for `x: [n, in]`, computed via per-centroid accumulation
+    /// (k multiplies per output instead of `in`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[n, in]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 2, "input must be [n, in]");
+        assert_eq!(x.shape()[1], self.in_features, "input width mismatch");
+        let n = x.shape()[0];
+        let k = self.weights.k();
+        let lut = self.weights.lut();
+        let xd = x.to_vec();
+        let mut out = vec![0.0f32; n * self.out_features];
+        let mut bins = vec![0.0f32; k];
+        for i in 0..n {
+            let xrow = &xd[i * self.in_features..(i + 1) * self.in_features];
+            for r in 0..self.out_features {
+                bins.iter_mut().for_each(|b| *b = 0.0);
+                let idx_row = &self.indices[r * self.in_features..(r + 1) * self.in_features];
+                for (&xv, &c) in xrow.iter().zip(idx_row) {
+                    bins[c as usize] += xv;
+                }
+                let mut acc = 0.0f32;
+                for (b, &l) in bins.iter().zip(lut) {
+                    acc += b * l;
+                }
+                out[i * self.out_features + r] = acc;
+            }
+        }
+        // The LUT trick costs |W| adds + k·out multiplies instead of 2|W|.
+        runtime::record_compute(
+            (n * self.out_features * (self.in_features + k)) as f64,
+            x.device(),
+        );
+        Tensor::from_vec(out, &[n, self.out_features], DType::F32, x.device())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dkm::{DkmConfig, DkmLayer};
+    use edkm_tensor::{ops as t, Device};
+
+    fn palettized_pair(seed: u64) -> (Tensor, PalettizedLinear) {
+        runtime::reset();
+        let w = Tensor::randn(&[12, 20], DType::Bf16, Device::Cpu, seed).map(|v| v * 0.05);
+        let dkm = DkmLayer::new(DkmConfig::with_bits(3));
+        let pal = dkm.palettize(&w);
+        (w, PalettizedLinear::new(pal))
+    }
+
+    #[test]
+    fn forward_matches_decoded_matmul_exactly() {
+        let (_w, lin) = palettized_pair(0);
+        let x = Tensor::randn(&[5, 20], DType::F32, Device::Cpu, 1);
+        let direct = lin.forward(&x);
+        let decoded = lin.weights().decode();
+        let reference = t::matmul(&x, &decoded.t());
+        assert!(
+            t::max_abs_diff(&direct, &reference) < 1e-4,
+            "LUT-GEMM must match dense matmul on the decoded weights"
+        );
+        assert_eq!(direct.shape(), &[5, 12]);
+    }
+
+    #[test]
+    fn forward_approximates_original_weights() {
+        let (w, lin) = palettized_pair(2);
+        let x = Tensor::randn(&[4, 20], DType::F32, Device::Cpu, 3);
+        let approx = lin.forward(&x);
+        let exact = t::matmul(&x, &w.t());
+        // 3-bit clustering: close but not exact.
+        let rel = t::max_abs_diff(&approx, &exact) / t::l2_norm(&exact).max(1e-9);
+        assert!(rel < 0.5, "palettized forward too far off: {rel}");
+        assert!(t::max_abs_diff(&approx, &exact) > 0.0, "must not be bit-identical");
+    }
+
+    #[test]
+    fn accessors() {
+        let (_w, lin) = palettized_pair(4);
+        assert_eq!(lin.out_features(), 12);
+        assert_eq!(lin.in_features(), 20);
+        assert!(lin.size_bytes() < 12 * 20 * 2, "smaller than bf16");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_input_width_panics() {
+        let (_w, lin) = palettized_pair(5);
+        let x = Tensor::zeros(&[2, 7], DType::F32, Device::Cpu);
+        lin.forward(&x);
+    }
+
+    #[test]
+    fn zero_input_gives_zero_output() {
+        let (_w, lin) = palettized_pair(6);
+        let x = Tensor::zeros(&[3, 20], DType::F32, Device::Cpu);
+        assert!(lin.forward(&x).to_vec().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,166 @@
+//! Vocabulary layout of SynLang.
+
+use serde::{Deserialize, Serialize};
+
+/// Reserved token ids.
+pub mod special {
+    /// Padding.
+    pub const PAD: usize = 0;
+    /// Beginning of document.
+    pub const BOS: usize = 1;
+    /// End of document.
+    pub const EOS: usize = 2;
+    /// Sentence terminator `.`.
+    pub const STOP: usize = 3;
+    /// Question marker (used by QA-style tasks).
+    pub const QM: usize = 4;
+    /// Instruction marker (SynAlpaca).
+    pub const INS: usize = 5;
+    /// Response marker (SynAlpaca).
+    pub const RESP: usize = 6;
+    /// Number of reserved ids.
+    pub const COUNT: usize = 7;
+}
+
+/// Sizes of the four content classes and the derived id ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VocabSpec {
+    /// Subject tokens.
+    pub n_subjects: usize,
+    /// Verb tokens.
+    pub n_verbs: usize,
+    /// Object tokens.
+    pub n_objects: usize,
+    /// Modifier tokens.
+    pub n_modifiers: usize,
+}
+
+impl Default for VocabSpec {
+    fn default() -> Self {
+        VocabSpec {
+            n_subjects: 12,
+            n_verbs: 12,
+            n_objects: 16,
+            n_modifiers: 8,
+        }
+    }
+}
+
+impl VocabSpec {
+    /// Total vocabulary size (reserved + content tokens).
+    pub fn vocab_size(&self) -> usize {
+        special::COUNT + self.n_subjects + self.n_verbs + self.n_objects + self.n_modifiers
+    }
+
+    /// Token id of subject `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (same for the sibling methods).
+    pub fn subject(&self, i: usize) -> usize {
+        assert!(i < self.n_subjects, "subject {i} out of {}", self.n_subjects);
+        special::COUNT + i
+    }
+
+    /// Token id of verb `i`.
+    pub fn verb(&self, i: usize) -> usize {
+        assert!(i < self.n_verbs, "verb {i} out of {}", self.n_verbs);
+        special::COUNT + self.n_subjects + i
+    }
+
+    /// Token id of object `i`.
+    pub fn object(&self, i: usize) -> usize {
+        assert!(i < self.n_objects, "object {i} out of {}", self.n_objects);
+        special::COUNT + self.n_subjects + self.n_verbs + i
+    }
+
+    /// Token id of modifier `i`.
+    pub fn modifier(&self, i: usize) -> usize {
+        assert!(i < self.n_modifiers, "modifier {i} out of {}", self.n_modifiers);
+        special::COUNT + self.n_subjects + self.n_verbs + self.n_objects + i
+    }
+
+    /// Render a token id for debugging (`s3`, `v0`, `o7`, `m1`, `.`, …).
+    pub fn render(&self, id: usize) -> String {
+        match id {
+            special::PAD => "<pad>".into(),
+            special::BOS => "<bos>".into(),
+            special::EOS => "<eos>".into(),
+            special::STOP => ".".into(),
+            special::QM => "?".into(),
+            special::INS => "<ins>".into(),
+            special::RESP => "<resp>".into(),
+            _ => {
+                let i = id - special::COUNT;
+                if i < self.n_subjects {
+                    return format!("s{i}");
+                }
+                let i = i - self.n_subjects;
+                if i < self.n_verbs {
+                    return format!("v{i}");
+                }
+                let i = i - self.n_verbs;
+                if i < self.n_objects {
+                    return format!("o{i}");
+                }
+                let i = i - self.n_objects;
+                if i < self.n_modifiers {
+                    return format!("m{i}");
+                }
+                format!("<unk:{id}>")
+            }
+        }
+    }
+
+    /// Render a sequence of ids as space-joined tokens.
+    pub fn render_seq(&self, ids: &[usize]) -> String {
+        ids.iter().map(|&i| self.render(i)).collect::<Vec<_>>().join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_disjoint_and_cover() {
+        let v = VocabSpec::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..v.n_subjects {
+            assert!(seen.insert(v.subject(i)));
+        }
+        for i in 0..v.n_verbs {
+            assert!(seen.insert(v.verb(i)));
+        }
+        for i in 0..v.n_objects {
+            assert!(seen.insert(v.object(i)));
+        }
+        for i in 0..v.n_modifiers {
+            assert!(seen.insert(v.modifier(i)));
+        }
+        assert_eq!(seen.len() + special::COUNT, v.vocab_size());
+        assert!(seen.iter().all(|&id| id >= special::COUNT && id < v.vocab_size()));
+    }
+
+    #[test]
+    fn render_roundtrip_classes() {
+        let v = VocabSpec::default();
+        assert_eq!(v.render(v.subject(3)), "s3");
+        assert_eq!(v.render(v.verb(0)), "v0");
+        assert_eq!(v.render(v.object(15)), "o15");
+        assert_eq!(v.render(v.modifier(7)), "m7");
+        assert_eq!(v.render(special::STOP), ".");
+        assert_eq!(v.render_seq(&[special::BOS, v.subject(0)]), "<bos> s0");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_subject_panics() {
+        VocabSpec::default().subject(99);
+    }
+
+    #[test]
+    fn default_fits_in_64() {
+        assert!(VocabSpec::default().vocab_size() <= 64);
+    }
+}

@@ -1,0 +1,19 @@
+//! # edkm-eval
+//!
+//! The evaluation harness behind the Table 3 reproduction: perplexity,
+//! length-normalized multiple-choice log-likelihood scoring (the
+//! lm-eval-harness convention), greedy cloze scoring, and report
+//! formatting.
+
+pub mod multichoice;
+pub mod perplexity;
+pub mod report;
+pub mod stats;
+
+pub use multichoice::{
+    choice_logprob, cloze_outcomes, evaluate_suite, evaluate_task, multichoice_outcomes,
+    score_cloze, score_multichoice,
+};
+pub use perplexity::perplexity;
+pub use report::{render_table3, Table3Row};
+pub use stats::{bootstrap_ci, paired_superiority, AccuracyCi};

@@ -1,0 +1,79 @@
+//! Table 3-style report rendering.
+
+use edkm_data::TaskKind;
+
+/// One row of the accuracy table (one compression method).
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Method label (e.g. "eDKM", "GPTQ g128").
+    pub method: String,
+    /// Weight bits (16 for the uncompressed baseline).
+    pub bits: u8,
+    /// Serialized model bytes.
+    pub size_bytes: usize,
+    /// Accuracy (%) per task, in suite order.
+    pub accuracies: Vec<(TaskKind, f32)>,
+}
+
+/// Render rows in the paper's Table 3 layout (method, bits, size, one
+/// column per benchmark).
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut s = String::new();
+    let headers: Vec<&str> = rows
+        .first()
+        .map(|r| r.accuracies.iter().map(|(k, _)| k.name()).collect())
+        .unwrap_or_default();
+    s.push_str(&format!("{:<14} {:>4} {:>10}", "Method", "bits", "Size(KB)"));
+    for h in &headers {
+        s.push_str(&format!(" {h:>10}"));
+    }
+    s.push('\n');
+    for r in rows {
+        s.push_str(&format!(
+            "{:<14} {:>4} {:>10.1}",
+            r.method,
+            r.bits,
+            r.size_bytes as f64 / 1024.0
+        ));
+        for (_, acc) in &r.accuracies {
+            s.push_str(&format!(" {acc:>10.1}"));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let rows = vec![
+            Table3Row {
+                method: "LLaMA-sim".into(),
+                bits: 16,
+                size_bytes: 10240,
+                accuracies: vec![(TaskKind::SynPiqa, 79.3), (TaskKind::SynMmlu, 35.2)],
+            },
+            Table3Row {
+                method: "eDKM".into(),
+                bits: 3,
+                size_bytes: 2048,
+                accuracies: vec![(TaskKind::SynPiqa, 77.7), (TaskKind::SynMmlu, 30.3)],
+            },
+        ];
+        let s = render_table3(&rows);
+        assert!(s.contains("PIQA"));
+        assert!(s.contains("MMLU"));
+        assert!(s.contains("eDKM"));
+        assert!(s.contains("79.3"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn empty_rows_render_header_only() {
+        let s = render_table3(&[]);
+        assert_eq!(s.lines().count(), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Uncertainty quantification for benchmark accuracies.
+//!
+//! Table 3 cells are finite-sample estimates; this module provides the
+//! bootstrap confidence intervals used in EXPERIMENTS.md's noise notes, and
+//! a paired significance check for "method A beats method B" claims.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bootstrap confidence interval on an accuracy (percent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyCi {
+    /// Point estimate (%).
+    pub mean: f32,
+    /// Lower bound (%).
+    pub lo: f32,
+    /// Upper bound (%).
+    pub hi: f32,
+}
+
+/// Percentile-bootstrap CI over per-item correctness indicators.
+///
+/// `level` is the central coverage (e.g. 0.95).
+///
+/// # Panics
+///
+/// Panics if `outcomes` is empty or `level` is not in (0, 1).
+pub fn bootstrap_ci(outcomes: &[bool], level: f64, resamples: usize, seed: u64) -> AccuracyCi {
+    assert!(!outcomes.is_empty(), "no outcomes");
+    assert!(level > 0.0 && level < 1.0, "level must be in (0,1)");
+    let n = outcomes.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut means: Vec<f32> = (0..resamples.max(1))
+        .map(|_| {
+            let hits = (0..n).filter(|_| outcomes[rng.gen_range(0..n)]).count();
+            100.0 * hits as f32 / n as f32
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((means.len() as f64) * alpha) as usize;
+    let hi_idx = (((means.len() as f64) * (1.0 - alpha)) as usize).min(means.len() - 1);
+    let mean = 100.0 * outcomes.iter().filter(|&&b| b).count() as f32 / n as f32;
+    AccuracyCi {
+        mean,
+        lo: means[lo_idx],
+        hi: means[hi_idx],
+    }
+}
+
+/// Paired-bootstrap probability that method `a` is more accurate than
+/// method `b` on the *same* items (per-item outcome vectors must align).
+///
+/// # Panics
+///
+/// Panics if the vectors are empty or differ in length.
+pub fn paired_superiority(a: &[bool], b: &[bool], resamples: usize, seed: u64) -> f32 {
+    assert_eq!(a.len(), b.len(), "paired outcomes must align");
+    assert!(!a.is_empty(), "no outcomes");
+    let n = a.len();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b9);
+    let mut wins = 0usize;
+    let resamples = resamples.max(1);
+    for _ in 0..resamples {
+        let mut diff = 0i64;
+        for _ in 0..n {
+            let i = rng.gen_range(0..n);
+            diff += a[i] as i64 - b[i] as i64;
+        }
+        if diff > 0 {
+            wins += 1;
+        }
+    }
+    wins as f32 / resamples as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_brackets_the_mean() {
+        let outcomes: Vec<bool> = (0..200).map(|i| i % 4 != 0).collect(); // 75%
+        let ci = bootstrap_ci(&outcomes, 0.95, 500, 1);
+        assert!((ci.mean - 75.0).abs() < 1e-4);
+        assert!(ci.lo <= ci.mean && ci.mean <= ci.hi);
+        assert!(ci.hi - ci.lo < 15.0, "CI too wide: {ci:?}");
+        assert!(ci.hi - ci.lo > 1.0, "CI suspiciously tight: {ci:?}");
+    }
+
+    #[test]
+    fn ci_narrows_with_more_items() {
+        let small: Vec<bool> = (0..50).map(|i| i % 2 == 0).collect();
+        let large: Vec<bool> = (0..2000).map(|i| i % 2 == 0).collect();
+        let cs = bootstrap_ci(&small, 0.95, 400, 2);
+        let cl = bootstrap_ci(&large, 0.95, 400, 2);
+        assert!(cl.hi - cl.lo < cs.hi - cs.lo);
+    }
+
+    #[test]
+    fn perfect_scores_have_degenerate_ci() {
+        let ci = bootstrap_ci(&[true; 100], 0.95, 200, 3);
+        assert_eq!(ci.mean, 100.0);
+        assert_eq!(ci.lo, 100.0);
+        assert_eq!(ci.hi, 100.0);
+    }
+
+    #[test]
+    fn paired_test_detects_clear_winner() {
+        // a correct on 90%, b on 60%, overlapping items.
+        let a: Vec<bool> = (0..300).map(|i| i % 10 != 0).collect();
+        let b: Vec<bool> = (0..300).map(|i| i % 10 < 6).collect();
+        let p = paired_superiority(&a, &b, 400, 4);
+        assert!(p > 0.99, "clear winner must be detected: {p}");
+        let p_rev = paired_superiority(&b, &a, 400, 4);
+        assert!(p_rev < 0.01);
+    }
+
+    #[test]
+    fn paired_test_is_uncertain_for_ties() {
+        let a: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let b: Vec<bool> = (0..100).map(|i| i % 2 == 1).collect(); // same rate
+        let p = paired_superiority(&a, &b, 800, 5);
+        assert!(p > 0.2 && p < 0.8, "tied methods must be ambiguous: {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no outcomes")]
+    fn empty_outcomes_panic() {
+        bootstrap_ci(&[], 0.95, 10, 0);
+    }
+}

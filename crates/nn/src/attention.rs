@@ -1,0 +1,275 @@
+//! Multi-head causal self-attention with rotary position embeddings.
+
+use crate::{Linear, WeightHook};
+use edkm_autograd::Var;
+use edkm_tensor::{DType, Device, Tensor};
+
+/// Precompute RoPE rotation tables for `t` positions of head dim `hd`.
+///
+/// Returns `(cos, sin)` flattened `[t, hd/2]`.
+pub fn rope_tables(t: usize, hd: usize, theta: f32) -> (Vec<f32>, Vec<f32>) {
+    let half = hd / 2;
+    let mut cos = Vec::with_capacity(t * half);
+    let mut sin = Vec::with_capacity(t * half);
+    for p in 0..t {
+        for i in 0..half {
+            let freq = 1.0 / theta.powf(2.0 * i as f32 / hd as f32);
+            let ang = p as f32 * freq;
+            cos.push(ang.cos());
+            sin.push(ang.sin());
+        }
+    }
+    (cos, sin)
+}
+
+/// Apply rotary position embeddings to `[bh, t, hd]` as a fused
+/// differentiable op (GPT-NeoX half-split convention).
+///
+/// The backward pass is the transposed rotation; nothing needs to be saved.
+///
+/// # Panics
+///
+/// Panics if `x` is not `[bh, t, hd]` with `hd` even, or table lengths
+/// disagree with `t·hd/2`.
+pub fn rope(x: &Var, cos: &[f32], sin: &[f32]) -> Var {
+    let shape = x.value().shape().to_vec();
+    assert_eq!(shape.len(), 3, "rope expects [bh, t, hd]");
+    let (bh, t, hd) = (shape[0], shape[1], shape[2]);
+    assert_eq!(hd % 2, 0, "rope head dim must be even");
+    let half = hd / 2;
+    assert_eq!(cos.len(), t * half, "rope cos table size");
+    assert_eq!(sin.len(), t * half, "rope sin table size");
+
+    let rotate = move |data: &[f32], cos: &[f32], sin: &[f32], inverse: bool| -> Vec<f32> {
+        let mut out = vec![0.0f32; data.len()];
+        for b in 0..bh {
+            for p in 0..t {
+                let base = (b * t + p) * hd;
+                let tb = p * half;
+                for i in 0..half {
+                    let (c, s) = (cos[tb + i], sin[tb + i]);
+                    let s = if inverse { -s } else { s };
+                    let x1 = data[base + i];
+                    let x2 = data[base + half + i];
+                    out[base + i] = x1 * c - x2 * s;
+                    out[base + half + i] = x1 * s + x2 * c;
+                }
+            }
+        }
+        out
+    };
+
+    let value = x.value().with_data(|d| rotate(d, cos, sin, false));
+    edkm_tensor::runtime::record_compute(6.0 * (bh * t * hd) as f64, x.value().device());
+    let value = Tensor::from_vec(value, &shape, DType::F32, x.value().device());
+    let cos_b: Vec<f32> = cos.to_vec();
+    let sin_b: Vec<f32> = sin.to_vec();
+    let bshape = shape.clone();
+    Var::custom(
+        value,
+        "rope",
+        vec![x.clone()],
+        vec![],
+        Box::new(move |g, _| {
+            let dx = g.with_data(|d| rotate(d, &cos_b, &sin_b, true));
+            vec![Some(Tensor::from_vec(dx, &bshape, DType::F32, g.device()))]
+        }),
+    )
+}
+
+/// Causal mask `[t, t]`: 0 on/below the diagonal, −1e9 above.
+pub fn causal_mask(t: usize, device: Device) -> Tensor {
+    let mut m = vec![0.0f32; t * t];
+    for i in 0..t {
+        for j in (i + 1)..t {
+            m[i * t + j] = -1e9;
+        }
+    }
+    Tensor::from_vec(m, &[t, t], DType::F32, device)
+}
+
+/// Multi-head causal self-attention block (LLaMA layout: q/k/v/o
+/// projections, RoPE on q and k, no biases).
+#[derive(Debug)]
+pub struct CausalSelfAttention {
+    q_proj: Linear,
+    k_proj: Linear,
+    v_proj: Linear,
+    o_proj: Linear,
+    n_heads: usize,
+    d_model: usize,
+    rope_theta: f32,
+}
+
+impl CausalSelfAttention {
+    /// Build with parameter names prefixed by `prefix` (e.g. `layers.0.attn`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model` is not divisible by `n_heads` or the head dim is
+    /// odd (RoPE requirement).
+    pub fn new(
+        prefix: &str,
+        d_model: usize,
+        n_heads: usize,
+        rope_theta: f32,
+        dtype: DType,
+        device: Device,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(d_model % n_heads, 0, "d_model must divide by n_heads");
+        assert_eq!((d_model / n_heads) % 2, 0, "head dim must be even for RoPE");
+        CausalSelfAttention {
+            q_proj: Linear::new(format!("{prefix}.q_proj"), d_model, d_model, dtype, device, seed),
+            k_proj: Linear::new(format!("{prefix}.k_proj"), d_model, d_model, dtype, device, seed + 1),
+            v_proj: Linear::new(format!("{prefix}.v_proj"), d_model, d_model, dtype, device, seed + 2),
+            o_proj: Linear::new(format!("{prefix}.o_proj"), d_model, d_model, dtype, device, seed + 3),
+            n_heads,
+            d_model,
+            rope_theta,
+        }
+    }
+
+    /// Head count.
+    pub fn n_heads(&self) -> usize {
+        self.n_heads
+    }
+
+    /// The four projections (for parameter registration).
+    pub fn projections(&self) -> [&Linear; 4] {
+        [&self.q_proj, &self.k_proj, &self.v_proj, &self.o_proj]
+    }
+
+    /// Forward `[b·t, d] → [b·t, d]` for `b` sequences of length `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[b·t, d_model]`.
+    pub fn forward(&self, x: &Var, b: usize, t: usize, hook: Option<WeightHook<'_>>) -> Var {
+        assert_eq!(x.value().shape(), &[b * t, self.d_model], "attention input shape");
+        let h = self.n_heads;
+        let hd = self.d_model / h;
+        let device = x.value().device();
+
+        let split = |y: &Var| -> Var {
+            // [bt, d] -> [b, t, h, hd] -> [b, h, t, hd] -> [bh, t, hd]
+            y.reshape(&[b, t, h, hd]).transpose(1, 2).reshape(&[b * h, t, hd])
+        };
+
+        let (cos, sin) = rope_tables(t, hd, self.rope_theta);
+        let q = rope(&split(&self.q_proj.forward(x, hook)), &cos, &sin);
+        let k = rope(&split(&self.k_proj.forward(x, hook)), &cos, &sin);
+        let v = split(&self.v_proj.forward(x, hook));
+
+        let scale = 1.0 / (hd as f32).sqrt();
+        let scores = q.bmm(&k.transpose(1, 2)).mul_scalar(scale); // [bh, t, t]
+        let mask = Var::constant(causal_mask(t, device));
+        let attn = scores.add(&mask).softmax_lastdim();
+        let ctx = attn.bmm(&v); // [bh, t, hd]
+
+        // [bh, t, hd] -> [b, h, t, hd] -> [b, t, h, hd] -> [bt, d]
+        let merged = ctx
+            .reshape(&[b, h, t, hd])
+            .transpose(1, 2)
+            .reshape(&[b * t, self.d_model]);
+        self.o_proj.forward(&merged, hook)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edkm_autograd::check_gradients;
+    use edkm_tensor::runtime;
+
+    #[test]
+    fn rope_tables_shape_and_first_position() {
+        let (cos, sin) = rope_tables(3, 4, 10000.0);
+        assert_eq!(cos.len(), 6);
+        // Position 0: no rotation.
+        assert_eq!(&cos[..2], &[1.0, 1.0]);
+        assert_eq!(&sin[..2], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn rope_preserves_norms() {
+        runtime::reset();
+        let x = Var::constant(Tensor::randn(&[2, 5, 8], DType::F32, Device::Cpu, 0));
+        let (cos, sin) = rope_tables(5, 8, 10000.0);
+        let y = rope(&x, &cos, &sin);
+        // Rotations are orthogonal: per-vector L2 norm preserved.
+        let xv = x.value().to_vec();
+        let yv = y.value().to_vec();
+        for (xc, yc) in xv.chunks(8).zip(yv.chunks(8)) {
+            let nx: f32 = xc.iter().map(|v| v * v).sum();
+            let ny: f32 = yc.iter().map(|v| v * v).sum();
+            assert!((nx - ny).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn rope_gradcheck() {
+        runtime::reset();
+        let x = Tensor::randn(&[1, 3, 4], DType::F32, Device::Cpu, 1);
+        let (cos, sin) = rope_tables(3, 4, 10000.0);
+        let w = Tensor::randn(&[1, 3, 4], DType::F32, Device::Cpu, 2);
+        check_gradients(
+            |vs| rope(&vs[0], &cos, &sin).mul(&Var::constant(w.clone())).sum_all(),
+            &[x],
+            1e-2,
+            2e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        runtime::reset();
+        let m = causal_mask(3, Device::Cpu);
+        assert_eq!(m.get(&[0, 0]), 0.0);
+        assert_eq!(m.get(&[2, 1]), 0.0);
+        assert!(m.get(&[0, 1]) < -1e8);
+        assert!(m.get(&[1, 2]) < -1e8);
+    }
+
+    #[test]
+    fn attention_shapes_and_causality() {
+        runtime::reset();
+        let attn = CausalSelfAttention::new("a", 8, 2, 10000.0, DType::F32, Device::Cpu, 0);
+        let b = 2;
+        let t = 4;
+        let x = Tensor::randn(&[b * t, 8], DType::F32, Device::Cpu, 5);
+        let y1 = attn.forward(&Var::constant(x.clone()), b, t, None);
+        assert_eq!(y1.value().shape(), &[b * t, 8]);
+
+        // Causality: changing the last token must not affect earlier outputs.
+        let mut data = x.to_vec();
+        for v in data[(b * t - 1) * 8..].iter_mut() {
+            *v += 10.0;
+        }
+        let x2 = Tensor::from_vec(data, &[b * t, 8], DType::F32, Device::Cpu);
+        let y2 = attn.forward(&Var::constant(x2), b, t, None);
+        let v1 = y1.value().to_vec();
+        let v2 = y2.value().to_vec();
+        // All rows except the perturbed final row of the final sequence match.
+        for r in 0..(b * t - 1) {
+            for c in 0..8 {
+                assert!(
+                    (v1[r * 8 + c] - v2[r * 8 + c]).abs() < 1e-5,
+                    "row {r} changed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attention_backward_reaches_all_projections() {
+        runtime::reset();
+        let attn = CausalSelfAttention::new("a", 8, 2, 10000.0, DType::F32, Device::Cpu, 0);
+        let x = Var::constant(Tensor::randn(&[4, 8], DType::F32, Device::Cpu, 3));
+        attn.forward(&x, 1, 4, None).sum_all().backward();
+        for p in attn.projections() {
+            assert!(p.weight().grad().is_some(), "{} got no grad", p.name());
+        }
+    }
+}

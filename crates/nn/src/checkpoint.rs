@@ -1,0 +1,435 @@
+//! Training checkpoints: capture and restore model parameters plus AdamW
+//! state so a fine-tune can resume *bit-exactly* after an interruption —
+//! table stakes for the multi-day LLM runs the paper's recipe implies.
+//!
+//! The serialized format is a self-describing little-endian binary:
+//! magic, version, optimizer step, loss history, then per-parameter values
+//! and optimizer snapshots keyed by parameter name. Decoding validates the
+//! magic, version, and every length field against the remaining buffer, so
+//! corrupt checkpoints are rejected rather than misread.
+
+use crate::optim::ParamStateSnapshot;
+use crate::{LlamaModel, Trainer};
+use std::fmt;
+
+const MAGIC: &[u8; 8] = b"EDKMCKPT";
+const VERSION: u32 = 1;
+
+/// Error decoding a serialized checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Buffer ended before a declared field.
+    Truncated,
+    /// A string field was not valid UTF-8.
+    BadString,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not an eDKM checkpoint (bad magic)"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadString => write!(f, "invalid UTF-8 in checkpoint"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// A resumable snapshot of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainCheckpoint {
+    /// Optimizer steps taken.
+    pub step: u64,
+    /// Per-step loss history.
+    pub losses: Vec<f32>,
+    /// Parameter values by name: `(name, shape, values)`.
+    pub params: Vec<(String, Vec<usize>, Vec<f32>)>,
+    /// Optimizer state by parameter name (absent for params that never
+    /// received a gradient).
+    pub optim: Vec<(String, ParamStateSnapshot)>,
+}
+
+impl TrainCheckpoint {
+    /// Capture the current state of `model` and `trainer`.
+    pub fn capture(model: &LlamaModel, trainer: &Trainer) -> Self {
+        let mut params = Vec::new();
+        let mut optim = Vec::new();
+        for (name, var) in model.named_params() {
+            params.push((
+                name.clone(),
+                var.value().shape().to_vec(),
+                var.value().to_vec(),
+            ));
+            if let Some(s) = trainer.optimizer().export_param_state(&var) {
+                optim.push((name, s));
+            }
+        }
+        TrainCheckpoint {
+            step: trainer.optimizer().steps(),
+            losses: trainer.losses().to_vec(),
+            params,
+            optim,
+        }
+    }
+
+    /// Restore this checkpoint into `model` and `trainer`. After restoring,
+    /// continued training reproduces the original run bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a checkpointed parameter is missing from the model or has
+    /// a different size.
+    pub fn restore(&self, model: &LlamaModel, trainer: &mut Trainer) {
+        let named = model.named_params();
+        for (name, shape, values) in &self.params {
+            let (_, var) = named
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("model has no parameter named {name}"));
+            assert_eq!(
+                var.value().shape(),
+                &shape[..],
+                "shape mismatch restoring {name}"
+            );
+            var.value().apply_inplace(|i, _| values[i]);
+        }
+        for (name, snapshot) in &self.optim {
+            let (_, var) = named
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("model has no parameter named {name}"));
+            trainer
+                .optimizer_mut()
+                .import_param_state(var, snapshot.clone());
+        }
+        trainer.optimizer_mut().set_steps(self.step);
+        trainer.set_losses(self.losses.clone());
+    }
+
+    /// Serialize to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.bytes(MAGIC);
+        w.u32(VERSION);
+        w.u64(self.step);
+        w.f32s(&self.losses);
+        w.u64(self.params.len() as u64);
+        for (name, shape, values) in &self.params {
+            w.string(name);
+            w.u64(shape.len() as u64);
+            for &d in shape {
+                w.u64(d as u64);
+            }
+            w.f32s(values);
+        }
+        w.u64(self.optim.len() as u64);
+        for (name, s) in &self.optim {
+            w.string(name);
+            w.f32s(&s.master);
+            w.f32s(&s.m);
+            w.f32s(&s.v);
+        }
+        w.out
+    }
+
+    /// Deserialize from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] for wrong magic/version or a truncated
+    /// or corrupt buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader { buf: bytes, at: 0 };
+        if r.take(8)? != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let step = r.u64()?;
+        let losses = r.f32s()?;
+        let n_params = r.u64()? as usize;
+        let mut params = Vec::with_capacity(n_params.min(4096));
+        for _ in 0..n_params {
+            let name = r.string()?;
+            let rank = r.u64()? as usize;
+            let mut shape = Vec::with_capacity(rank.min(16));
+            for _ in 0..rank {
+                shape.push(r.u64()? as usize);
+            }
+            let values = r.f32s()?;
+            params.push((name, shape, values));
+        }
+        let n_optim = r.u64()? as usize;
+        let mut optim = Vec::with_capacity(n_optim.min(4096));
+        for _ in 0..n_optim {
+            let name = r.string()?;
+            let master = r.f32s()?;
+            let m = r.f32s()?;
+            let v = r.f32s()?;
+            optim.push((name, ParamStateSnapshot { master, m, v }));
+        }
+        Ok(TrainCheckpoint {
+            step,
+            losses,
+            params,
+            optim,
+        })
+    }
+}
+
+#[derive(Default)]
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn bytes(&mut self, b: &[u8]) {
+        self.out.extend_from_slice(b);
+    }
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn string(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+    fn f32s(&mut self, vals: &[f32]) {
+        self.u64(vals.len() as u64);
+        for &v in vals {
+            self.out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.at + n > self.buf.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn string(&mut self) -> Result<String, CheckpointError> {
+        let n = self.u64()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| CheckpointError::BadString)
+    }
+    fn f32s(&mut self) -> Result<Vec<f32>, CheckpointError> {
+        let n = self.u64()? as usize;
+        let b = self.take(n.checked_mul(4).ok_or(CheckpointError::Truncated)?)?;
+        Ok(b.chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdamWConfig, LlamaConfig, LmBatch, TrainConfig};
+    use edkm_tensor::{runtime, DType, Device};
+
+    fn setup() -> (LlamaModel, Trainer, LmBatch) {
+        let model = LlamaModel::new(LlamaConfig::tiny(), DType::Bf16, Device::Cpu, 0);
+        let trainer = Trainer::new(TrainConfig {
+            optim: AdamWConfig {
+                lr: 2e-3,
+                ..AdamWConfig::default()
+            },
+            ..TrainConfig::default()
+        });
+        let batch = LmBatch::new(vec![vec![1, 2, 3, 4, 1, 2], vec![3, 4, 1, 2, 3, 4]]);
+        (model, trainer, batch)
+    }
+
+    fn all_values(model: &LlamaModel) -> Vec<Vec<f32>> {
+        model
+            .named_params()
+            .into_iter()
+            .map(|(_, v)| v.value().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn capture_restores_values_and_step() {
+        runtime::reset();
+        let (model, mut trainer, batch) = setup();
+        let params = model.params();
+        for _ in 0..5 {
+            trainer.step(&model, &batch, &params, None);
+        }
+        let ckpt = TrainCheckpoint::capture(&model, &trainer);
+        assert_eq!(ckpt.step, 5);
+        assert_eq!(ckpt.losses.len(), 5);
+        assert_eq!(ckpt.params.len(), model.named_params().len());
+        assert!(!ckpt.optim.is_empty());
+
+        // Wreck the model, restore, verify bit-exact values.
+        let reference = all_values(&model);
+        for (_, v) in model.named_params() {
+            v.value().apply_inplace(|_, _| 0.123);
+        }
+        let mut trainer2 = Trainer::new(TrainConfig::default());
+        ckpt.restore(&model, &mut trainer2);
+        assert_eq!(all_values(&model), reference);
+        assert_eq!(trainer2.optimizer().steps(), 5);
+        assert_eq!(trainer2.losses().len(), 5);
+    }
+
+    #[test]
+    fn resume_is_bit_exact() {
+        runtime::reset();
+        // Continuous run: 6 steps.
+        let (model_a, mut trainer_a, batch) = setup();
+        let params_a = model_a.params();
+        for _ in 0..6 {
+            trainer_a.step(&model_a, &batch, &params_a, None);
+        }
+
+        // Interrupted run: 3 steps, checkpoint (through bytes), restore
+        // into a *fresh* model+trainer, 3 more steps.
+        runtime::reset();
+        let (model_b, mut trainer_b, batch_b) = setup();
+        let params_b = model_b.params();
+        for _ in 0..3 {
+            trainer_b.step(&model_b, &batch_b, &params_b, None);
+        }
+        let bytes = TrainCheckpoint::capture(&model_b, &trainer_b).to_bytes();
+        let ckpt = TrainCheckpoint::from_bytes(&bytes).unwrap();
+
+        runtime::reset();
+        let (model_c, mut trainer_c, batch_c) = setup();
+        ckpt.restore(&model_c, &mut trainer_c);
+        let params_c = model_c.params();
+        for _ in 0..3 {
+            trainer_c.step(&model_c, &batch_c, &params_c, None);
+        }
+
+        assert_eq!(
+            all_values(&model_a),
+            all_values(&model_c),
+            "resumed run must match the continuous run bit for bit"
+        );
+        assert_eq!(trainer_a.losses()[3..], trainer_c.losses()[3..]);
+    }
+
+    #[test]
+    fn roundtrip_through_bytes_is_identity() {
+        runtime::reset();
+        let (model, mut trainer, batch) = setup();
+        let params = model.params();
+        trainer.step(&model, &batch, &params, None);
+        let ckpt = TrainCheckpoint::capture(&model, &trainer);
+        let back = TrainCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_rejected() {
+        runtime::reset();
+        let (model, trainer, _) = setup();
+        let bytes = TrainCheckpoint::capture(&model, &trainer).to_bytes();
+
+        assert_eq!(
+            TrainCheckpoint::from_bytes(b"NOTCKPT!rest"),
+            Err(CheckpointError::BadMagic)
+        );
+        let mut wrong_version = bytes.clone();
+        wrong_version[8] = 99;
+        assert_eq!(
+            TrainCheckpoint::from_bytes(&wrong_version),
+            Err(CheckpointError::BadVersion(99))
+        );
+        assert_eq!(
+            TrainCheckpoint::from_bytes(&bytes[..bytes.len() / 2]),
+            Err(CheckpointError::Truncated)
+        );
+        assert_eq!(TrainCheckpoint::from_bytes(&[]), Err(CheckpointError::Truncated));
+    }
+
+    #[test]
+    #[should_panic(expected = "no parameter named")]
+    fn restore_rejects_foreign_params() {
+        runtime::reset();
+        let (model, trainer, _) = setup();
+        let mut ckpt = TrainCheckpoint::capture(&model, &trainer);
+        ckpt.params[0].0 = "not.a.param".into();
+        let mut t2 = Trainer::new(TrainConfig::default());
+        ckpt.restore(&model, &mut t2);
+    }
+
+    #[test]
+    fn gradient_accumulation_matches_concatenated_batch() {
+        runtime::reset();
+        // Two micro-batches vs their concatenation: same single update.
+        let micro1 = LmBatch::new(vec![vec![1, 2, 3, 4, 1, 2]]);
+        let micro2 = LmBatch::new(vec![vec![3, 4, 1, 2, 3, 4]]);
+        let full = LmBatch::new(vec![vec![1, 2, 3, 4, 1, 2], vec![3, 4, 1, 2, 3, 4]]);
+
+        let run = |accumulate: bool| -> Vec<Vec<f32>> {
+            runtime::reset();
+            let (model, mut trainer, _) = setup();
+            let params = model.params();
+            for _ in 0..3 {
+                if accumulate {
+                    trainer.step_accumulated(
+                        &model,
+                        &[micro1.clone(), micro2.clone()],
+                        &params,
+                        None,
+                    );
+                } else {
+                    trainer.step(&model, &full, &params, None);
+                }
+            }
+            all_values(&model)
+        };
+        let (acc, full_run) = (run(true), run(false));
+        for (a, b) in acc.iter().zip(&full_run) {
+            for (x, y) in a.iter().zip(b) {
+                assert!(
+                    (x - y).abs() <= 1e-4 * x.abs().max(1e-3),
+                    "accumulated {x} vs full-batch {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accumulated_loss_is_mean_of_microbatches() {
+        runtime::reset();
+        let (model, mut trainer, batch) = setup();
+        let params = model.params();
+        let mean = trainer.step_accumulated(
+            &model,
+            &[batch.clone(), batch.clone()],
+            &params,
+            None,
+        );
+        assert!(mean.is_finite());
+        assert_eq!(trainer.losses().len(), 1, "one entry per optimizer step");
+    }
+}

@@ -1,0 +1,199 @@
+//! AWQ: activation-aware weight quantization (Lin et al., reimplemented).
+//!
+//! Salient weight channels — the ones multiplied by large activations — are
+//! protected by scaling them up before quantization and folding the inverse
+//! scale back afterwards: `W ≈ (Q(W · s) )· s⁻¹` with
+//! `s_i = (E|x_i|)^α`, the exponent `α` grid-searched to minimize the
+//! calibration output error.
+
+use crate::common::{effective_group, group_quant_size_bytes, QuantResult, WeightQuantizer};
+use crate::rtn::RtnQuantizer;
+use edkm_tensor::{ops as t, DType, Tensor};
+
+/// The AWQ quantizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AwqQuantizer {
+    bits: u8,
+    group: usize,
+    grid: usize,
+}
+
+impl AwqQuantizer {
+    /// AWQ at `bits` with `group` columns per scale (paper setting `g128`)
+    /// and an 11-point α grid (0.0, 0.1, …, 1.0).
+    pub fn new(bits: u8, group: usize) -> Self {
+        assert!((1..=8).contains(&bits), "awq bits must be 1..=8");
+        AwqQuantizer {
+            bits,
+            group,
+            grid: 11,
+        }
+    }
+
+    /// Mean absolute activation per input channel.
+    fn channel_salience(x: &Tensor) -> Vec<f32> {
+        let cols = *x.shape().last().expect("calib rank");
+        let rows = x.numel() / cols;
+        let data = x.to_vec();
+        let mut s = vec![0.0f32; cols];
+        for row in data.chunks(cols) {
+            for (acc, &v) in s.iter_mut().zip(row) {
+                *acc += v.abs();
+            }
+        }
+        for acc in &mut s {
+            *acc /= rows.max(1) as f32;
+        }
+        s
+    }
+
+    fn scale_quant_unscale(&self, w: &Tensor, scales: &[f32]) -> Tensor {
+        let (rows, cols) = (w.shape()[0], w.shape()[1]);
+        let mut scaled = w.to_vec();
+        for r in 0..rows {
+            for c in 0..cols {
+                scaled[r * cols + c] *= scales[c];
+            }
+        }
+        let st = Tensor::from_vec(scaled, &[rows, cols], DType::F32, w.device());
+        let dq = RtnQuantizer::new(self.bits, self.group).fake_quant_tensor(&st);
+        let mut out = dq.to_vec();
+        for r in 0..rows {
+            for c in 0..cols {
+                out[r * cols + c] /= scales[c];
+            }
+        }
+        Tensor::from_vec(out, &[rows, cols], DType::F32, w.device())
+    }
+
+    fn output_mse(x: &Tensor, w: &Tensor, wq: &Tensor) -> f64 {
+        let y = t::matmul(x, &w.t());
+        let yq = t::matmul(x, &wq.t());
+        y.to_vec()
+            .iter()
+            .zip(yq.to_vec())
+            .map(|(a, b)| ((a - b) as f64).powi(2))
+            .sum()
+    }
+}
+
+impl WeightQuantizer for AwqQuantizer {
+    fn method_name(&self) -> String {
+        if self.group == 0 {
+            "AWQ".to_string()
+        } else {
+            format!("AWQ g{}", self.group)
+        }
+    }
+
+    fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    fn quantize(&self, w: &Tensor, calib: Option<&Tensor>) -> QuantResult {
+        assert_eq!(w.rank(), 2, "AWQ expects [out, in]");
+        let (rows, cols) = (w.shape()[0], w.shape()[1]);
+        let g = effective_group(cols, self.group);
+        // Scales fold into the preceding op at inference, so the size is
+        // the plain RTN size.
+        let size_bytes = group_quant_size_bytes(rows, cols, self.bits, g);
+
+        let Some(x) = calib else {
+            // No calibration: fall back to plain RTN (α = 0).
+            return QuantResult {
+                dequantized: RtnQuantizer::new(self.bits, self.group).fake_quant_tensor(w),
+                size_bytes,
+            };
+        };
+
+        let salience = Self::channel_salience(x);
+        let mut best: Option<(f64, Tensor)> = None;
+        for gi in 0..self.grid {
+            let alpha = gi as f32 / (self.grid - 1) as f32;
+            let scales: Vec<f32> = salience
+                .iter()
+                .map(|&s| s.max(1e-6).powf(alpha).clamp(1e-4, 1e4))
+                .collect();
+            let dq = self.scale_quant_unscale(w, &scales);
+            let err = Self::output_mse(x, w, &dq);
+            if best.as_ref().map(|(e, _)| err < *e).unwrap_or(true) {
+                best = Some((err, dq));
+            }
+        }
+        QuantResult {
+            dequantized: best.expect("grid is non-empty").1,
+            size_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edkm_tensor::{runtime, Device};
+
+    fn anisotropic_calib(seed: u64) -> Tensor {
+        runtime::reset();
+        let scales: Vec<f32> = (0..16).map(|i| if i < 2 { 20.0 } else { 0.2 }).collect();
+        let x = Tensor::randn(&[96, 16], DType::F32, Device::Cpu, seed);
+        let xd: Vec<f32> = x
+            .to_vec()
+            .chunks(16)
+            .flat_map(|row| row.iter().zip(&scales).map(|(v, s)| v * s).collect::<Vec<_>>())
+            .collect();
+        Tensor::from_vec(xd, &[96, 16], DType::F32, Device::Cpu)
+    }
+
+    #[test]
+    fn name_and_bits() {
+        assert_eq!(AwqQuantizer::new(3, 128).method_name(), "AWQ g128");
+        assert_eq!(AwqQuantizer::new(4, 0).method_name(), "AWQ");
+        assert_eq!(AwqQuantizer::new(4, 64).bits(), 4);
+    }
+
+    #[test]
+    fn without_calibration_equals_rtn() {
+        runtime::reset();
+        let w = Tensor::randn(&[4, 16], DType::F32, Device::Cpu, 0);
+        let awq = AwqQuantizer::new(3, 8).quantize(&w, None);
+        let rtn = RtnQuantizer::new(3, 8).quantize(&w, None);
+        assert!(t::allclose(&awq.dequantized, &rtn.dequantized, 0.0));
+        assert_eq!(awq.size_bytes, rtn.size_bytes);
+    }
+
+    #[test]
+    fn beats_rtn_with_outlier_channels() {
+        let x = anisotropic_calib(1);
+        let w = Tensor::randn(&[8, 16], DType::F32, Device::Cpu, 2);
+        let awq = AwqQuantizer::new(3, 0).quantize(&w, Some(&x));
+        let rtn = RtnQuantizer::new(3, 0).quantize(&w, None);
+        let e_awq = AwqQuantizer::output_mse(&x, &w, &awq.dequantized);
+        let e_rtn = AwqQuantizer::output_mse(&x, &w, &rtn.dequantized);
+        assert!(
+            e_awq <= e_rtn,
+            "AWQ must not lose to RTN on calibration: {e_awq} vs {e_rtn}"
+        );
+        // And with strong outliers it should win strictly.
+        assert!(e_awq < e_rtn * 0.95, "expected a strict win: {e_awq} vs {e_rtn}");
+    }
+
+    #[test]
+    fn alpha_zero_included_in_grid_guarantees_no_regression() {
+        // Even with pathological salience the grid contains α = 0 (plain
+        // RTN), so the chosen error is never above RTN's.
+        let x = anisotropic_calib(3);
+        let w = Tensor::randn(&[4, 16], DType::F32, Device::Cpu, 4);
+        let awq = AwqQuantizer::new(2, 0).quantize(&w, Some(&x));
+        let rtn = RtnQuantizer::new(2, 0).quantize(&w, None);
+        let e_awq = AwqQuantizer::output_mse(&x, &w, &awq.dequantized);
+        let e_rtn = AwqQuantizer::output_mse(&x, &w, &rtn.dequantized);
+        assert!(e_awq <= e_rtn + 1e-6);
+    }
+
+    #[test]
+    fn salience_measures_channel_magnitude() {
+        let x = anisotropic_calib(5);
+        let s = AwqQuantizer::channel_salience(&x);
+        assert!(s[0] > s[10] * 10.0, "outlier channels must dominate: {s:?}");
+    }
+}

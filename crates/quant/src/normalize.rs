@@ -1,0 +1,196 @@
+//! Weight normalization — the "normalization" branch of the paper's Fig. 1
+//! taxonomy of weight optimization systems.
+//!
+//! A projection matrix decomposes per output row as `W_r = g_r · V_r /
+//! ‖V_r‖` (Salimans & Kingma's weight norm). The decomposition is useful
+//! before quantization: the direction matrix `V/‖V‖` has unit-norm rows, so
+//! one group-affine code fits all rows, while the per-row gains `g` carry
+//! the scale at full precision (`rows × 2` bytes — negligible).
+
+use crate::common::affine_fake_quant;
+use edkm_tensor::{DType, Device, Tensor};
+
+/// A row-wise weight-norm decomposition `W = diag(g) · D`.
+#[derive(Debug, Clone)]
+pub struct WeightNormed {
+    gains: Vec<f32>,
+    directions: Tensor,
+}
+
+impl WeightNormed {
+    /// Decompose a `[rows, cols]` matrix into per-row gains and unit-norm
+    /// direction rows. Zero rows get gain 0 and an unchanged direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not rank 2.
+    pub fn decompose(w: &Tensor) -> Self {
+        assert_eq!(w.rank(), 2, "weight norm expects a [rows, cols] matrix");
+        let (rows, cols) = (w.shape()[0], w.shape()[1]);
+        let data = w.to_vec();
+        let mut gains = Vec::with_capacity(rows);
+        let mut dirs = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            let row = &data[r * cols..(r + 1) * cols];
+            let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+            gains.push(norm);
+            if norm > 0.0 {
+                dirs.extend(row.iter().map(|v| v / norm));
+            } else {
+                dirs.extend_from_slice(row);
+            }
+        }
+        WeightNormed {
+            gains,
+            directions: Tensor::from_vec(dirs, &[rows, cols], DType::F32, Device::Cpu),
+        }
+    }
+
+    /// Per-row gains `g_r = ‖W_r‖`.
+    pub fn gains(&self) -> &[f32] {
+        &self.gains
+    }
+
+    /// The unit-row direction matrix.
+    pub fn directions(&self) -> &Tensor {
+        &self.directions
+    }
+
+    /// Recompose `diag(g) · D` — exact inverse of [`Self::decompose`] up to
+    /// floating-point rounding.
+    pub fn recompose(&self) -> Tensor {
+        let (rows, cols) = (
+            self.directions.shape()[0],
+            self.directions.shape()[1],
+        );
+        let d = self.directions.to_vec();
+        let out: Vec<f32> = (0..rows * cols)
+            .map(|i| d[i] * self.gains[i / cols])
+            .collect();
+        Tensor::from_vec(out, &[rows, cols], DType::F32, Device::Cpu)
+    }
+
+    /// Fake-quantize the *directions* at `bits` (whole-matrix affine — the
+    /// rows share scale by construction) and recompose. Returns the
+    /// quantized weights plus the serialized size (codes + one affine pair
+    /// + 16-bit gains).
+    pub fn quantize_directions(&self, bits: u8) -> (Tensor, usize) {
+        let d = self.directions.to_vec();
+        let dq = affine_fake_quant(&d, bits);
+        let (rows, cols) = (
+            self.directions.shape()[0],
+            self.directions.shape()[1],
+        );
+        let out: Vec<f32> = (0..rows * cols)
+            .map(|i| dq[i] * self.gains[i / cols])
+            .collect();
+        let size = (rows * cols * bits as usize).div_ceil(8) // codes
+            + 4 // one scale+zero pair at 16 bits
+            + rows * 2; // gains at 16 bits
+        (
+            Tensor::from_vec(out, &[rows, cols], DType::F32, Device::Cpu),
+            size,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edkm_tensor::ops::allclose;
+    use proptest::prelude::*;
+
+    #[test]
+    fn decompose_recompose_roundtrips() {
+        let w = Tensor::randn(&[8, 16], DType::F32, Device::Cpu, 0);
+        let wn = WeightNormed::decompose(&w);
+        assert!(allclose(&wn.recompose(), &w, 1e-6));
+    }
+
+    #[test]
+    fn directions_have_unit_rows() {
+        let w = Tensor::randn(&[6, 32], DType::F32, Device::Cpu, 1);
+        let wn = WeightNormed::decompose(&w);
+        let d = wn.directions().to_vec();
+        for r in 0..6 {
+            let norm: f32 = d[r * 32..(r + 1) * 32].iter().map(|v| v * v).sum();
+            assert!((norm.sqrt() - 1.0).abs() < 1e-5, "row {r}: {}", norm.sqrt());
+        }
+    }
+
+    #[test]
+    fn gains_are_row_norms() {
+        let w = Tensor::from_vec(vec![3.0, 4.0, 0.0, 0.0], &[2, 2], DType::F32, Device::Cpu);
+        let wn = WeightNormed::decompose(&w);
+        assert!((wn.gains()[0] - 5.0).abs() < 1e-6);
+        assert_eq!(wn.gains()[1], 0.0);
+        // Zero row recomposes to zero, no NaN.
+        assert_eq!(wn.recompose().to_vec()[2], 0.0);
+        assert!(wn.directions().to_vec().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn normalized_quantization_handles_scale_outlier_rows() {
+        // One row 100× larger than the rest: plain whole-matrix affine
+        // quantization destroys the small rows; weight-norm + direction
+        // quantization preserves them.
+        let mut data = Vec::new();
+        for r in 0..8 {
+            let scale = if r == 0 { 10.0 } else { 0.1 };
+            for c in 0..16 {
+                data.push(scale * ((r * 16 + c) as f32 * 0.37).sin());
+            }
+        }
+        let w = Tensor::from_vec(data.clone(), &[8, 16], DType::F32, Device::Cpu);
+
+        let plain = affine_fake_quant(&data, 4);
+        let plain_small_mse: f32 = data[16..]
+            .iter()
+            .zip(&plain[16..])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+
+        let wn = WeightNormed::decompose(&w);
+        let (q, _) = wn.quantize_directions(4);
+        let qv = q.to_vec();
+        let wn_small_mse: f32 = data[16..]
+            .iter()
+            .zip(&qv[16..])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        assert!(
+            wn_small_mse < plain_small_mse / 10.0,
+            "weight norm must rescue small rows: {wn_small_mse} vs {plain_small_mse}"
+        );
+    }
+
+    #[test]
+    fn quantize_directions_size_accounting() {
+        let w = Tensor::randn(&[4, 64], DType::F32, Device::Cpu, 2);
+        let wn = WeightNormed::decompose(&w);
+        let (_, size) = wn.quantize_directions(4);
+        assert_eq!(size, (4 * 64 * 4) / 8 + 4 + 4 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows, cols")]
+    fn rejects_non_matrix() {
+        WeightNormed::decompose(&Tensor::randn(&[8], DType::F32, Device::Cpu, 3));
+    }
+
+    proptest! {
+        /// decompose → recompose is the identity within rounding, for any
+        /// matrix including ones with tiny and huge rows.
+        #[test]
+        fn prop_roundtrip(rows in 1usize..10, cols in 1usize..20, seed in 0u64..30) {
+            let w = Tensor::randn(&[rows, cols], DType::F32, Device::Cpu, seed)
+                .map(|v| v * 3.0);
+            let wn = WeightNormed::decompose(&w);
+            let back = wn.recompose();
+            let (a, b) = (w.to_vec(), back.to_vec());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x - y).abs() <= 1e-5 * x.abs().max(1.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Magnitude pruning — the "pruning" branch of the paper's Fig. 1 taxonomy
+//! of weight optimization systems (and the sparsification the introduction
+//! lists alongside quantization and clustering).
+//!
+//! Two granularities:
+//!
+//! * **Unstructured** — keep the largest-magnitude fraction of all weights;
+//!   serialized as a 1-bit/weight mask plus 16-bit survivors.
+//! * **N:M semi-structured** — in every group of `m` consecutive weights
+//!   keep the `n` largest (the 2:4 pattern modern accelerators execute);
+//!   serialized as `n` 16-bit survivors plus `n·log2(m)` index bits per
+//!   group.
+
+use edkm_tensor::{DType, Device, Tensor};
+
+/// Pruning granularity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PruneGranularity {
+    /// Global magnitude threshold at the given sparsity in `[0, 1)`.
+    Unstructured {
+        /// Fraction of weights to zero out.
+        sparsity: f64,
+    },
+    /// Keep `n` of every `m` consecutive weights (e.g. 2:4).
+    NOfM {
+        /// Survivors per group.
+        n: usize,
+        /// Group size.
+        m: usize,
+    },
+}
+
+/// Magnitude pruner configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MagnitudePruner {
+    granularity: PruneGranularity,
+}
+
+/// Result of pruning one weight tensor.
+#[derive(Debug, Clone)]
+pub struct PruneResult {
+    /// Pruned weights (zeros where masked), same shape as the input.
+    pub pruned: Tensor,
+    /// Keep-mask, one flag per element in row-major order.
+    pub mask: Vec<bool>,
+    /// Fraction of weights actually zeroed.
+    pub achieved_sparsity: f64,
+    /// Serialized bytes of the sparse form (see module docs).
+    pub size_bytes: usize,
+}
+
+impl MagnitudePruner {
+    /// Unstructured pruner at `sparsity` (fraction zeroed).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ sparsity < 1`.
+    pub fn unstructured(sparsity: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&sparsity),
+            "sparsity must be in [0, 1), got {sparsity}"
+        );
+        MagnitudePruner {
+            granularity: PruneGranularity::Unstructured { sparsity },
+        }
+    }
+
+    /// N:M semi-structured pruner (keep `n` of every `m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ n < m`.
+    pub fn n_of_m(n: usize, m: usize) -> Self {
+        assert!(n >= 1 && n < m, "need 1 <= n < m, got {n}:{m}");
+        MagnitudePruner {
+            granularity: PruneGranularity::NOfM { n, m },
+        }
+    }
+
+    /// The 2:4 pattern supported by sparse tensor cores.
+    pub fn two_of_four() -> Self {
+        Self::n_of_m(2, 4)
+    }
+
+    /// The configured granularity.
+    pub fn granularity(&self) -> PruneGranularity {
+        self.granularity
+    }
+
+    /// Prune `w` by magnitude.
+    ///
+    /// # Panics
+    ///
+    /// For N:M, panics if `w.numel()` is not divisible by `m`.
+    pub fn prune(&self, w: &Tensor) -> PruneResult {
+        let data = w.to_vec();
+        let n_elems = data.len();
+        let mask = match self.granularity {
+            PruneGranularity::Unstructured { sparsity } => {
+                let drop = ((n_elems as f64) * sparsity).round() as usize;
+                let mut order: Vec<usize> = (0..n_elems).collect();
+                order.sort_by(|&a, &b| {
+                    data[a]
+                        .abs()
+                        .partial_cmp(&data[b].abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let mut mask = vec![true; n_elems];
+                for &i in order.iter().take(drop) {
+                    mask[i] = false;
+                }
+                mask
+            }
+            PruneGranularity::NOfM { n, m } => {
+                assert_eq!(
+                    n_elems % m,
+                    0,
+                    "{n_elems} weights do not split into groups of {m}"
+                );
+                let mut mask = vec![false; n_elems];
+                for g in 0..n_elems / m {
+                    let base = g * m;
+                    let mut order: Vec<usize> = (0..m).collect();
+                    order.sort_by(|&a, &b| {
+                        data[base + b]
+                            .abs()
+                            .partial_cmp(&data[base + a].abs())
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    for &j in order.iter().take(n) {
+                        mask[base + j] = true;
+                    }
+                }
+                mask
+            }
+        };
+
+        let pruned_vals: Vec<f32> = data
+            .iter()
+            .zip(&mask)
+            .map(|(&v, &keep)| if keep { v } else { 0.0 })
+            .collect();
+        let zeroed = mask.iter().filter(|&&k| !k).count();
+        let size_bytes = self.size_bytes(n_elems, n_elems - zeroed);
+        PruneResult {
+            pruned: Tensor::from_vec(pruned_vals, w.shape(), DType::F32, Device::Cpu),
+            mask,
+            achieved_sparsity: zeroed as f64 / n_elems.max(1) as f64,
+            size_bytes,
+        }
+    }
+
+    /// Serialized bytes for `nnz` survivors out of `n` weights.
+    fn size_bytes(&self, n: usize, nnz: usize) -> usize {
+        match self.granularity {
+            // 1-bit mask + 16-bit survivors.
+            PruneGranularity::Unstructured { .. } => n.div_ceil(8) + nnz * 2,
+            // Per group: n survivors at 16 bits + n indices of log2(m) bits.
+            PruneGranularity::NOfM { n: keep, m } => {
+                let groups = n / m;
+                let idx_bits = (m as f64).log2().ceil() as usize;
+                groups * keep * 2 + (groups * keep * idx_bits).div_ceil(8)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn toy() -> Tensor {
+        Tensor::from_vec(
+            vec![0.9, -0.1, 0.05, -0.8, 0.3, 0.02, -0.6, 0.4],
+            &[2, 4],
+            DType::F32,
+            Device::Cpu,
+        )
+    }
+
+    #[test]
+    fn unstructured_half_drops_smallest() {
+        let r = MagnitudePruner::unstructured(0.5).prune(&toy());
+        assert_eq!(r.achieved_sparsity, 0.5);
+        let v = r.pruned.to_vec();
+        // Largest four magnitudes survive: 0.9, -0.8, -0.6, 0.4.
+        assert_eq!(v, vec![0.9, 0.0, 0.0, -0.8, 0.0, 0.0, -0.6, 0.4]);
+        assert_eq!(r.pruned.shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn zero_sparsity_is_identity() {
+        let r = MagnitudePruner::unstructured(0.0).prune(&toy());
+        assert_eq!(r.achieved_sparsity, 0.0);
+        assert_eq!(r.pruned.to_vec(), toy().to_vec());
+        assert!(r.mask.iter().all(|&k| k));
+    }
+
+    #[test]
+    fn two_of_four_keeps_two_per_group() {
+        let r = MagnitudePruner::two_of_four().prune(&toy());
+        assert_eq!(r.achieved_sparsity, 0.5);
+        for g in 0..2 {
+            let kept = r.mask[g * 4..(g + 1) * 4].iter().filter(|&&k| k).count();
+            assert_eq!(kept, 2, "group {g}");
+        }
+        // Group 0 keeps 0.9 and -0.8; group 1 keeps -0.6 and 0.4.
+        assert_eq!(
+            r.pruned.to_vec(),
+            vec![0.9, 0.0, 0.0, -0.8, 0.0, 0.0, -0.6, 0.4]
+        );
+    }
+
+    #[test]
+    fn sparse_sizes_beat_dense_at_high_sparsity() {
+        let w = Tensor::randn(&[64, 64], DType::F32, Device::Cpu, 0);
+        let dense_16bit = 64 * 64 * 2;
+        let r90 = MagnitudePruner::unstructured(0.9).prune(&w);
+        assert!(r90.size_bytes < dense_16bit / 3, "90% sparse ≈ mask + 10% values");
+        let r24 = MagnitudePruner::two_of_four().prune(&w);
+        // 2:4 = half the values + 2 index bits each.
+        assert!(r24.size_bytes < dense_16bit * 3 / 4);
+        assert!(r24.size_bytes > dense_16bit / 2, "indices are not free");
+    }
+
+    #[test]
+    fn unstructured_mse_grows_with_sparsity() {
+        let w = Tensor::randn(&[32, 32], DType::F32, Device::Cpu, 1);
+        let mse = |s: f64| {
+            let r = MagnitudePruner::unstructured(s).prune(&w);
+            let d = r.pruned.to_vec();
+            w.to_vec()
+                .iter()
+                .zip(&d)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+        };
+        let (m25, m50, m75) = (mse(0.25), mse(0.5), mse(0.75));
+        assert!(m25 < m50 && m50 < m75, "{m25} {m50} {m75}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity must be")]
+    fn full_sparsity_rejected() {
+        MagnitudePruner::unstructured(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1 <= n < m")]
+    fn degenerate_nm_rejected() {
+        MagnitudePruner::n_of_m(4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "groups of 4")]
+    fn ragged_nm_rejected() {
+        let w = Tensor::randn(&[7], DType::F32, Device::Cpu, 2);
+        MagnitudePruner::two_of_four().prune(&w);
+    }
+
+    proptest! {
+        /// Achieved sparsity tracks the request within one element, the
+        /// mask matches the zeros, and survivors keep their exact values.
+        #[test]
+        fn prop_unstructured_contract(
+            n in 1usize..200,
+            s in 0.0f64..0.95,
+            seed in 0u64..50,
+        ) {
+            let w = Tensor::randn(&[n], DType::F32, Device::Cpu, seed);
+            let r = MagnitudePruner::unstructured(s).prune(&w);
+            let want = ((n as f64) * s).round() as usize;
+            let zeroed = r.mask.iter().filter(|&&k| !k).count();
+            prop_assert_eq!(zeroed, want);
+            let orig = w.to_vec();
+            for (i, (&keep, &v)) in r.mask.iter().zip(r.pruned.to_vec().iter()).enumerate() {
+                if keep {
+                    prop_assert_eq!(v, orig[i]);
+                } else {
+                    prop_assert_eq!(v, 0.0);
+                }
+            }
+        }
+
+        /// Every m-group of an N:M pruning keeps exactly n survivors, and
+        /// no dropped weight in a group beats a kept one by magnitude.
+        #[test]
+        fn prop_nm_group_contract(groups in 1usize..50, seed in 0u64..50) {
+            let w = Tensor::randn(&[groups * 4], DType::F32, Device::Cpu, seed);
+            let r = MagnitudePruner::two_of_four().prune(&w);
+            let orig = w.to_vec();
+            for g in 0..groups {
+                let grp = &r.mask[g * 4..(g + 1) * 4];
+                prop_assert_eq!(grp.iter().filter(|&&k| k).count(), 2);
+                let min_kept = (0..4)
+                    .filter(|&j| grp[j])
+                    .map(|j| orig[g * 4 + j].abs())
+                    .fold(f32::INFINITY, f32::min);
+                let max_dropped = (0..4)
+                    .filter(|&j| !grp[j])
+                    .map(|j| orig[g * 4 + j].abs())
+                    .fold(0.0f32, f32::max);
+                prop_assert!(min_kept >= max_dropped);
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! SmoothQuant: difficulty migration between activations and weights
+//! (Xiao et al., reimplemented for the weight path).
+//!
+//! Activation outliers make activations hard to quantize while weights are
+//! easy; SmoothQuant balances them with a per-channel scale
+//! `s_i = max|x_i|^α / max|w_i|^{1−α}` folded into the weights
+//! (`W' = W · diag(s)`) and out of the activations (`x' = x / s`). We
+//! quantize the smoothed weights and fold the scales back, which is the
+//! weight-side effect visible to a weight-only evaluation.
+
+use crate::common::{effective_group, group_quant_size_bytes, QuantResult, WeightQuantizer};
+use crate::rtn::RtnQuantizer;
+use edkm_tensor::{DType, Tensor};
+
+/// The SmoothQuant quantizer (weight path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoothQuantQuantizer {
+    bits: u8,
+    group: usize,
+    /// Migration strength α (paper default 0.5).
+    pub alpha: f32,
+}
+
+impl SmoothQuantQuantizer {
+    /// SmoothQuant at `bits` (paper: 8) with migration strength 0.5.
+    pub fn new(bits: u8, group: usize) -> Self {
+        assert!((1..=8).contains(&bits), "smoothquant bits must be 1..=8");
+        SmoothQuantQuantizer {
+            bits,
+            group,
+            alpha: 0.5,
+        }
+    }
+
+    fn smoothing_scales(&self, w: &Tensor, x: &Tensor) -> Vec<f32> {
+        let cols = w.shape()[1];
+        let (rows, xrows) = (w.shape()[0], x.numel() / cols);
+        let wd = w.to_vec();
+        let xd = x.to_vec();
+        let mut wmax = vec![0.0f32; cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                wmax[c] = wmax[c].max(wd[r * cols + c].abs());
+            }
+        }
+        let mut xmax = vec![0.0f32; cols];
+        for r in 0..xrows {
+            for c in 0..cols {
+                xmax[c] = xmax[c].max(xd[r * cols + c].abs());
+            }
+        }
+        (0..cols)
+            .map(|c| {
+                let num = xmax[c].max(1e-5).powf(self.alpha);
+                let den = wmax[c].max(1e-5).powf(1.0 - self.alpha);
+                (num / den).clamp(1e-4, 1e4)
+            })
+            .collect()
+    }
+}
+
+impl WeightQuantizer for SmoothQuantQuantizer {
+    fn method_name(&self) -> String {
+        "SmoothQuant".to_string()
+    }
+
+    fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    fn quantize(&self, w: &Tensor, calib: Option<&Tensor>) -> QuantResult {
+        assert_eq!(w.rank(), 2, "SmoothQuant expects [out, in]");
+        let (rows, cols) = (w.shape()[0], w.shape()[1]);
+        let g = effective_group(cols, self.group);
+        let size_bytes = group_quant_size_bytes(rows, cols, self.bits, g);
+
+        let Some(x) = calib else {
+            return QuantResult {
+                dequantized: RtnQuantizer::new(self.bits, self.group).fake_quant_tensor(w),
+                size_bytes,
+            };
+        };
+
+        let s = self.smoothing_scales(w, x);
+        let mut smoothed = w.to_vec();
+        for r in 0..rows {
+            for c in 0..cols {
+                smoothed[r * cols + c] *= s[c];
+            }
+        }
+        let st = Tensor::from_vec(smoothed, &[rows, cols], DType::F32, w.device());
+        let dq = RtnQuantizer::new(self.bits, self.group).fake_quant_tensor(&st);
+        let mut out = dq.to_vec();
+        for r in 0..rows {
+            for c in 0..cols {
+                out[r * cols + c] /= s[c];
+            }
+        }
+        QuantResult {
+            dequantized: Tensor::from_vec(out, &[rows, cols], DType::F32, w.device()),
+            size_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edkm_tensor::{ops as t, runtime, Device};
+
+    #[test]
+    fn name_and_bits() {
+        let q = SmoothQuantQuantizer::new(8, 0);
+        assert_eq!(q.method_name(), "SmoothQuant");
+        assert_eq!(q.bits(), 8);
+        assert_eq!(q.alpha, 0.5);
+    }
+
+    #[test]
+    fn eight_bit_roundtrip_is_tight() {
+        runtime::reset();
+        let w = Tensor::randn(&[8, 16], DType::F32, Device::Cpu, 0);
+        let x = Tensor::randn(&[64, 16], DType::F32, Device::Cpu, 1);
+        let q = SmoothQuantQuantizer::new(8, 0).quantize(&w, Some(&x));
+        let err = t::max_abs_diff(&w, &q.dequantized);
+        let range = w.to_vec().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        assert!(err < range * 0.02, "8-bit smoothquant error {err}");
+    }
+
+    #[test]
+    fn scales_balance_outliers() {
+        runtime::reset();
+        let w = Tensor::randn(&[4, 8], DType::F32, Device::Cpu, 2);
+        // Channel 0 has huge activations.
+        let mut xd = Tensor::randn(&[32, 8], DType::F32, Device::Cpu, 3).to_vec();
+        for r in 0..32 {
+            xd[r * 8] *= 100.0;
+        }
+        let x = Tensor::from_vec(xd, &[32, 8], DType::F32, Device::Cpu);
+        let q = SmoothQuantQuantizer::new(8, 0);
+        let s = q.smoothing_scales(&w, &x);
+        assert!(
+            s[0] > s[1] * 3.0,
+            "outlier channel must get the largest scale: {s:?}"
+        );
+    }
+
+    #[test]
+    fn no_calibration_falls_back_to_rtn() {
+        runtime::reset();
+        let w = Tensor::randn(&[4, 8], DType::F32, Device::Cpu, 4);
+        let sq = SmoothQuantQuantizer::new(8, 0).quantize(&w, None);
+        let rtn = RtnQuantizer::new(8, 0).quantize(&w, None);
+        assert!(t::allclose(&sq.dequantized, &rtn.dequantized, 0.0));
+    }
+}

@@ -1,0 +1,329 @@
+//! Element dtypes with bit-exact 16-bit encodings.
+//!
+//! Values are always *held* as `f32` in storage, but a tensor tagged
+//! [`DType::Bf16`] or [`DType::F16`] only ever contains values that are
+//! exactly representable in that encoding: every constructor and cast rounds
+//! through the 16-bit bit pattern. This guarantees the property the paper's
+//! uniquification step relies on (Section 2.2): a 16-bit weight tensor has at
+//! most 2^16 = 65 536 distinct values.
+
+use serde::{Deserialize, Serialize};
+
+/// Logical element type of a [`crate::Tensor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 16-bit IEEE-754 half-precision float.
+    F16,
+    /// bfloat16: f32 with the mantissa truncated to 7 bits.
+    Bf16,
+}
+
+impl DType {
+    /// Bytes one element occupies on a (simulated) device.
+    #[inline]
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::F16 | DType::Bf16 => 2,
+        }
+    }
+
+    /// `true` for the 16-bit encodings whose bit patterns fit in a `u16`.
+    #[inline]
+    pub fn is_16bit(self) -> bool {
+        matches!(self, DType::F16 | DType::Bf16)
+    }
+
+    /// Round `v` to the nearest value representable in this dtype.
+    ///
+    /// For [`DType::F32`] this is the identity.
+    #[inline]
+    pub fn round(self, v: f32) -> f32 {
+        match self {
+            DType::F32 => v,
+            DType::Bf16 => bf16_to_f32(f32_to_bf16(v)),
+            DType::F16 => f16_to_f32(f32_to_f16(v)),
+        }
+    }
+
+    /// Encode `v` as the 16-bit pattern of this dtype.
+    ///
+    /// Returns `None` for [`DType::F32`], whose patterns do not fit in `u16`.
+    #[inline]
+    pub fn encode16(self, v: f32) -> Option<u16> {
+        match self {
+            DType::F32 => None,
+            DType::Bf16 => Some(f32_to_bf16(v)),
+            DType::F16 => Some(f32_to_f16(v)),
+        }
+    }
+
+    /// Decode a 16-bit pattern of this dtype back to `f32`.
+    ///
+    /// Returns `None` for [`DType::F32`].
+    #[inline]
+    pub fn decode16(self, bits: u16) -> Option<f32> {
+        match self {
+            DType::F32 => None,
+            DType::Bf16 => Some(bf16_to_f32(bits)),
+            DType::F16 => Some(f16_to_f32(bits)),
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DType::F32 => write!(f, "f32"),
+            DType::F16 => write!(f, "f16"),
+            DType::Bf16 => write!(f, "bf16"),
+        }
+    }
+}
+
+/// Convert `f32` to bfloat16 bits with round-to-nearest-even.
+#[inline]
+pub fn f32_to_bf16(v: f32) -> u16 {
+    let bits = v.to_bits();
+    if v.is_nan() {
+        // Preserve NaN, force a quiet-NaN pattern that survives truncation.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    // Round to nearest even on the truncated 16 low bits.
+    let round_bit = 0x0000_8000u32;
+    let lsb = (bits >> 16) & 1;
+    ((bits.wrapping_add(round_bit - 1 + lsb)) >> 16) as u16
+}
+
+/// Convert bfloat16 bits to `f32` (exact).
+#[inline]
+pub fn bf16_to_f32(bits: u16) -> f32 {
+    f32::from_bits((bits as u32) << 16)
+}
+
+/// Convert `f32` to IEEE-754 half-precision bits with round-to-nearest-even.
+#[inline]
+pub fn f32_to_f16(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN.
+        return if mant == 0 {
+            sign | 0x7c00
+        } else {
+            sign | 0x7e00 // quiet NaN
+        };
+    }
+
+    // Re-bias exponent: f32 bias 127, f16 bias 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow -> inf
+    }
+    if unbiased >= -14 {
+        // Normal half.
+        let half_exp = (unbiased + 15) as u32;
+        let half_mant = mant >> 13;
+        let rem = mant & 0x1fff;
+        let mut h = ((half_exp << 10) | half_mant) as u16;
+        // Round to nearest even.
+        if rem > 0x1000 || (rem == 0x1000 && (half_mant & 1) == 1) {
+            h = h.wrapping_add(1); // carries into the exponent correctly
+        }
+        return sign | h;
+    }
+    if unbiased >= -25 {
+        // Subnormal half.
+        let shift = (-14 - unbiased) as u32; // 1..=11
+        let full_mant = mant | 0x0080_0000; // implicit leading 1
+        let half_mant = full_mant >> (13 + shift);
+        let rem_mask = (1u32 << (13 + shift)) - 1;
+        let rem = full_mant & rem_mask;
+        let halfway = 1u32 << (12 + shift);
+        let mut h = half_mant as u16;
+        if rem > halfway || (rem == halfway && (h & 1) == 1) {
+            h = h.wrapping_add(1);
+        }
+        return sign | h;
+    }
+    sign // underflow to signed zero
+}
+
+/// Convert IEEE-754 half-precision bits to `f32` (exact).
+#[inline]
+pub fn f16_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1f) as u32;
+    let mant = (bits & 0x03ff) as u32;
+
+    if exp == 0 {
+        if mant == 0 {
+            return f32::from_bits(sign);
+        }
+        // Subnormal: value = mant * 2^-24. Normalize around the highest set bit.
+        let h = 31 - mant.leading_zeros(); // 0..=9
+        let exp_f32 = 103 + h; // h - 24 + 127
+        let frac = mant ^ (1 << h); // drop the leading bit
+        return f32::from_bits(sign | (exp_f32 << 23) | (frac << (23 - h)));
+    }
+    if exp == 0x1f {
+        return if mant == 0 {
+            f32::from_bits(sign | 0x7f80_0000)
+        } else {
+            f32::from_bits(sign | 0x7fc0_0000)
+        };
+    }
+    let exp_f32 = exp + 127 - 15;
+    f32::from_bits(sign | (exp_f32 << 23) | (mant << 13))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::Bf16.size_bytes(), 2);
+        assert!(!DType::F32.is_16bit());
+        assert!(DType::F16.is_16bit());
+        assert!(DType::Bf16.is_16bit());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::Bf16.to_string(), "bf16");
+        assert_eq!(DType::F16.to_string(), "f16");
+    }
+
+    #[test]
+    fn bf16_simple_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, -3.0, 1024.0] {
+            assert_eq!(DType::Bf16.round(v), v, "{v} must be bf16-exact");
+        }
+    }
+
+    #[test]
+    fn f16_simple_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, -3.0, 1024.0, 0.25] {
+            assert_eq!(DType::F16.round(v), v, "{v} must be f16-exact");
+        }
+    }
+
+    #[test]
+    fn f32_round_is_identity() {
+        assert_eq!(DType::F32.round(0.1), 0.1);
+        assert_eq!(DType::F32.encode16(1.0), None);
+        assert_eq!(DType::F32.decode16(0), None);
+    }
+
+    #[test]
+    fn bf16_known_patterns() {
+        // 1.0f32 = 0x3f800000 -> bf16 0x3f80.
+        assert_eq!(f32_to_bf16(1.0), 0x3f80);
+        assert_eq!(bf16_to_f32(0x3f80), 1.0);
+        // -2.0 = 0xc0000000 -> 0xc000.
+        assert_eq!(f32_to_bf16(-2.0), 0xc000);
+    }
+
+    #[test]
+    fn f16_known_patterns() {
+        assert_eq!(f32_to_f16(1.0), 0x3c00);
+        assert_eq!(f16_to_f32(0x3c00), 1.0);
+        assert_eq!(f32_to_f16(-2.0), 0xc000);
+        assert_eq!(f32_to_f16(65504.0), 0x7bff); // max finite half
+        assert_eq!(f32_to_f16(1e6), 0x7c00); // overflow -> +inf
+        assert!(f16_to_f32(0x7c00).is_infinite());
+    }
+
+    #[test]
+    fn f16_subnormals_roundtrip() {
+        // Smallest positive subnormal half = 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f32_to_f16(tiny), 0x0001);
+        assert_eq!(f16_to_f32(0x0001), tiny);
+        // Largest subnormal.
+        let big_sub = f16_to_f32(0x03ff);
+        assert_eq!(f32_to_f16(big_sub), 0x03ff);
+    }
+
+    #[test]
+    fn nan_handling() {
+        assert!(bf16_to_f32(f32_to_bf16(f32::NAN)).is_nan());
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+        assert!(DType::Bf16.round(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn infinity_handling() {
+        assert_eq!(bf16_to_f32(f32_to_bf16(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(f32::NEG_INFINITY)), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn rounding_is_idempotent_examples() {
+        for dt in [DType::Bf16, DType::F16] {
+            for v in [0.1f32, 0.3333, -7.77, 123.456, 1e-3] {
+                let once = dt.round(v);
+                assert_eq!(dt.round(once), once, "{dt} rounding must be idempotent");
+            }
+        }
+    }
+
+    proptest! {
+        /// Round-tripping any finite f32 through bf16 decode/encode is stable:
+        /// decode(encode(x)) re-encodes to the same bits.
+        #[test]
+        fn prop_bf16_idempotent(v in prop::num::f32::NORMAL) {
+            let bits = f32_to_bf16(v);
+            let back = bf16_to_f32(bits);
+            prop_assert_eq!(f32_to_bf16(back), bits);
+        }
+
+        #[test]
+        fn prop_f16_idempotent(v in -65000.0f32..65000.0) {
+            let bits = f32_to_f16(v);
+            let back = f16_to_f32(bits);
+            prop_assert_eq!(f32_to_f16(back), bits);
+        }
+
+        /// Every u16 pattern decodes to an f32 that encodes back to itself
+        /// (modulo NaN payload normalization).
+        #[test]
+        fn prop_bf16_all_patterns_roundtrip(bits in any::<u16>()) {
+            let v = bf16_to_f32(bits);
+            if v.is_nan() {
+                prop_assert!(bf16_to_f32(f32_to_bf16(v)).is_nan());
+            } else {
+                prop_assert_eq!(f32_to_bf16(v), bits);
+            }
+        }
+
+        #[test]
+        fn prop_f16_all_patterns_roundtrip(bits in any::<u16>()) {
+            let v = f16_to_f32(bits);
+            if v.is_nan() {
+                prop_assert!(f16_to_f32(f32_to_f16(v)).is_nan());
+            } else {
+                prop_assert_eq!(f32_to_f16(v), bits);
+            }
+        }
+
+        /// bf16 rounding error is bounded by the ulp at the magnitude of v.
+        #[test]
+        fn prop_bf16_error_bound(v in -1.0e4f32..1.0e4) {
+            let r = DType::Bf16.round(v);
+            // bf16 has 8 mantissa bits (incl. implicit), ulp <= |v| * 2^-7 roughly.
+            let bound = v.abs() * (1.0 / 128.0) + 1e-30;
+            prop_assert!((r - v).abs() <= bound, "v={v} r={r}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for fallible tensor operations.
+
+use crate::{DType, Device};
+
+/// Error returned by fallible tensor operations.
+///
+/// Shape errors in hot-path arithmetic panic instead (documented per method),
+/// mirroring the convention of `ndarray`/`torch`; `TensorError` is reserved
+/// for conditions a caller can reasonably recover from or that depend on
+/// runtime configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// An operation required a 16-bit dtype (e.g. extracting bit patterns).
+    Not16Bit {
+        /// The dtype the tensor actually had.
+        actual: DType,
+    },
+    /// An operation required the tensor to live on a particular device.
+    WrongDevice {
+        /// Device the operation expected.
+        expected: Device,
+        /// Device the tensor actually lives on.
+        actual: Device,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    ShapeMismatch {
+        /// Element count of the source.
+        from: usize,
+        /// Element count of the requested shape.
+        to: usize,
+    },
+    /// Invalid axis for the given rank.
+    InvalidAxis {
+        /// Requested axis.
+        axis: usize,
+        /// Tensor rank.
+        rank: usize,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::Not16Bit { actual } => {
+                write!(f, "operation requires a 16-bit dtype, tensor is {actual}")
+            }
+            TensorError::WrongDevice { expected, actual } => {
+                write!(f, "tensor expected on {expected}, found on {actual}")
+            }
+            TensorError::ShapeMismatch { from, to } => {
+                write!(f, "cannot reshape {from} elements into a {to}-element shape")
+            }
+            TensorError::InvalidAxis { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TensorError::Not16Bit { actual: DType::F32 };
+        assert!(e.to_string().contains("16-bit"));
+        let e = TensorError::WrongDevice {
+            expected: Device::Cpu,
+            actual: Device::gpu(),
+        };
+        assert!(e.to_string().contains("cpu"));
+        assert!(e.to_string().contains("gpu:0"));
+        let e = TensorError::ShapeMismatch { from: 6, to: 8 };
+        assert!(e.to_string().contains('6'));
+        let e = TensorError::InvalidAxis { axis: 3, rank: 2 };
+        assert!(e.to_string().contains("axis 3"));
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<TensorError>();
+    }
+}

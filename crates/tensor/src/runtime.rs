@@ -1,0 +1,267 @@
+//! Thread-local simulation runtime: device pools, transfer ledger, clock.
+//!
+//! Each thread gets an isolated runtime so tests and experiments never see
+//! each other's allocations. [`reset`] swaps in fresh counters; storages
+//! created before the reset keep (and correctly drain) their old pool handles.
+
+use crate::cost::{CostModel, SimClock};
+use crate::pool::{PoolCell, PoolSnapshot, TransferLedger, TransferSnapshot};
+use crate::Device;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct RuntimeState {
+    pools: HashMap<Device, Arc<PoolCell>>,
+    ledger: Arc<TransferLedger>,
+    clock: Arc<SimClock>,
+    cost: CostModel,
+}
+
+impl RuntimeState {
+    fn new() -> Self {
+        RuntimeState {
+            pools: HashMap::new(),
+            ledger: Arc::new(TransferLedger::new()),
+            clock: Arc::new(SimClock::new()),
+            cost: CostModel::default(),
+        }
+    }
+
+    fn pool(&mut self, device: Device) -> Arc<PoolCell> {
+        Arc::clone(
+            self.pools
+                .entry(device)
+                .or_insert_with(|| Arc::new(PoolCell::new())),
+        )
+    }
+}
+
+thread_local! {
+    static RUNTIME: RefCell<RuntimeState> = RefCell::new(RuntimeState::new());
+}
+
+/// Replace this thread's runtime with a fresh one (empty pools, zero ledger
+/// and clock, default cost model).
+///
+/// Tensors allocated before the reset keep handles to the *old* pools, so
+/// their eventual drops cannot corrupt new measurements.
+pub fn reset() {
+    RUNTIME.with(|rt| *rt.borrow_mut() = RuntimeState::new());
+}
+
+/// Pool of `device` on this thread's runtime.
+pub fn pool(device: Device) -> Arc<PoolCell> {
+    RUNTIME.with(|rt| rt.borrow_mut().pool(device))
+}
+
+/// The thread's transfer ledger.
+pub fn ledger() -> Arc<TransferLedger> {
+    RUNTIME.with(|rt| Arc::clone(&rt.borrow().ledger))
+}
+
+/// The thread's simulated clock.
+pub fn clock() -> Arc<SimClock> {
+    RUNTIME.with(|rt| Arc::clone(&rt.borrow().clock))
+}
+
+/// The thread's cost model.
+pub fn cost_model() -> CostModel {
+    RUNTIME.with(|rt| rt.borrow().cost)
+}
+
+/// Replace the thread's cost model.
+pub fn set_cost_model(m: CostModel) {
+    RUNTIME.with(|rt| rt.borrow_mut().cost = m);
+}
+
+/// Record a host↔device copy of `bytes` from `from` to `to` in the ledger and
+/// advance the clock by the modeled PCIe time.
+///
+/// Same-device "copies" and GPU↔GPU copies advance the clock but are not
+/// PCIe traffic; only CPU↔GPU directions hit the ledger.
+pub fn record_transfer(bytes: usize, from: Device, to: Device) {
+    RUNTIME.with(|rt| {
+        let rt = rt.borrow();
+        match (from, to) {
+            (Device::Cpu, Device::Gpu(_)) => rt.ledger.record_h2d(bytes),
+            (Device::Gpu(_), Device::Cpu) => rt.ledger.record_d2h(bytes),
+            _ => {}
+        }
+        rt.clock.advance(rt.cost.transfer_s(bytes));
+    });
+}
+
+/// Advance the clock by the cost of `flops` on `device`.
+pub fn record_compute(flops: f64, device: Device) {
+    RUNTIME.with(|rt| {
+        let rt = rt.borrow();
+        rt.clock.advance(rt.cost.compute_s(flops, device));
+    });
+}
+
+/// Advance the clock by a marshaling graph walk of `hops`.
+pub fn record_walk(hops: usize) {
+    RUNTIME.with(|rt| {
+        let rt = rt.borrow();
+        rt.clock.advance(rt.cost.walk_s(hops));
+    });
+}
+
+/// Advance the clock by a uniquification hash pass over `bytes`.
+pub fn record_hash_pass(bytes: usize) {
+    RUNTIME.with(|rt| {
+        let rt = rt.borrow();
+        rt.clock.advance(rt.cost.hash_pass_s(bytes));
+    });
+}
+
+/// Advance the clock by an all-gather of `bytes_per_learner` over `learners`.
+pub fn record_all_gather(bytes_per_learner: usize, learners: usize) {
+    RUNTIME.with(|rt| {
+        let rt = rt.borrow();
+        rt.clock.advance(rt.cost.all_gather_s(bytes_per_learner, learners));
+    });
+}
+
+/// Live bytes currently allocated on `device`.
+pub fn live_bytes(device: Device) -> usize {
+    pool(device).live_bytes()
+}
+
+/// Peak bytes observed on `device` since runtime creation or the last
+/// [`reset_peak`].
+pub fn peak_bytes(device: Device) -> usize {
+    pool(device).peak_bytes()
+}
+
+/// Reset `device`'s peak-byte watermark to its current live bytes.
+pub fn reset_peak(device: Device) {
+    pool(device).reset_peak();
+}
+
+/// Set a simulated capacity for `device` (0 = unlimited). Allocations past
+/// the capacity are *recorded*, not failed — query with [`device_fits`].
+pub fn set_device_capacity(device: Device, bytes: usize) {
+    pool(device).set_capacity(bytes);
+}
+
+/// `true` if `device` never exceeded its configured capacity.
+pub fn device_fits(device: Device) -> bool {
+    pool(device).fits()
+}
+
+/// Allocations on `device` that exceeded its capacity.
+pub fn device_oom_events(device: Device) -> u64 {
+    pool(device).oom_events()
+}
+
+/// Shorthand: live bytes on [`Device::Cpu`].
+pub fn cpu_live_bytes() -> usize {
+    live_bytes(Device::Cpu)
+}
+
+/// Shorthand: live bytes on [`Device::gpu()`].
+pub fn gpu_live_bytes() -> usize {
+    live_bytes(Device::gpu())
+}
+
+/// Snapshot of a device pool.
+pub fn pool_snapshot(device: Device) -> PoolSnapshot {
+    pool(device).snapshot()
+}
+
+/// Snapshot of the transfer ledger.
+pub fn transfer_snapshot() -> TransferSnapshot {
+    ledger().snapshot()
+}
+
+/// Current simulated time in seconds.
+pub fn sim_seconds() -> f64 {
+    clock().seconds()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_isolates_measurements() {
+        reset();
+        pool(Device::Cpu).alloc(100);
+        assert_eq!(cpu_live_bytes(), 100);
+        reset();
+        assert_eq!(cpu_live_bytes(), 0);
+        assert_eq!(peak_bytes(Device::Cpu), 0);
+    }
+
+    #[test]
+    fn transfers_hit_ledger_by_direction() {
+        reset();
+        record_transfer(1000, Device::gpu(), Device::Cpu);
+        record_transfer(500, Device::Cpu, Device::gpu());
+        record_transfer(250, Device::Gpu(0), Device::Gpu(1));
+        let s = transfer_snapshot();
+        assert_eq!(s.d2h_bytes, 1000);
+        assert_eq!(s.h2d_bytes, 500);
+        assert_eq!(s.total_txns(), 2, "gpu-gpu copies are not PCIe traffic");
+        assert!(sim_seconds() > 0.0);
+    }
+
+    #[test]
+    fn compute_advances_clock_per_device() {
+        reset();
+        record_compute(1e9, Device::Cpu);
+        let cpu_t = sim_seconds();
+        reset();
+        record_compute(1e9, Device::gpu());
+        let gpu_t = sim_seconds();
+        assert!(cpu_t > gpu_t, "CPU must be slower than GPU in the model");
+    }
+
+    #[test]
+    fn overhead_recorders_advance_clock() {
+        reset();
+        record_walk(4);
+        record_hash_pass(1 << 20);
+        record_all_gather(1 << 20, 8);
+        assert!(sim_seconds() > 0.0);
+        record_all_gather(1 << 20, 1); // no-op for a single learner
+    }
+
+    #[test]
+    fn custom_cost_model_applies() {
+        reset();
+        let m = CostModel {
+            pcie_bps: 1.0, // pathological: 1 byte per second
+            pcie_latency_s: 0.0,
+            ..CostModel::default()
+        };
+        set_cost_model(m);
+        record_transfer(10, Device::gpu(), Device::Cpu);
+        assert!((sim_seconds() - 10.0).abs() < 1e-6);
+        assert_eq!(cost_model().pcie_bps, 1.0);
+        reset();
+        assert_eq!(cost_model(), CostModel::default());
+    }
+
+    #[test]
+    fn pools_are_per_device() {
+        reset();
+        pool(Device::Gpu(0)).alloc(7);
+        pool(Device::Gpu(1)).alloc(9);
+        assert_eq!(live_bytes(Device::Gpu(0)), 7);
+        assert_eq!(live_bytes(Device::Gpu(1)), 9);
+        assert_eq!(cpu_live_bytes(), 0);
+    }
+
+    #[test]
+    fn threads_have_isolated_runtimes() {
+        reset();
+        pool(Device::Cpu).alloc(123);
+        let other = std::thread::spawn(cpu_live_bytes).join().unwrap();
+        assert_eq!(other, 0);
+        assert_eq!(cpu_live_bytes(), 123);
+    }
+}

@@ -1,0 +1,110 @@
+//! Tour of the baseline weight optimization systems of the paper's Fig. 1:
+//! the Table 3 quantizers (RTN, GPTQ, AWQ, SmoothQuant), plus the pruning
+//! and normalization branches. Each optimizes the same projection; the
+//! calibration output error is the mechanism behind the Table 3 accuracy
+//! ordering.
+//!
+//! Run with `cargo run --release --example baseline_zoo`.
+
+use edkm::quant::{
+    AwqQuantizer, GptqQuantizer, MagnitudePruner, RtnQuantizer, SmoothQuantQuantizer,
+    WeightNormed, WeightQuantizer,
+};
+use edkm::tensor::{ops as t, DType, Device, Tensor};
+
+/// ‖X·Wᵀ − X·Ŵᵀ‖² — what a linear layer's consumers actually see.
+fn output_mse(x: &Tensor, w: &Tensor, wq: &Tensor) -> f64 {
+    let y = t::matmul(x, &w.t());
+    let yq = t::matmul(x, &wq.t());
+    y.to_vec()
+        .iter()
+        .zip(yq.to_vec())
+        .map(|(a, b)| ((a - b) as f64).powi(2))
+        .sum()
+}
+
+fn main() {
+    edkm::tensor::runtime::reset();
+    // A projection with realistic structure: a few loud input channels
+    // (attention outputs routinely have outlier dimensions).
+    let in_dim = 64;
+    let out_dim = 32;
+    let w = Tensor::randn(&[out_dim, in_dim], DType::F32, Device::Cpu, 0).map(|v| v * 0.05);
+    let channel_scale: Vec<f32> = (0..in_dim)
+        .map(|i| if i % 16 == 0 { 12.0 } else { 0.4 })
+        .collect();
+    let x_raw = Tensor::randn(&[256, in_dim], DType::F32, Device::Cpu, 1);
+    let xd: Vec<f32> = x_raw
+        .to_vec()
+        .chunks(in_dim)
+        .flat_map(|row| {
+            row.iter()
+                .zip(&channel_scale)
+                .map(|(v, s)| v * s)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let x = Tensor::from_vec(xd, &[256, in_dim], DType::F32, Device::Cpu);
+
+    println!("quantizing a [{out_dim}, {in_dim}] projection at 3 and 4 bits");
+    println!("calibration: 256 rows with outlier channels every 16 dims\n");
+    println!("{:<16} {:>5} {:>14} {:>12}", "method", "bits", "output MSE", "size (B)");
+
+    for bits in [4u8, 3] {
+        let methods: Vec<Box<dyn WeightQuantizer>> = vec![
+            Box::new(RtnQuantizer::new(bits, 0)),
+            Box::new(GptqQuantizer::new(bits, 32)),
+            Box::new(AwqQuantizer::new(bits, 32)),
+            Box::new(SmoothQuantQuantizer::new(bits, 32)),
+        ];
+        for m in methods {
+            let r = m.quantize(&w, Some(&x));
+            println!(
+                "{:<16} {:>5} {:>14.4} {:>12}",
+                m.method_name(),
+                bits,
+                output_mse(&x, &w, &r.dequantized),
+                r.size_bytes
+            );
+        }
+        println!();
+    }
+    println!("expected shape (as in the paper): GPTQ/AWQ < RTN at equal bits,");
+    println!("and every method degrades going from 4 to 3 bits.");
+
+    // The other two branches of Fig. 1's taxonomy.
+    println!("\n--- pruning (Fig. 1 branch) ---");
+    println!("{:<16} {:>8} {:>14} {:>12}", "pattern", "sparsity", "output MSE", "size (B)");
+    for pruner in [
+        MagnitudePruner::unstructured(0.5),
+        MagnitudePruner::unstructured(0.75),
+        MagnitudePruner::two_of_four(),
+    ] {
+        let r = pruner.prune(&w);
+        let label = match pruner.granularity() {
+            edkm::quant::PruneGranularity::Unstructured { .. } => "unstructured",
+            edkm::quant::PruneGranularity::NOfM { n, m } => {
+                println!("{:<16} {:>8.2} {:>14.4} {:>12}", format!("{n}:{m}"),
+                    r.achieved_sparsity, output_mse(&x, &w, &r.pruned), r.size_bytes);
+                continue;
+            }
+        };
+        println!(
+            "{:<16} {:>8.2} {:>14.4} {:>12}",
+            label,
+            r.achieved_sparsity,
+            output_mse(&x, &w, &r.pruned),
+            r.size_bytes
+        );
+    }
+
+    println!("\n--- normalization (Fig. 1 branch) ---");
+    let wn = WeightNormed::decompose(&w);
+    for bits in [4u8, 3] {
+        let (q, size) = wn.quantize_directions(bits);
+        println!(
+            "weight-norm dirs @{bits}b   output MSE {:>12.4}   size {size} B",
+            output_mse(&x, &w, &q)
+        );
+    }
+}

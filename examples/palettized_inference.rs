@@ -1,0 +1,75 @@
+//! Ship and serve a compressed model: export with the pipeline, serialize
+//! to disk ("the 2.5 GB file"), load it back, and run a projection straight
+//! from the palette with [`edkm::core::PalettizedLinear`] — the LUT-GEMM
+//! path the paper's target accelerators use.
+//!
+//! Run with `cargo run --release --example palettized_inference`.
+
+use edkm::core::{
+    CompressSpec, CompressedModel, CompressedTensor, CompressionPipeline, PalettizedLinear,
+};
+use edkm::nn::{LlamaConfig, LlamaModel};
+use edkm::tensor::{ops as t, DType, Device, Tensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A (pretend-pretrained) model, compressed at 3 bits.
+    let cfg = LlamaConfig {
+        vocab: 64,
+        d_model: 64,
+        n_heads: 4,
+        n_layers: 2,
+        d_ff: 128,
+        max_seq: 32,
+    };
+    let model = LlamaModel::new(cfg, DType::Bf16, Device::Cpu, 0);
+    let mut spec = CompressSpec::with_bits(3);
+    // Mixed precision: keep the LM head at 4 bits (it is accuracy-critical).
+    spec.per_layer_bits = vec![("lm_head".into(), 4)];
+    let compressed = CompressionPipeline::new(spec).export(&model);
+    println!(
+        "exported {} entries, {} bytes logical",
+        compressed.entries().len(),
+        compressed.size_bytes()
+    );
+
+    // 2. Serialize to disk and load back.
+    let path = std::env::temp_dir().join("edkm_model.bin");
+    std::fs::write(&path, compressed.to_bytes())?;
+    let file_len = std::fs::metadata(&path)?.len();
+    println!("wrote {} ({file_len} bytes on disk)", path.display());
+    let loaded = CompressedModel::from_bytes(&std::fs::read(&path)?)?;
+    println!("loaded back: {} entries", loaded.entries().len());
+
+    // 3. Serve a projection directly from the palette (no dense decode).
+    let (name, q_proj) = loaded
+        .entries()
+        .iter()
+        .find_map(|(n, e)| match e {
+            CompressedTensor::Palettized(p) if n.contains("q_proj") => Some((n.clone(), p.clone())),
+            _ => None,
+        })
+        .expect("model has a palettized q_proj");
+    let lin = PalettizedLinear::new(q_proj);
+    println!(
+        "\nserving {name}: [{} -> {}], {} LUT entries, {} bytes",
+        lin.in_features(),
+        lin.out_features(),
+        lin.weights().k(),
+        lin.size_bytes()
+    );
+
+    let x = Tensor::randn(&[4, lin.in_features()], DType::F32, Device::Cpu, 1);
+    let y = lin.forward(&x);
+
+    // Cross-check against a dense matmul on the decoded weights.
+    let dense = lin.weights().decode();
+    let reference = t::matmul(&x, &dense.t());
+    println!(
+        "LUT-GEMM output [4, {}], max deviation from dense decode: {:.2e}",
+        lin.out_features(),
+        t::max_abs_diff(&y, &reference)
+    );
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,373 @@
+//! `edkm` — command-line front end for the eDKM reproduction.
+//!
+//! Subcommands drive the library end to end on the synthetic substrate:
+//!
+//! ```text
+//! edkm compress [--bits N] [--dim D] [--epochs E] [--learners L]
+//! edkm sweep    [--bits 2,3,4] [--dim D]
+//! edkm inspect  [--bits N] [--dim D]
+//! edkm ablate   [--d-model N] [--learners L]
+//! edkm table1
+//! edkm help
+//! ```
+//!
+//! The heavyweight paper tables have dedicated binaries in `edkm-bench`
+//! (`cargo run --release -p edkm-bench --bin table3`); this CLI is the
+//! quick interactive path a downstream user reaches for first.
+
+use edkm::core::{
+    CompressSpec, CompressedTensor, CompressionPipeline, EdkmConfig, EdkmHooks,
+};
+use edkm::autograd::SavedTensorHooks;
+use edkm::core::{run_table2, AblationSetup};
+use edkm::data::{AlpacaSet, Corpus, Grammar};
+use edkm::eval::perplexity;
+use edkm::nn::{AdamWConfig, LlamaConfig, LlamaModel, LmBatch, TrainConfig, Trainer};
+use edkm::tensor::{runtime, DType, Device, Tensor};
+use std::process::ExitCode;
+
+/// Value of `--name v` or `--name=v` in `args`, if present.
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn parse_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    flag_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: edkm <command> [flags]
+
+commands:
+  compress   pretrain a small model, fine-tune-and-compress with eDKM,
+             report size and perplexity
+             flags: --bits N (3)  --dim D (1)  --epochs E (1)  --learners L (8)
+  sweep      compress at several bit widths and compare
+             flags: --bits 2,3,4  --dim D (1)
+  inspect    per-parameter compression report (packed vs entropy-coded)
+             flags: --bits N (3)  --dim D (1)  --group-rows G (0 = one LUT)
+  ablate     the Table 2 M/U/S ablation at CLI scale
+             flags: --d-model N (256)  --learners L (8)
+  table1     the Table 1 cross-device copy scenario
+  help       this text
+
+full paper tables: cargo run --release -p edkm-bench --bin table{{1,2,3}}"
+    );
+}
+
+/// A small pretrained model plus its data, shared by the subcommands.
+struct Workbench {
+    model: LlamaModel,
+    corpus: Corpus,
+    alpaca: AlpacaSet,
+}
+
+impl Workbench {
+    fn build(steps: usize) -> Self {
+        let cfg = LlamaConfig {
+            vocab: 64,
+            d_model: 64,
+            n_heads: 4,
+            n_layers: 2,
+            d_ff: 128,
+            max_seq: 33,
+        };
+        let grammar = Grammar::default_with_seed(0);
+        let corpus = Corpus::generate(&grammar, 200, 10, 32, 1);
+        let alpaca = AlpacaSet::generate(&grammar, 128, 12, 2);
+        let model = LlamaModel::new(cfg, DType::Bf16, Device::Cpu, 0);
+        let params = model.params();
+        let mut trainer = Trainer::new(TrainConfig {
+            optim: AdamWConfig {
+                lr: 3e-3,
+                ..AdamWConfig::default()
+            },
+            ..TrainConfig::default()
+        });
+        let batches: Vec<LmBatch> = corpus.batches(8).into_iter().map(LmBatch::new).collect();
+        for step in 0..steps {
+            trainer.step(&model, &batches[step % batches.len()], &params, None);
+        }
+        Workbench {
+            model,
+            corpus,
+            alpaca,
+        }
+    }
+
+    fn fresh_copy(&self) -> LlamaModel {
+        let m = LlamaModel::new(
+            *self.model.config(),
+            self.model.dtype(),
+            self.model.device(),
+            1,
+        );
+        m.copy_weights_from(&self.model);
+        m
+    }
+
+    fn mixed_batches(&self, n: usize) -> Vec<LmBatch> {
+        let corpus_b = self.corpus.batches(4);
+        let alpaca_b = self.alpaca.batches(4);
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    LmBatch::new(corpus_b[i % corpus_b.len()].clone())
+                } else {
+                    LmBatch::new(alpaca_b[i % alpaca_b.len()].clone())
+                }
+            })
+            .collect()
+    }
+}
+
+fn spec_from_flags(args: &[String]) -> CompressSpec {
+    let bits: u8 = parse_or(args, "--bits", 3);
+    let dim: usize = parse_or(args, "--dim", 1);
+    let mut spec = if dim > 1 {
+        CompressSpec::vector(bits, dim)
+    } else {
+        CompressSpec::with_bits(bits)
+    };
+    spec.epochs = parse_or(args, "--epochs", 1);
+    spec.edkm = EdkmConfig::full(parse_or(args, "--learners", 8));
+    spec.lut_group_rows = parse_or(args, "--group-rows", 0);
+    spec.dkm.iters = 4;
+    spec.train.optim.lr = 3e-4;
+    spec
+}
+
+fn cmd_compress(args: &[String]) {
+    let spec = spec_from_flags(args);
+    println!(
+        "compressing at {} bits (cluster_dim {}, {:.2} bits/weight), {} epoch(s), {} learners",
+        spec.bits,
+        spec.dkm.cluster_dim,
+        spec.dkm.effective_bits_per_weight(),
+        spec.epochs,
+        spec.edkm.learners
+    );
+    let wb = Workbench::build(120);
+    let held_out = wb.corpus.subsample(23);
+    let base_ppl = perplexity(&wb.model, held_out.windows());
+    println!(
+        "base model: ppl {:.2}, {} bytes (bf16)",
+        base_ppl,
+        wb.model.native_size_bytes()
+    );
+
+    let target = wb.fresh_copy();
+    let result = CompressionPipeline::new(spec)
+        .fine_tune_and_compress(&target, &wb.mixed_batches(40));
+    let shipped = wb.fresh_copy();
+    result.compressed.apply_to(&shipped);
+    let ppl = perplexity(&shipped, held_out.windows());
+    println!(
+        "compressed: ppl {:.2}, {} bytes packed, {} bytes entropy-coded",
+        ppl,
+        result.compressed.size_bytes(),
+        result.compressed.entropy_size_bytes()
+    );
+    if let Some(stats) = result.final_step_stats {
+        println!(
+            "final step hooks: {} packs, {:.0}% deduped, {} bytes offloaded",
+            stats.packs,
+            stats.dedup_rate() * 100.0,
+            stats.offloaded_bytes
+        );
+    }
+}
+
+fn cmd_sweep(args: &[String]) {
+    let bits_list: Vec<u8> = flag_value(args, "--bits")
+        .unwrap_or_else(|| "2,3,4".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let dim: usize = parse_or(args, "--dim", 1);
+    let wb = Workbench::build(120);
+    let held_out = wb.corpus.subsample(23);
+    let base_ppl = perplexity(&wb.model, held_out.windows());
+    println!(
+        "{:<10} {:>12} {:>14} {:>10}",
+        "config", "bits/weight", "size (bytes)", "ppl"
+    );
+    println!(
+        "{:<10} {:>12} {:>14} {:>10.2}",
+        "bf16",
+        16,
+        wb.model.native_size_bytes(),
+        base_ppl
+    );
+    for &bits in &bits_list {
+        let mut spec = if dim > 1 {
+            CompressSpec::vector(bits, dim)
+        } else {
+            CompressSpec::with_bits(bits)
+        };
+        spec.epochs = 1;
+        spec.edkm = EdkmConfig::full(8);
+        spec.dkm.iters = 4;
+        spec.train.optim.lr = 3e-4;
+        let target = wb.fresh_copy();
+        let result =
+            CompressionPipeline::new(spec.clone()).fine_tune_and_compress(&target, &wb.mixed_batches(30));
+        let shipped = wb.fresh_copy();
+        result.compressed.apply_to(&shipped);
+        let ppl = perplexity(&shipped, held_out.windows());
+        println!(
+            "{:<10} {:>12.2} {:>14} {:>10.2}",
+            format!("eDKM-{bits}b/d{dim}"),
+            spec.dkm.effective_bits_per_weight(),
+            result.compressed.size_bytes(),
+            ppl
+        );
+    }
+}
+
+fn cmd_inspect(args: &[String]) {
+    let spec = spec_from_flags(args);
+    let wb = Workbench::build(60);
+    let compressed = CompressionPipeline::new(spec).export(&wb.model);
+    println!(
+        "{:<28} {:<12} {:>10} {:>12}",
+        "parameter", "kind", "packed B", "entropy B"
+    );
+    for (name, entry) in compressed.entries() {
+        let (kind, packed, entropy) = match entry {
+            CompressedTensor::Palettized(p) => (
+                format!("palette {}b/d{}", p.bits(), p.cluster_dim()),
+                p.size_bytes(),
+                p.entropy_size_bytes(),
+            ),
+            CompressedTensor::PalettizedGrouped(g) => (
+                format!("palette {}b x{}", g.bits(), g.groups().len()),
+                g.size_bytes(),
+                g.entropy_size_bytes(),
+            ),
+            CompressedTensor::Affine(a) => {
+                ("affine".to_string() + &format!(" {}b", a.bits()), a.size_bytes(), a.size_bytes())
+            }
+            CompressedTensor::Native { values, .. } => (
+                "native 16b".to_string(),
+                edkm::core::palettize::native16_size_bytes(values.len()),
+                edkm::core::palettize::native16_size_bytes(values.len()),
+            ),
+        };
+        println!("{name:<28} {kind:<12} {packed:>10} {entropy:>12}");
+    }
+    println!(
+        "\ntotal: {} bytes packed, {} bytes entropy-coded ({} bytes bf16)",
+        compressed.size_bytes(),
+        compressed.entropy_size_bytes(),
+        wb.model.native_size_bytes()
+    );
+}
+
+fn cmd_ablate(args: &[String]) {
+    let setup = AblationSetup {
+        d_model: parse_or(args, "--d-model", 256),
+        n_heads: 8,
+        seq: 16,
+        batch: 1,
+        bits: 3,
+        cluster_dim: 1,
+        dkm_iters: 3,
+        overlap_pcie: false,
+    };
+    let learners: usize = parse_or(args, "--learners", 8);
+    println!(
+        "M/U/S ablation: one attention layer, d_model={}, 3-bit DKM, {} learners\n",
+        setup.d_model, learners
+    );
+    let rows = run_table2(&setup, learners);
+    print!("{}", edkm_bench_table(&rows));
+}
+
+/// Render ablation rows (duplicated from `edkm-bench` to keep the CLI
+/// dependency-light; same layout as the paper's Table 2).
+fn edkm_bench_table(rows: &[edkm::core::AblationRow]) -> String {
+    let base = rows.first().map(|r| r.peak_cpu_bytes).unwrap_or(1) as f64;
+    let mut s = String::from("  M  S  U   Memory(MB)  Reduction(x)  Runtime(sim s)\n");
+    for r in rows {
+        let t = |b: bool| if b { "✓" } else { "·" };
+        s.push_str(&format!(
+            "  {}  {}  {}   {:>9.2}   {:>10.1}   {:>12.3}\n",
+            t(r.config.marshal),
+            t(r.config.shard),
+            t(r.config.uniquify),
+            r.peak_cpu_bytes as f64 / (1024.0 * 1024.0),
+            base / r.peak_cpu_bytes.max(1) as f64,
+            r.sim_seconds
+        ));
+    }
+    s
+}
+
+fn cmd_table1() {
+    println!("Table 1: GPU/CPU footprint of the cross-device copy scenario\n");
+    println!("{:<42} {:>8} {:>8}", "line", "GPU(MB)", "CPU(MB)");
+    runtime::reset();
+    let report = |line: &str| {
+        println!(
+            "{:<42} {:>8.0} {:>8.0}",
+            line,
+            runtime::gpu_live_bytes() as f64 / (1 << 20) as f64,
+            runtime::cpu_live_bytes() as f64 / (1 << 20) as f64
+        );
+    };
+    let x0 = Tensor::rand(&[1024, 1024], DType::F32, Device::gpu(), 0);
+    report("0: x0 = rand([1024,1024]) on gpu");
+    let x1 = x0.reshape(&[1024 * 1024, 1]);
+    report("1: x1 = x0.view(-1, 1)");
+    let _y0 = x0.to_device(Device::Cpu);
+    report("2: y0 = x0.to('cpu')");
+    let _y1 = x1.to_device(Device::Cpu);
+    report("3: y1 = x1.to('cpu')   <- duplicate!");
+
+    println!("\nsame saves through eDKM marshaling hooks:");
+    runtime::reset();
+    let x0 = Tensor::rand(&[1024, 1024], DType::F32, Device::gpu(), 0);
+    let x1 = x0.reshape(&[1024 * 1024, 1]);
+    let hooks = EdkmHooks::new(EdkmConfig::marshal_only());
+    let _p0 = hooks.pack(&x0);
+    let _p1 = hooks.pack(&x1);
+    println!(
+        "  pack(x0); pack(x1) -> CPU {} MB ({} copy, {} reference)",
+        runtime::cpu_live_bytes() / (1 << 20),
+        hooks.stats().misses,
+        hooks.stats().direct_hits
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compress") => cmd_compress(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("ablate") => cmd_ablate(&args[1..]),
+        Some("table1") => cmd_table1(),
+        Some("help") | None => {
+            usage();
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => {
+            eprintln!("unknown command: {other}\n");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

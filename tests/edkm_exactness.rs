@@ -1,0 +1,93 @@
+//! Integration test: eDKM is a *memory* optimization — it must not change
+//! the math. Gradients of a full model step are bit-identical with and
+//! without the hooks, across every Table 2 configuration.
+
+use edkm::autograd::{push_hooks, SavedTensorHooks};
+use edkm::core::{DkmConfig, DkmLayer, EdkmConfig, EdkmHooks};
+use edkm::nn::{LlamaConfig, LlamaModel};
+use edkm::tensor::{runtime, DType, Device};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn grads_of_one_step(config: Option<EdkmConfig>) -> HashMap<String, Vec<f32>> {
+    runtime::reset();
+    edkm::core::uniquify::clear_annotations();
+    let model = LlamaModel::new(LlamaConfig::tiny(), DType::Bf16, Device::gpu(), 3);
+    let dkm = DkmLayer::new(DkmConfig {
+        iters: 2,
+        ..DkmConfig::with_bits(3)
+    });
+    let clusterable: std::collections::HashSet<String> =
+        model.clusterable_names().into_iter().collect();
+    let seqs = vec![vec![1usize, 2, 3, 4, 5, 6]];
+
+    let run = |hooks: Option<Arc<EdkmHooks>>| {
+        let _guard = hooks.map(|h| push_hooks(h as Arc<dyn SavedTensorHooks>));
+        let hook = |name: &str, w: &edkm::autograd::Var| {
+            if clusterable.contains(name) {
+                dkm.cluster(w).soft
+            } else {
+                w.clone()
+            }
+        };
+        let loss = model.lm_loss(&seqs, Some(&hook));
+        loss.backward();
+    };
+    run(config.map(|c| Arc::new(EdkmHooks::new(c))));
+
+    model
+        .named_params()
+        .into_iter()
+        .map(|(name, p)| (name, p.grad().map(|g| g.to_vec()).unwrap_or_default()))
+        .collect()
+}
+
+#[test]
+fn every_config_produces_bitwise_identical_gradients() {
+    let reference = grads_of_one_step(None);
+    for config in [
+        EdkmConfig::baseline(),
+        EdkmConfig::marshal_only(),
+        EdkmConfig::marshal_uniquify(),
+        EdkmConfig::marshal_shard(),
+        EdkmConfig::full(4),
+    ] {
+        let got = grads_of_one_step(Some(config));
+        assert_eq!(got.len(), reference.len());
+        for (name, g) in &reference {
+            assert_eq!(
+                got.get(name).unwrap(),
+                g,
+                "gradient of {name} changed under config {}",
+                config.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn hooks_actually_intercepted_the_step() {
+    runtime::reset();
+    edkm::core::uniquify::clear_annotations();
+    let model = LlamaModel::new(LlamaConfig::tiny(), DType::Bf16, Device::gpu(), 3);
+    let dkm = DkmLayer::new(DkmConfig::with_bits(3));
+    let clusterable: std::collections::HashSet<String> =
+        model.clusterable_names().into_iter().collect();
+    let hooks = Arc::new(EdkmHooks::new(EdkmConfig::full(4)));
+    {
+        let _g = push_hooks(Arc::clone(&hooks) as Arc<dyn SavedTensorHooks>);
+        let hook = |name: &str, w: &edkm::autograd::Var| {
+            if clusterable.contains(name) {
+                dkm.cluster(w).soft
+            } else {
+                w.clone()
+            }
+        };
+        let loss = model.lm_loss(&[vec![1, 2, 3, 4]], Some(&hook));
+        loss.backward();
+    }
+    let s = hooks.stats();
+    assert!(s.packs > 20, "a model step saves many tensors: {s:?}");
+    assert!(s.direct_hits + s.walk_hits > 0, "DKM must trigger dedup: {s:?}");
+    assert!(s.unpacks > 0, "backward must unpack: {s:?}");
+}

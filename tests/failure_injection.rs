@@ -1,0 +1,125 @@
+//! Failure injection across crates: simulated device-capacity exhaustion
+//! (the paper's motivating constraint — the dense DKM attention map does
+//! not fit on real hardware), corrupt serialized artifacts, and API misuse.
+
+use edkm::autograd::SavedTensorHooks;
+use edkm::core::{CompressSpec, CompressedModel, CompressionPipeline, EdkmConfig, EdkmHooks};
+use edkm::nn::{LlamaConfig, LlamaModel, TrainCheckpoint, Trainer, TrainConfig};
+use edkm::tensor::{runtime, DType, Device, Tensor};
+
+/// The Table 1 scenario under a CPU budget: the naive offload of a tensor
+/// and its view would have OOMed a 5 MB host budget, while marshaling fits.
+#[test]
+fn naive_offload_blows_budget_marshaling_fits() {
+    // Baseline: two independent 4 MB copies against a 5 MB budget.
+    runtime::reset();
+    runtime::set_device_capacity(Device::Cpu, 5 << 20);
+    let x0 = Tensor::rand(&[1024, 1024], DType::F32, Device::gpu(), 0);
+    let x1 = x0.reshape(&[1024 * 1024, 1]);
+    let hooks = EdkmHooks::new(EdkmConfig::baseline());
+    let _p0 = hooks.pack(&x0);
+    assert!(runtime::device_fits(Device::Cpu), "first copy fits");
+    let _p1 = hooks.pack(&x1);
+    assert!(
+        !runtime::device_fits(Device::Cpu),
+        "duplicate copy must blow the 5 MB budget"
+    );
+    assert_eq!(runtime::device_oom_events(Device::Cpu), 1);
+
+    // Marshaling: the view is a reference, not a copy.
+    runtime::reset();
+    runtime::set_device_capacity(Device::Cpu, 5 << 20);
+    let x0 = Tensor::rand(&[1024, 1024], DType::F32, Device::gpu(), 0);
+    let x1 = x0.reshape(&[1024 * 1024, 1]);
+    let hooks = EdkmHooks::new(EdkmConfig::marshal_only());
+    let _p0 = hooks.pack(&x0);
+    let _p1 = hooks.pack(&x1);
+    assert!(
+        runtime::device_fits(Device::Cpu),
+        "marshaled saves must stay within budget"
+    );
+}
+
+/// GPU capacity accounting sees the model's own allocations too.
+#[test]
+fn gpu_budget_flags_oversized_allocations() {
+    runtime::reset();
+    runtime::set_device_capacity(Device::gpu(), 1 << 20); // 1 MB
+    let _t = Tensor::rand(&[1024, 1024], DType::F32, Device::gpu(), 1); // 4 MB
+    assert!(!runtime::device_fits(Device::gpu()));
+    // CPU budget is independent.
+    assert!(runtime::device_fits(Device::Cpu));
+}
+
+#[test]
+fn corrupted_compressed_model_is_rejected_not_misread() {
+    runtime::reset();
+    let model = LlamaModel::new(LlamaConfig::tiny(), DType::Bf16, Device::Cpu, 0);
+    let mut spec = CompressSpec::with_bits(3);
+    spec.dkm.iters = 2;
+    let bytes = CompressionPipeline::new(spec).export(&model).to_bytes();
+
+    // Wrong magic.
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xFF;
+    assert!(CompressedModel::from_bytes(&bad).is_err(), "bad magic must fail");
+
+    // Truncations at every prefix length must error, never panic.
+    for cut in [0, 1, 7, 8, 9, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            CompressedModel::from_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut} must fail"
+        );
+    }
+
+    // The pristine buffer still decodes.
+    assert!(CompressedModel::from_bytes(&bytes).is_ok());
+}
+
+#[test]
+fn corrupted_checkpoint_is_rejected_not_misread() {
+    runtime::reset();
+    let model = LlamaModel::new(LlamaConfig::tiny(), DType::Bf16, Device::Cpu, 0);
+    let trainer = Trainer::new(TrainConfig::default());
+    let bytes = TrainCheckpoint::capture(&model, &trainer).to_bytes();
+    for cut in [0, 4, 8, 12, bytes.len() / 3, bytes.len() - 1] {
+        assert!(
+            TrainCheckpoint::from_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut} must fail"
+        );
+    }
+    assert!(TrainCheckpoint::from_bytes(&bytes).is_ok());
+}
+
+/// Compressing and applying across models with different architectures is
+/// a usage error that must be caught loudly.
+#[test]
+#[should_panic(expected = "size mismatch")]
+fn applying_to_mismatched_architecture_panics() {
+    runtime::reset();
+    let small = LlamaModel::new(LlamaConfig::tiny(), DType::Bf16, Device::Cpu, 0);
+    let mut spec = CompressSpec::with_bits(3);
+    spec.dkm.iters = 2;
+    let compressed = CompressionPipeline::new(spec).export(&small);
+
+    let mut bigger_cfg = LlamaConfig::tiny();
+    bigger_cfg.d_model *= 2;
+    bigger_cfg.n_heads *= 2;
+    let bigger = LlamaModel::new(bigger_cfg, DType::Bf16, Device::Cpu, 0);
+    compressed.apply_to(&bigger);
+}
+
+/// Budgets reset with the runtime: a fresh runtime has no capacity and no
+/// stale OOM events.
+#[test]
+fn reset_clears_capacity_and_oom_state() {
+    runtime::reset();
+    runtime::set_device_capacity(Device::Cpu, 16);
+    let _v = Tensor::rand(&[1024], DType::F32, Device::Cpu, 2);
+    assert!(!runtime::device_fits(Device::Cpu));
+    runtime::reset();
+    assert!(runtime::device_fits(Device::Cpu));
+    assert_eq!(runtime::device_oom_events(Device::Cpu), 0);
+    let _v = Tensor::rand(&[1024], DType::F32, Device::Cpu, 2);
+    assert!(runtime::device_fits(Device::Cpu), "no capacity => unlimited");
+}

@@ -1,0 +1,111 @@
+//! Property-based integration test: packing any view chain built from
+//! storage-invariant ops and unpacking it reproduces the tensor bitwise, at
+//! no more than one stored copy per underlying storage.
+
+use edkm::autograd::SavedTensorHooks;
+use edkm::core::{EdkmConfig, EdkmHooks};
+use edkm::tensor::{runtime, DType, Device, Tensor};
+use proptest::prelude::*;
+
+/// One storage-invariant transformation step.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Transpose,
+    Reshape,
+    Alias,
+    Contiguous,
+    SliceHalf,
+}
+
+fn apply(t: &Tensor, step: Step) -> Tensor {
+    match step {
+        Step::Transpose => {
+            if t.rank() < 2 {
+                t.alias()
+            } else {
+                t.transpose(0, 1)
+            }
+        }
+        Step::Reshape => {
+            let n = t.numel();
+            // Alternate between flat and two-row views (both valid for even n).
+            if t.rank() == 1 {
+                t.reshape(&[2, n / 2])
+            } else {
+                t.reshape(&[n])
+            }
+        }
+        Step::Alias => t.alias(),
+        Step::Contiguous => {
+            // Force materialization through a transpose first so the op is
+            // not a no-op clone.
+            t.transpose(0, t.rank() - 1).contiguous()
+        }
+        Step::SliceHalf => t.slice(0, 0, t.shape()[0].div_ceil(2)),
+    }
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        Just(Step::Transpose),
+        Just(Step::Reshape),
+        Just(Step::Alias),
+        Just(Step::Contiguous),
+        Just(Step::SliceHalf),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every tensor in a random invariant-op chain packs and unpacks to
+    /// bitwise-identical values under full eDKM hooks.
+    #[test]
+    fn prop_chain_pack_unpack_bitwise(
+        steps in prop::collection::vec(step_strategy(), 0..5),
+        seed in any::<u64>(),
+    ) {
+        runtime::reset();
+        let root = Tensor::randn(&[8, 12], DType::F32, Device::gpu(), seed);
+        let mut chain = vec![root.clone()];
+        for &s in &steps {
+            let prev = chain.last().unwrap();
+            // Reshape step requires contiguity handled inside Tensor::reshape;
+            // SliceHalf requires rank >= 1 (always true).
+            chain.push(apply(prev, s));
+        }
+
+        let hooks = EdkmHooks::new(EdkmConfig::marshal_only());
+        let packed: Vec<_> = chain.iter().map(|t| hooks.pack(t)).collect();
+        for (t, p) in chain.iter().zip(&packed) {
+            let back = hooks.unpack(p);
+            prop_assert_eq!(back.shape(), t.shape());
+            prop_assert_eq!(back.to_vec(), t.to_vec(), "values must round-trip bitwise");
+            prop_assert_eq!(back.device(), t.device());
+        }
+
+        // Dedup bound: at most one stored copy per distinct storage id.
+        let distinct: std::collections::HashSet<u64> =
+            chain.iter().map(|t| t.storage_id().0).collect();
+        let stats = hooks.stats();
+        prop_assert!(
+            stats.misses <= distinct.len(),
+            "stored {} copies for {} distinct storages",
+            stats.misses,
+            distinct.len()
+        );
+    }
+
+    /// Gradch-free sanity: with marshaling off, every save is a miss.
+    #[test]
+    fn prop_no_marshal_never_dedups(seed in any::<u64>()) {
+        runtime::reset();
+        let t = Tensor::randn(&[4, 4], DType::F32, Device::gpu(), seed);
+        let v = t.reshape(&[16]);
+        let hooks = EdkmHooks::new(EdkmConfig::baseline());
+        let _a = hooks.pack(&t);
+        let _b = hooks.pack(&v);
+        prop_assert_eq!(hooks.stats().misses, 2);
+        prop_assert_eq!(hooks.stats().direct_hits, 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Integration test: exact reproduction of Table 1 of the paper.
+
+use edkm::autograd::SavedTensorHooks;
+use edkm::core::{EdkmConfig, EdkmHooks};
+use edkm::tensor::{runtime, DType, Device, Tensor};
+
+const MB: usize = 1 << 20;
+
+#[test]
+fn table1_without_marshaling_exact_bytes() {
+    runtime::reset();
+    // line 0: x0 = torch.rand([1024, 1024])  ->  GPU 4, CPU 0
+    let x0 = Tensor::rand(&[1024, 1024], DType::F32, Device::gpu(), 42);
+    assert_eq!(runtime::gpu_live_bytes(), 4 * MB);
+    assert_eq!(runtime::cpu_live_bytes(), 0);
+
+    // line 1: x1 = x0.view(-1, 1)  ->  GPU 4, CPU 0 (views share storage)
+    let x1 = x0.reshape(&[1024 * 1024, 1]);
+    assert_eq!(runtime::gpu_live_bytes(), 4 * MB);
+    assert_eq!(runtime::cpu_live_bytes(), 0);
+    assert_eq!(x0.storage_id(), x1.storage_id());
+
+    // line 2: y0 = x0.to('cpu')  ->  GPU 4, CPU 4
+    let y0 = x0.to_device(Device::Cpu);
+    assert_eq!(runtime::gpu_live_bytes(), 4 * MB);
+    assert_eq!(runtime::cpu_live_bytes(), 4 * MB);
+
+    // line 3: y1 = x1.to('cpu')  ->  GPU 4, CPU 8 (duplicate storage!)
+    let y1 = x1.to_device(Device::Cpu);
+    assert_eq!(runtime::gpu_live_bytes(), 4 * MB);
+    assert_eq!(runtime::cpu_live_bytes(), 8 * MB);
+    assert_ne!(
+        y0.storage_id(),
+        y1.storage_id(),
+        "cross-device copies cannot share storage — the paper's premise"
+    );
+}
+
+#[test]
+fn table1_with_marshaling_saves_the_duplicate() {
+    runtime::reset();
+    let x0 = Tensor::rand(&[1024, 1024], DType::F32, Device::gpu(), 42);
+    let x1 = x0.reshape(&[1024 * 1024, 1]);
+
+    let hooks = EdkmHooks::new(EdkmConfig::marshal_only());
+    let p0 = hooks.pack(&x0);
+    assert_eq!(runtime::cpu_live_bytes(), 4 * MB);
+    let p1 = hooks.pack(&x1);
+    assert_eq!(
+        runtime::cpu_live_bytes(),
+        4 * MB,
+        "marshaling must reuse the existing CPU copy (Fig. 2 (b))"
+    );
+
+    // Traffic: exactly one 4 MB device-to-host copy.
+    let t = runtime::transfer_snapshot();
+    assert_eq!(t.d2h_bytes, 4 * MB);
+    assert_eq!(t.d2h_txns, 1);
+
+    // Both views reconstruct exactly, with their own shapes.
+    let b0 = hooks.unpack(&p0);
+    let b1 = hooks.unpack(&p1);
+    assert_eq!(b0.shape(), &[1024, 1024]);
+    assert_eq!(b1.shape(), &[1024 * 1024, 1]);
+    assert_eq!(b0.to_vec(), x0.to_vec());
+    assert_eq!(b1.to_vec(), x1.to_vec());
+}
+
+#[test]
+fn bf16_tensor_moves_at_two_bytes_per_element() {
+    // The paper trains in brainfloat16; device bytes must follow the dtype.
+    runtime::reset();
+    let x = Tensor::rand(&[1024, 1024], DType::Bf16, Device::gpu(), 1);
+    assert_eq!(runtime::gpu_live_bytes(), 2 * MB);
+    let _y = x.to_device(Device::Cpu);
+    assert_eq!(runtime::cpu_live_bytes(), 2 * MB);
+    assert_eq!(runtime::transfer_snapshot().d2h_bytes, 2 * MB);
+}

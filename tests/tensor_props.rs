@@ -1,0 +1,217 @@
+//! Property tests on the tensor substrate's algebraic laws: layout ops
+//! (view/transpose/slice/contiguous), 16-bit dtype encodings, and the
+//! kernels the DKM layer leans on. These laws are what the marshaling
+//! replay mechanism silently assumes, so they get their own adversarial
+//! coverage here.
+
+use edkm::tensor::ops as t;
+use edkm::tensor::{dtype, DType, Device, Tensor};
+use proptest::prelude::*;
+
+fn tensor_2d(rows: usize, cols: usize, seed: u64) -> Tensor {
+    Tensor::randn(&[rows, cols], DType::F32, Device::Cpu, seed)
+}
+
+proptest! {
+    /// Reshape never reorders data: `to_vec` is invariant.
+    #[test]
+    fn reshape_preserves_row_major_order(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        seed in 0u64..20,
+    ) {
+        let a = tensor_2d(rows, cols, seed);
+        let flat = a.reshape(&[rows * cols]);
+        prop_assert_eq!(a.to_vec(), flat.to_vec());
+        let back = flat.reshape(&[rows, cols]);
+        prop_assert_eq!(back.shape(), a.shape());
+        prop_assert_eq!(back.to_vec(), a.to_vec());
+    }
+
+    /// Transposing twice is the identity, and a transposed read matches a
+    /// manual index swap.
+    #[test]
+    fn transpose_involution_and_indexing(
+        rows in 1usize..10,
+        cols in 1usize..10,
+        seed in 0u64..20,
+    ) {
+        let a = tensor_2d(rows, cols, seed);
+        let at = a.transpose(0, 1);
+        prop_assert_eq!(at.shape(), &[cols, rows]);
+        let att = at.transpose(0, 1);
+        prop_assert_eq!(att.to_vec(), a.to_vec());
+        let (av, atv) = (a.to_vec(), at.to_vec());
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(av[r * cols + c], atv[c * rows + r]);
+            }
+        }
+    }
+
+    /// `contiguous` preserves values and is idempotent on storage.
+    #[test]
+    fn contiguous_preserves_values(
+        rows in 1usize..10,
+        cols in 1usize..10,
+        seed in 0u64..20,
+    ) {
+        let at = tensor_2d(rows, cols, seed).transpose(0, 1);
+        let c = at.contiguous();
+        prop_assert!(c.is_contiguous());
+        prop_assert_eq!(c.to_vec(), at.to_vec());
+        // Already-contiguous tensors share storage instead of copying.
+        let c2 = c.contiguous();
+        prop_assert_eq!(c2.storage_id(), c.storage_id());
+    }
+
+    /// Slicing rows matches the manual row extraction.
+    #[test]
+    fn slice_matches_manual(
+        rows in 2usize..10,
+        cols in 1usize..8,
+        seed in 0u64..20,
+    ) {
+        let a = tensor_2d(rows, cols, seed);
+        let start = rows / 3;
+        let len = (rows - start).clamp(1, 2);
+        let s = a.slice(0, start, len);
+        prop_assert_eq!(s.shape(), &[len, cols]);
+        let av = a.to_vec();
+        prop_assert_eq!(s.to_vec(), av[start * cols..(start + len) * cols].to_vec());
+    }
+
+    /// bf16 rounding is idempotent and order-preserving, and every rounded
+    /// value decodes back to itself bit-exactly.
+    #[test]
+    fn bf16_round_laws(vals in prop::collection::vec(-1e3f32..1e3, 1..100)) {
+        for &v in &vals {
+            let r = DType::Bf16.round(v);
+            prop_assert_eq!(DType::Bf16.round(r), r, "idempotent");
+            let bits = DType::Bf16.encode16(r).unwrap();
+            prop_assert_eq!(DType::Bf16.decode16(bits).unwrap(), r, "roundtrip");
+            // Rounding moves a value at most one bf16 ulp (2^-8 relative).
+            prop_assert!((r - v).abs() <= v.abs() / 128.0 + 1e-30);
+        }
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rounded: Vec<f32> = sorted.iter().map(|&v| DType::Bf16.round(v)).collect();
+        for w in rounded.windows(2) {
+            prop_assert!(w[0] <= w[1], "monotone: {} > {}", w[0], w[1]);
+        }
+    }
+
+    /// fp16 encode/decode roundtrips for every encodable value.
+    #[test]
+    fn f16_roundtrip(vals in prop::collection::vec(-6e4f32..6e4, 1..100)) {
+        for &v in &vals {
+            let r = DType::F16.round(v);
+            let bits = dtype::f32_to_f16(r);
+            let back = dtype::f16_to_f32(bits);
+            prop_assert_eq!(back, r, "fp16 roundtrip of {}", v);
+        }
+    }
+
+    /// A bf16 tensor exposes exactly its rounded values' bit patterns, and
+    /// the pattern population is what uniquification assumes.
+    #[test]
+    fn bits16_matches_encoding(n in 1usize..200, seed in 0u64..20) {
+        let w = Tensor::randn(&[n], DType::Bf16, Device::Cpu, seed);
+        let bits = w.bits16().unwrap();
+        let vals = w.to_vec();
+        prop_assert_eq!(bits.len(), n);
+        for (b, v) in bits.iter().zip(&vals) {
+            prop_assert_eq!(DType::Bf16.decode16(*b).unwrap(), *v);
+        }
+    }
+
+    /// matmul agrees with the naive triple loop.
+    #[test]
+    fn matmul_matches_naive(
+        m in 1usize..6,
+        k in 1usize..6,
+        n in 1usize..6,
+        seed in 0u64..10,
+    ) {
+        let a = tensor_2d(m, k, seed);
+        let b = tensor_2d(k, n, seed + 100);
+        let c = t::matmul(&a, &b);
+        prop_assert_eq!(c.shape(), &[m, n]);
+        let (av, bv, cv) = (a.to_vec(), b.to_vec(), c.to_vec());
+        for i in 0..m {
+            for j in 0..n {
+                let want: f32 = (0..k).map(|p| av[i * k + p] * bv[p * n + j]).sum();
+                prop_assert!((cv[i * n + j] - want).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// Softmax rows are valid distributions and invariant to a per-row
+    /// constant shift.
+    #[test]
+    fn softmax_laws(rows in 1usize..8, cols in 1usize..8, seed in 0u64..10) {
+        let x = tensor_2d(rows, cols, seed);
+        let s = t::softmax_lastdim(&x);
+        let sv = s.to_vec();
+        for r in 0..rows {
+            let row = &sv[r * cols..(r + 1) * cols];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5, "row {} sums to {}", r, sum);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        let shifted = t::add_scalar(&x, 3.7);
+        prop_assert!(t::allclose(&t::softmax_lastdim(&shifted), &s, 1e-5));
+    }
+
+    /// neg_sqdist really is `-‖w_i - c_j‖²`.
+    #[test]
+    fn neg_sqdist_matches_manual(
+        n in 1usize..8,
+        k in 1usize..6,
+        d in 1usize..4,
+        seed in 0u64..10,
+    ) {
+        let w = tensor_2d(n, d, seed);
+        let c = tensor_2d(k, d, seed + 7);
+        let out = t::neg_sqdist(&w, &c);
+        prop_assert_eq!(out.shape(), &[n, k]);
+        let (wv, cv, ov) = (w.to_vec(), c.to_vec(), out.to_vec());
+        for i in 0..n {
+            for j in 0..k {
+                let want: f32 = (0..d)
+                    .map(|p| {
+                        let diff = wv[i * d + p] - cv[j * d + p];
+                        -diff * diff
+                    })
+                    .sum();
+                prop_assert!((ov[i * k + j] - want).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// Chains of storage-invariant ops never change the multiset of values
+    /// (the law the marshaling replay relies on).
+    #[test]
+    fn invariant_op_chains_preserve_values(
+        seed in 0u64..30,
+        ops in prop::collection::vec(0u8..3, 0..6),
+    ) {
+        let a = Tensor::randn(&[4, 6], DType::F32, Device::Cpu, seed);
+        let mut sorted_orig = a.to_vec();
+        sorted_orig.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let mut cur = a;
+        for op in ops {
+            cur = match op {
+                0 => {
+                    let n = cur.numel();
+                    cur.reshape(&[n])
+                }
+                1 if cur.rank() == 2 => cur.transpose(0, 1),
+                _ => cur.contiguous(),
+            };
+        }
+        let mut got = cur.to_vec();
+        got.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        prop_assert_eq!(got, sorted_orig);
+    }
+}
