@@ -129,7 +129,13 @@ mod tests {
         // detaching and re-adding x.
         let x = Tensor::from_vec(vec![3.0], &[1], DType::F32, Device::Cpu);
         let err = check_gradients(
-            |vs| vs[0].detach().square().sum_all().add(&vs[0].sum_all().mul_scalar(0.0)),
+            |vs| {
+                vs[0]
+                    .detach()
+                    .square()
+                    .sum_all()
+                    .add(&vs[0].sum_all().mul_scalar(0.0))
+            },
             &[x],
             1e-3,
             1e-2,

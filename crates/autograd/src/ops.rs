@@ -62,7 +62,10 @@ impl Var {
 
     /// Element-wise sum with broadcasting.
     pub fn add(&self, other: &Var) -> Var {
-        let (sa, sb) = (self.value().shape().to_vec(), other.value().shape().to_vec());
+        let (sa, sb) = (
+            self.value().shape().to_vec(),
+            other.value().shape().to_vec(),
+        );
         let value = t::add(self.value(), other.value());
         Var::from_op(
             value,
@@ -77,7 +80,10 @@ impl Var {
 
     /// Element-wise difference with broadcasting.
     pub fn sub(&self, other: &Var) -> Var {
-        let (sa, sb) = (self.value().shape().to_vec(), other.value().shape().to_vec());
+        let (sa, sb) = (
+            self.value().shape().to_vec(),
+            other.value().shape().to_vec(),
+        );
         let value = t::sub(self.value(), other.value());
         Var::from_op(
             value,
@@ -93,7 +99,10 @@ impl Var {
 
     /// Element-wise product with broadcasting.
     pub fn mul(&self, other: &Var) -> Var {
-        let (sa, sb) = (self.value().shape().to_vec(), other.value().shape().to_vec());
+        let (sa, sb) = (
+            self.value().shape().to_vec(),
+            other.value().shape().to_vec(),
+        );
         let value = t::mul(self.value(), other.value());
         let saved = vec![save_tensor(self.value()), save_tensor(other.value())];
         Var::from_op(
@@ -111,7 +120,10 @@ impl Var {
 
     /// Element-wise quotient with broadcasting.
     pub fn div(&self, other: &Var) -> Var {
-        let (sa, sb) = (self.value().shape().to_vec(), other.value().shape().to_vec());
+        let (sa, sb) = (
+            self.value().shape().to_vec(),
+            other.value().shape().to_vec(),
+        );
         let value = t::div(self.value(), other.value());
         let saved = vec![save_tensor(self.value()), save_tensor(other.value())];
         Var::from_op(
@@ -256,7 +268,12 @@ impl Var {
                 for (o, v) in sl.iter_offsets().zip(gd) {
                     out[o] = v;
                 }
-                vec![Some(Tensor::from_vec(out, &in_shape, DType::F32, g.device()))]
+                vec![Some(Tensor::from_vec(
+                    out,
+                    &in_shape,
+                    DType::F32,
+                    g.device(),
+                ))]
             }),
         )
     }
@@ -311,7 +328,13 @@ impl Var {
             vec![self.clone()],
             saved,
             Box::new(|g, s| {
-                vec![Some(t::binary_op(g, &s[0], |gv, xv| if xv > 0.0 { gv } else { 0.0 }))]
+                vec![Some(t::binary_op(g, &s[0], |gv, xv| {
+                    if xv > 0.0 {
+                        gv
+                    } else {
+                        0.0
+                    }
+                }))]
             }),
         )
     }
@@ -344,9 +367,7 @@ impl Var {
             "gelu",
             vec![self.clone()],
             saved,
-            Box::new(|g, s| {
-                vec![Some(t::binary_op(g, &s[0], |gv, xv| gv * gelu_bwd(xv)))]
-            }),
+            Box::new(|g, s| vec![Some(t::binary_op(g, &s[0], |gv, xv| gv * gelu_bwd(xv)))]),
         )
     }
 
@@ -359,9 +380,7 @@ impl Var {
             "tanh",
             vec![self.clone()],
             saved,
-            Box::new(|g, s| {
-                vec![Some(t::binary_op(g, &s[0], |gv, yv| gv * (1.0 - yv * yv)))]
-            }),
+            Box::new(|g, s| vec![Some(t::binary_op(g, &s[0], |gv, yv| gv * (1.0 - yv * yv)))]),
         )
     }
 
@@ -400,9 +419,7 @@ impl Var {
             "sqrt",
             vec![self.clone()],
             saved,
-            Box::new(|g, s| {
-                vec![Some(t::binary_op(g, &s[0], |gv, yv| gv / (2.0 * yv)))]
-            }),
+            Box::new(|g, s| vec![Some(t::binary_op(g, &s[0], |gv, yv| gv / (2.0 * yv)))]),
         )
     }
 
@@ -415,9 +432,7 @@ impl Var {
             "square",
             vec![self.clone()],
             saved,
-            Box::new(|g, s| {
-                vec![Some(t::binary_op(g, &s[0], |gv, xv| 2.0 * xv * gv))]
-            }),
+            Box::new(|g, s| vec![Some(t::binary_op(g, &s[0], |gv, xv| 2.0 * xv * gv))]),
         )
     }
 
@@ -435,7 +450,12 @@ impl Var {
             vec![self.clone()],
             vec![],
             Box::new(move |g, _| {
-                vec![Some(Tensor::full(g.item(), &in_shape, DType::F32, g.device()))]
+                vec![Some(Tensor::full(
+                    g.item(),
+                    &in_shape,
+                    DType::F32,
+                    g.device(),
+                ))]
             }),
         )
     }
@@ -451,7 +471,12 @@ impl Var {
             vec![self.clone()],
             vec![],
             Box::new(move |g, _| {
-                vec![Some(Tensor::full(g.item() / n, &in_shape, DType::F32, g.device()))]
+                vec![Some(Tensor::full(
+                    g.item() / n,
+                    &in_shape,
+                    DType::F32,
+                    g.device(),
+                ))]
             }),
         )
     }
@@ -558,7 +583,11 @@ impl Var {
     ///
     /// Panics if `targets.len()` differs from the number of rows.
     pub fn cross_entropy(&self, targets: &[usize]) -> Var {
-        assert_eq!(self.value().rank(), 2, "cross_entropy expects [n, v] logits");
+        assert_eq!(
+            self.value().rank(),
+            2,
+            "cross_entropy expects [n, v] logits"
+        );
         let (n, v) = (self.value().shape()[0], self.value().shape()[1]);
         assert_eq!(targets.len(), n, "cross_entropy target count mismatch");
         let probs = t::softmax_lastdim(self.value());
@@ -622,7 +651,11 @@ impl Var {
     ///
     /// Panics if shapes differ.
     pub fn straight_through(&self, hard: Tensor) -> Var {
-        assert_eq!(self.value().shape(), hard.shape(), "straight_through shape mismatch");
+        assert_eq!(
+            self.value().shape(),
+            hard.shape(),
+            "straight_through shape mismatch"
+        );
         Var::from_op(
             hard,
             "straight_through",
@@ -711,7 +744,11 @@ mod tests {
         let y = a.add(&b).sum_all();
         y.backward();
         assert_eq!(a.grad().unwrap().to_vec(), vec![1.0; 6]);
-        assert_eq!(b.grad().unwrap().to_vec(), vec![2.0; 3], "broadcast grad must reduce");
+        assert_eq!(
+            b.grad().unwrap().to_vec(),
+            vec![2.0; 3],
+            "broadcast grad must reduce"
+        );
     }
 
     #[test]
@@ -759,7 +796,10 @@ mod tests {
         let out = table.embedding(&[2, 2, 0]);
         assert_eq!(out.value().to_vec(), vec![5.0, 6.0, 5.0, 6.0, 1.0, 2.0]);
         out.sum_all().backward();
-        assert_eq!(table.grad().unwrap().to_vec(), vec![1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+        assert_eq!(
+            table.grad().unwrap().to_vec(),
+            vec![1.0, 1.0, 0.0, 0.0, 2.0, 2.0]
+        );
     }
 
     #[test]
@@ -865,7 +905,12 @@ mod tests {
         // Weighted sum output so the grad is not all-ones.
         let w = randn(&[3, 2], 7);
         check_gradients(
-            |vs| vs[0].matmul(&vs[1]).mul(&Var::constant(w.clone())).sum_all(),
+            |vs| {
+                vs[0]
+                    .matmul(&vs[1])
+                    .mul(&Var::constant(w.clone()))
+                    .sum_all()
+            },
             &[a, b],
             1e-2,
             2e-2,
@@ -911,7 +956,13 @@ mod tests {
     fn gradcheck_ln_sqrt_positive_domain() {
         runtime::reset();
         let x = randn(&[6], 13).map(|v| v.abs() + 1.0);
-        check_gradients(|vs| vs[0].ln().sum_all(), std::slice::from_ref(&x), 1e-3, 2e-2).unwrap();
+        check_gradients(
+            |vs| vs[0].ln().sum_all(),
+            std::slice::from_ref(&x),
+            1e-3,
+            2e-2,
+        )
+        .unwrap();
         check_gradients(|vs| vs[0].sqrt_elem().sum_all(), &[x], 1e-3, 2e-2).unwrap();
     }
 
@@ -921,7 +972,12 @@ mod tests {
         let x = randn(&[3, 4], 14);
         let w = randn(&[3, 4], 15);
         check_gradients(
-            |vs| vs[0].softmax_lastdim().mul(&Var::constant(w.clone())).sum_all(),
+            |vs| {
+                vs[0]
+                    .softmax_lastdim()
+                    .mul(&Var::constant(w.clone()))
+                    .sum_all()
+            },
             std::slice::from_ref(&x),
             1e-2,
             2e-2,
@@ -948,7 +1004,12 @@ mod tests {
         let w = randn(&[8], 17).map(|v| v + 2.0);
         let g = randn(&[3, 8], 18);
         check_gradients(
-            |vs| vs[0].rmsnorm(&vs[1], 1e-5).mul(&Var::constant(g.clone())).sum_all(),
+            |vs| {
+                vs[0]
+                    .rmsnorm(&vs[1], 1e-5)
+                    .mul(&Var::constant(g.clone()))
+                    .sum_all()
+            },
             &[x, w],
             1e-2,
             3e-2,
@@ -970,7 +1031,12 @@ mod tests {
         let c = randn(&[3, 2], 21);
         let g = randn(&[6, 3], 22);
         check_gradients(
-            |vs| vs[0].neg_sqdist(&vs[1]).mul(&Var::constant(g.clone())).sum_all(),
+            |vs| {
+                vs[0]
+                    .neg_sqdist(&vs[1])
+                    .mul(&Var::constant(g.clone()))
+                    .sum_all()
+            },
             &[w, c],
             1e-2,
             3e-2,
@@ -990,7 +1056,13 @@ mod tests {
             2e-2,
         )
         .unwrap();
-        check_gradients(|vs| vs[0].slice(1, 2, 3).square().sum_all(), &[x], 1e-2, 2e-2).unwrap();
+        check_gradients(
+            |vs| vs[0].slice(1, 2, 3).square().sum_all(),
+            &[x],
+            1e-2,
+            2e-2,
+        )
+        .unwrap();
     }
 
     proptest! {

@@ -5,8 +5,8 @@
 //! Run with `cargo run --release -p edkm-bench --bin figures`.
 
 use edkm_autograd::{SavedTensorHooks, Var};
-use edkm_core::{uniquify, DkmConfig, DkmLayer, EdkmConfig, EdkmHooks};
 use edkm_core::{run_one, AblationSetup};
+use edkm_core::{uniquify, DkmConfig, DkmLayer, EdkmConfig, EdkmHooks};
 use edkm_tensor::{runtime, DType, Device, Tensor};
 
 /// Fig. 1: the DKM attention map and its memory complexity O(|W|·|C|).
@@ -41,8 +41,16 @@ fn fig2() {
     let d = c.contiguous();
     let e = d.reshape(&[2048]);
     let _p = hooks.pack(&a);
-    println!("  pack(a)                 -> miss, offloaded ({} B)", runtime::cpu_live_bytes());
-    for (name, t) in [("view(a)", &b), ("transpose", &c), ("contiguous", &d), ("view", &e)] {
+    println!(
+        "  pack(a)                 -> miss, offloaded ({} B)",
+        runtime::cpu_live_bytes()
+    );
+    for (name, t) in [
+        ("view(a)", &b),
+        ("transpose", &c),
+        ("contiguous", &d),
+        ("view", &e),
+    ] {
         let before = hooks.stats();
         let _p = hooks.pack(t);
         let after = hooks.stats();
@@ -53,7 +61,10 @@ fn fig2() {
         } else {
             "miss"
         };
-        println!("  pack({name:<10})        -> {kind}, CPU still {} B", runtime::cpu_live_bytes());
+        println!(
+            "  pack({name:<10})        -> {kind}, CPU still {} B",
+            runtime::cpu_live_bytes()
+        );
     }
     let s = hooks.stats();
     println!(
@@ -77,9 +88,16 @@ fn fig3() {
     let dense = n * k * 4;
     let table = uniq.len() * k * 4;
     let index = n * 2;
-    println!("  weights |W|            : {n} (bf16 -> {} unique patterns)", uniq.len());
+    println!(
+        "  weights |W|            : {n} (bf16 -> {} unique patterns)",
+        uniq.len()
+    );
     println!("  dense map [|W|,|C|] f32: {:>10} bytes", dense);
-    println!("  attention table        : {:>10} bytes ({} rows x {k})", table, uniq.len());
+    println!(
+        "  attention table        : {:>10} bytes ({} rows x {k})",
+        table,
+        uniq.len()
+    );
     println!("  index list (u16)       : {:>10} bytes", index);
     println!(
         "  uniquification ratio   : {:.1}x   (+ sharding /8 on the index list -> {:.1}x)",
@@ -189,9 +207,16 @@ fn sweep_init() {
         let pal = dkm.palettize(&w);
         let dec = pal.decode().to_vec();
         let orig = w.to_vec();
-        let mean_err: f32 =
-            orig.iter().zip(&dec).map(|(a, b)| (a - b).abs()).sum::<f32>() / orig.len() as f32;
-        println!("  {label:<16}  {mean_err:>17.6}   {:>11}", out.iterations_run);
+        let mean_err: f32 = orig
+            .iter()
+            .zip(&dec)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / orig.len() as f32;
+        println!(
+            "  {label:<16}  {mean_err:>17.6}   {:>11}",
+            out.iterations_run
+        );
     }
     println!();
 }
@@ -210,8 +235,12 @@ fn sweep_vector() {
         let pal = dkm.palettize(&w);
         let dec = pal.decode().to_vec();
         let orig = w.to_vec();
-        let mean_err: f32 =
-            orig.iter().zip(&dec).map(|(a, b)| (a - b).abs()).sum::<f32>() / orig.len() as f32;
+        let mean_err: f32 = orig
+            .iter()
+            .zip(&dec)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / orig.len() as f32;
         println!(
             "  {:<9} {:>10.2}   {:>17.6}   {:>8.2}",
             format!("{bits}b x d{dim}"),
@@ -233,8 +262,13 @@ fn sweep_entropy() {
     // regularization).
     println!("  weights         H(idx) bits   fixed b/idx   huffman b/idx");
     let gauss = Tensor::randn(&[16384], DType::Bf16, Device::Cpu, 8).map(|v| v * 0.02);
-    let spiky = Tensor::randn(&[16384], DType::Bf16, Device::Cpu, 9)
-        .map(|v| if v.abs() < 1.2 { 0.001 * v } else { v * 0.05 });
+    let spiky = Tensor::randn(&[16384], DType::Bf16, Device::Cpu, 9).map(|v| {
+        if v.abs() < 1.2 {
+            0.001 * v
+        } else {
+            v * 0.05
+        }
+    });
     for (label, w) in [("gaussian", &gauss), ("zero-heavy", &spiky)] {
         let dkm = DkmLayer::new(DkmConfig::with_bits(3));
         let pal = dkm.palettize(w);
@@ -272,8 +306,12 @@ fn sweep_groups() {
     for group in [0usize, 32, 8, 4] {
         let g = dkm.palettize_grouped(&w, group);
         let dec = g.decode().to_vec();
-        let mean_err: f32 =
-            data.iter().zip(&dec).map(|(a, b)| (a - b).abs()).sum::<f32>() / data.len() as f32;
+        let mean_err: f32 = data
+            .iter()
+            .zip(&dec)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / data.len() as f32;
         println!(
             "  {:>8}   {:>4}   {:>17.6}    {:>7.2}",
             if group == 0 { rows } else { group },

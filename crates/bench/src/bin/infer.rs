@@ -1,0 +1,84 @@
+//! Serial vs threaded palettized inference (`PalettizedLinear::forward` vs
+//! `forward_batch`) on the deployment-scale case the runtime refactor
+//! targets: a `[2048 × 2048]` 3-bit palette at batch 32.
+//!
+//! Prints a comparison table and writes a `BENCH_infer.json` perf record so
+//! later PRs have a trajectory to compare against.
+//!
+//! Run with `cargo run --release -p edkm-bench --bin infer`.
+
+use edkm_core::palettize::PalettizedTensor;
+use edkm_core::PalettizedLinear;
+use edkm_tensor::{runtime, DType, Device, Tensor};
+use std::hint::black_box;
+use std::time::Instant;
+
+const OUT_FEATURES: usize = 2048;
+const IN_FEATURES: usize = 2048;
+const BITS: u8 = 3;
+const BATCH: usize = 32;
+const REPS: usize = 5;
+
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    runtime::reset();
+    let threads = rayon::current_num_threads();
+    println!("== palettized inference: serial loop vs forward_batch ==");
+    println!(
+        "[{OUT_FEATURES} x {IN_FEATURES}] {BITS}-bit palette, batch {BATCH}, {threads} threads, best of {REPS}\n"
+    );
+
+    // Deployment-shaped weight: 8 centroids (3 bits), nearest assignment.
+    let w =
+        Tensor::randn(&[OUT_FEATURES, IN_FEATURES], DType::F32, Device::Cpu, 0).map(|v| v * 0.02);
+    let centroids = Tensor::from_vec(
+        (0..1 << BITS)
+            .map(|i| (i as f32 - 3.5) * 0.01)
+            .collect::<Vec<f32>>(),
+        &[1 << BITS, 1],
+        DType::F32,
+        Device::Cpu,
+    );
+    let lin = PalettizedLinear::new(PalettizedTensor::from_nearest(&w, &centroids, BITS, 1));
+    let x = Tensor::randn(&[BATCH, IN_FEATURES], DType::F32, Device::Cpu, 1);
+
+    let identical = lin.forward(&x).to_vec() == lin.forward_batch(&x).to_vec();
+    assert!(identical, "forward_batch must match forward bit for bit");
+
+    let serial_s = best_of(REPS, || {
+        black_box(lin.forward(black_box(&x)));
+    });
+    let batch_s = best_of(REPS, || {
+        black_box(lin.forward_batch(black_box(&x)));
+    });
+    let speedup = serial_s / batch_s;
+
+    println!("  serial forward       {:>9.3} ms", serial_s * 1e3);
+    println!("  forward_batch        {:>9.3} ms", batch_s * 1e3);
+    println!("  speedup              {speedup:>9.2}x");
+    println!("  bit-identical        {identical}");
+
+    let record = format!(
+        "{{\n  \"bench\": \"palettized_infer\",\n  \"out_features\": {OUT_FEATURES},\n  \
+         \"in_features\": {IN_FEATURES},\n  \"bits\": {BITS},\n  \"batch\": {BATCH},\n  \
+         \"threads\": {threads},\n  \"reps\": {REPS},\n  \"serial_ms\": {:.3},\n  \
+         \"forward_batch_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"bit_identical\": {identical}\n}}\n",
+        serial_s * 1e3,
+        batch_s * 1e3,
+        speedup
+    );
+    std::fs::write("BENCH_infer.json", &record).expect("write BENCH_infer.json");
+    println!("\nwrote BENCH_infer.json");
+    if threads >= 4 && speedup < 2.0 {
+        eprintln!("WARNING: expected >= 2x speedup with {threads} threads, got {speedup:.2}x");
+    }
+}

@@ -16,9 +16,7 @@
 use edkm_core::{CompressSpec, CompressionPipeline, EdkmConfig};
 use edkm_data::{AlpacaSet, Corpus, Grammar, TaskSuite};
 use edkm_eval::{evaluate_suite, perplexity, render_table3, Table3Row};
-use edkm_nn::{
-    AdamWConfig, LlamaConfig, LlamaModel, LmBatch, LrSchedule, TrainConfig, Trainer,
-};
+use edkm_nn::{AdamWConfig, LlamaConfig, LlamaModel, LmBatch, LrSchedule, TrainConfig, Trainer};
 use edkm_quant::{
     capture_calibration, quantize_model, AwqQuantizer, GptqQuantizer, QatPipeline, QatSpec,
     RtnQuantizer, WeightQuantizer,
@@ -77,11 +75,7 @@ fn main() {
     let base = LlamaModel::new(cfg, DType::Bf16, Device::Cpu, 0);
     let params = base.params();
     let mut trainer = Trainer::new(train_cfg(3e-3, pretrain_steps as u64));
-    let batches: Vec<LmBatch> = corpus
-        .batches(8)
-        .into_iter()
-        .map(LmBatch::new)
-        .collect();
+    let batches: Vec<LmBatch> = corpus.batches(8).into_iter().map(LmBatch::new).collect();
     let mut step = 0usize;
     'outer: loop {
         for b in &batches {
@@ -149,7 +143,10 @@ fn main() {
         epochs: 1,
     });
     let gen = qat.generate_training_data(&qat_model, qat_steps * 4, 12, 7);
-    let qat_batches: Vec<LmBatch> = gen.chunks_exact(4).map(|c| LmBatch::new(c.to_vec())).collect();
+    let qat_batches: Vec<LmBatch> = gen
+        .chunks_exact(4)
+        .map(|c| LmBatch::new(c.to_vec()))
+        .collect();
     qat.fine_tune(&qat_model, &qat_batches);
     let qat_report = quantize_model(&qat_model, &RtnQuantizer::new(4, 0), None);
     rows.push(Table3Row {
@@ -158,7 +155,10 @@ fn main() {
         size_bytes: qat_report.size_bytes,
         accuracies: evaluate_suite(&qat_model, &suite),
     });
-    eprintln!("[table3] LLM-QAT done (elapsed {:.0}s)", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[table3] LLM-QAT done (elapsed {:.0}s)",
+        t0.elapsed().as_secs_f64()
+    );
 
     // ---- 4. eDKM (3 bit, train-time clustering on SynAlpaca). ----
     eprintln!("[table3] eDKM fine-tune-and-compress...");

@@ -1,0 +1,41 @@
+//! Collection strategies.
+
+use crate::{Strategy, TestRng};
+use std::ops::Range;
+
+/// Strategy for vectors of `element` values with a length drawn from
+/// `sizes`.
+pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, sizes }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = Strategy::sample(&self.sizes.clone(), rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_in_range() {
+        let s = vec(10u8..20, 2..5);
+        let mut rng = TestRng::deterministic("vec");
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| (10..20).contains(&x)));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Numeric strategies.
+
+/// `f32` strategies.
+pub mod f32 {
+    use crate::{Strategy, TestRng};
+
+    /// Strategy yielding *normal* (finite, non-zero, non-subnormal) `f32`s
+    /// of either sign across the whole exponent range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal;
+
+    /// All normal `f32` values.
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f32;
+
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            loop {
+                let candidate = f32::from_bits(rng.next_u64() as u32);
+                if candidate.is_normal() {
+                    return candidate;
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn only_normal_values() {
+            let mut rng = TestRng::deterministic("normal-f32");
+            let mut saw_negative = false;
+            for _ in 0..500 {
+                let v = NORMAL.sample(&mut rng);
+                assert!(v.is_normal());
+                saw_negative |= v < 0.0;
+            }
+            assert!(saw_negative, "both signs must occur");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Sampling from explicit option sets.
+
+use crate::{Strategy, TestRng};
+
+/// Strategy choosing uniformly among `options`.
+///
+/// # Panics
+///
+/// Panics (at sample time) if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "select over an empty set");
+        self.options[rng.index(self.options.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_options() {
+        let s = select(vec![1usize, 3, 7]);
+        let mut rng = TestRng::deterministic("select");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.sample(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! Parallel mutable slice chunking.
+
+use crate::current_num_threads;
+
+/// Parallel extensions on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Non-overlapping mutable chunks of `chunk_size` elements (the last may
+    /// be shorter), processable in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            data: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    data: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { chunks: self }
+    }
+
+    /// Apply `f` to every chunk, in parallel when profitable.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Send + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated parallel iterator over mutable chunks.
+pub struct ParChunksMutEnumerate<'a, T> {
+    chunks: ParChunksMut<'a, T>,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    /// Apply `f` to every `(index, chunk)` pair, in parallel when profitable.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Send + Sync,
+    {
+        let chunk_size = self.chunks.chunk_size;
+        let data = self.chunks.data;
+        let n_chunks = data.len().div_ceil(chunk_size.max(1));
+        let workers = current_num_threads().min(n_chunks);
+        if workers <= 1 {
+            for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        // Static split: one contiguous run of chunks per worker.
+        let per_worker = n_chunks.div_ceil(workers);
+        let mut runs: Vec<(usize, &mut [T])> = Vec::with_capacity(workers);
+        let mut rest = data;
+        let mut first_chunk = 0;
+        while !rest.is_empty() {
+            let take = (per_worker * chunk_size).min(rest.len());
+            let (run, tail) = rest.split_at_mut(take);
+            runs.push((first_chunk, run));
+            first_chunk += per_worker;
+            rest = tail;
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for (base, run) in runs {
+                s.spawn(move || {
+                    for (i, chunk) in run.chunks_mut(chunk_size).enumerate() {
+                        f((base + i, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_every_element_once() {
+        let mut v = vec![0u32; 1003];
+        v.as_mut_slice()
+            .par_chunks_mut(17)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x += (i * 17 + j) as u32;
+                }
+            });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u32);
+        }
+    }
+
+    #[test]
+    fn unenumerated_for_each_visits_all() {
+        let mut v = vec![1i64; 256];
+        v.as_mut_slice().par_chunks_mut(8).for_each(|chunk| {
+            for x in chunk {
+                *x *= 2;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn single_chunk_runs_inline() {
+        let mut v = vec![0u8; 5];
+        v.as_mut_slice().par_chunks_mut(100).for_each(|c| c.fill(9));
+        assert_eq!(v, vec![9; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_chunk_size_panics() {
+        [0u8; 2].as_mut_slice().par_chunks_mut(0).for_each(|_| {});
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline API-subset shim of `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive markers. Nothing in
+//! this workspace serializes through serde (see `edkm-core::serialize` for
+//! the real on-disk format), so the derives only need to exist, not to emit
+//! code. Swap this path dependency for upstream serde when a registry is
+//! reachable.
+
+pub use serde_derive::{Deserialize, Serialize};

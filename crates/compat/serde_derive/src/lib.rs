@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The workspace derives serde traits on a handful of config enums/structs
+//! but never serializes through serde (the on-disk format in
+//! `edkm-core::serialize` is hand-rolled). Offline, the derives expand to
+//! nothing so the annotations stay source-compatible with upstream serde.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (marker only).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (marker only).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -249,7 +249,10 @@ mod tests {
         assert!(mem[2] > mem[4], "M+U > M+U+S: {mem:?}");
         // Total reduction is large (paper: ~130x at LLaMA-7B scale).
         let reduction = mem[0] as f64 / mem[4] as f64;
-        assert!(reduction > 5.0, "combined reduction too small: {reduction:.1}x");
+        assert!(
+            reduction > 5.0,
+            "combined reduction too small: {reduction:.1}x"
+        );
     }
 
     #[test]

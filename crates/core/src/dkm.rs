@@ -250,7 +250,11 @@ impl DkmLayer {
         let shape = w.value().shape().to_vec();
         let d = self.config.cluster_dim;
         let numel = w.value().numel();
-        assert_eq!(numel % d, 0, "numel {numel} not divisible by cluster_dim {d}");
+        assert_eq!(
+            numel % d,
+            0,
+            "numel {numel} not divisible by cluster_dim {d}"
+        );
         let n = numel / d;
         let k = self.config.k();
 
@@ -316,12 +320,7 @@ impl DkmLayer {
     /// tensor (the deployment artifact: LUT + n-bit indices).
     pub fn palettize(&self, w: &Tensor) -> PalettizedTensor {
         let out = self.cluster_tensor(w);
-        PalettizedTensor::from_nearest(
-            w,
-            &out.centroids,
-            self.config.bits,
-            self.config.cluster_dim,
-        )
+        PalettizedTensor::from_nearest(w, &out.centroids, self.config.bits, self.config.cluster_dim)
     }
 
     /// Palettize a `[rows, cols]` matrix with one independently clustered
@@ -387,7 +386,11 @@ mod tests {
         let hard = layer(2).palettize(&w).decode();
         let unique: std::collections::HashSet<u32> =
             hard.to_vec().iter().map(|v| v.to_bits()).collect();
-        assert!(unique.len() <= 4, "at most k distinct values, got {}", unique.len());
+        assert!(
+            unique.len() <= 4,
+            "at most k distinct values, got {}",
+            unique.len()
+        );
     }
 
     #[test]
@@ -397,7 +400,11 @@ mod tests {
         // centroids near ±1.
         let mut data = vec![];
         for i in 0..64 {
-            data.push(if i % 2 == 0 { -1.0 + 0.001 * (i as f32) / 64.0 } else { 1.0 - 0.001 * (i as f32) / 64.0 });
+            data.push(if i % 2 == 0 {
+                -1.0 + 0.001 * (i as f32) / 64.0
+            } else {
+                1.0 - 0.001 * (i as f32) / 64.0
+            });
         }
         let w = Tensor::from_vec(data, &[64], DType::F32, Device::Cpu);
         let out = layer(1).cluster_tensor(&w);
@@ -424,7 +431,9 @@ mod tests {
         let w = Var::param(Tensor::randn(&[16, 4], DType::F32, Device::Cpu, 2).map(|v| v * 0.02));
         let out = layer(2).cluster(&w);
         out.soft.sum_all().backward();
-        let g = w.grad().expect("weights must receive gradients through DKM");
+        let g = w
+            .grad()
+            .expect("weights must receive gradients through DKM");
         assert_eq!(g.shape(), &[16, 4]);
         assert!(t::l2_norm(&g) > 0.0);
     }
@@ -530,9 +539,9 @@ mod tests {
 
     #[test]
     fn vector_gradients_flow_and_match_hooked_run() {
+        use crate::hooks::{EdkmConfig, EdkmHooks};
         use edkm_autograd::push_hooks;
         use edkm_autograd::SavedTensorHooks;
-        use crate::hooks::{EdkmConfig, EdkmHooks};
         // Exactness of eDKM must extend to the vector path: gradients with
         // full hooks installed equal gradients without, bit for bit.
         let run = |hooked: bool| -> Vec<f32> {
@@ -647,8 +656,7 @@ mod tests {
                 ..DkmConfig::with_bits(3)
             });
             let out = lay.cluster_tensor(&w);
-            let hard =
-                PalettizedTensor::from_nearest(&w, &out.centroids, 3, 1).decode();
+            let hard = PalettizedTensor::from_nearest(&w, &out.centroids, 3, 1).decode();
             let (s, h) = (out.soft.value().to_vec(), hard.to_vec());
             s.iter().zip(&h).map(|(a, b)| (a - b).abs()).sum::<f32>() / s.len() as f32
         };

@@ -270,8 +270,9 @@ impl HuffmanCode {
                 count[l as usize] += 1;
             }
         }
-        let mut order: Vec<usize> =
-            (0..self.lengths.len()).filter(|&s| self.lengths[s] > 0).collect();
+        let mut order: Vec<usize> = (0..self.lengths.len())
+            .filter(|&s| self.lengths[s] > 0)
+            .collect();
         order.sort_by_key(|&s| (self.lengths[s], s));
         let mut first_code = vec![0u64; max_len + 2];
         let mut first_index = vec![0usize; max_len + 2];
@@ -460,7 +461,10 @@ mod tests {
         let idx = vec![5u32; 64];
         let ec = EntropyCoded::encode(&idx, 8);
         assert_eq!(ec.decode().unwrap(), idx);
-        assert!((ec.bits_per_symbol() - 1.0).abs() < 1e-9, "degenerate code is 1 bit");
+        assert!(
+            (ec.bits_per_symbol() - 1.0).abs() < 1e-9,
+            "degenerate code is 1 bit"
+        );
     }
 
     #[test]

@@ -231,7 +231,12 @@ impl SavedTensorHooks for EdkmHooks {
                 return Self::packed(entry, t.layout().clone(), vec![], t.shape().to_vec());
             }
             // Walk the forward graph through invariant ops (≤ hop_limit).
-            for (hop, (ops, anc)) in t.meta().ancestors(self.config.hop_limit).into_iter().enumerate() {
+            for (hop, (ops, anc)) in t
+                .meta()
+                .ancestors(self.config.hop_limit)
+                .into_iter()
+                .enumerate()
+            {
                 runtime::record_walk(hop + 1);
                 if let Some(entry) = self.registry.get(anc.storage_id) {
                     self.stats.walk_hits.fetch_add(1, Ordering::Relaxed);
@@ -434,10 +439,7 @@ mod tests {
             .flat_map(|&k| (0..8).map(move |j| k as f32 + j as f32))
             .collect();
         let map = Tensor::from_vec(rows, &[64, 8], DType::F32, Device::gpu());
-        uniquify::annotate(
-            map.storage_id(),
-            Arc::new(uniquify::RowKeys::scalar(keys)),
-        );
+        uniquify::annotate(map.storage_id(), Arc::new(uniquify::RowKeys::scalar(keys)));
         let h = EdkmHooks::new(EdkmConfig::marshal_uniquify());
         let p = h.pack(&map);
         // table 4×8×4B = 128B + index 64×2B = 128B << dense 2048B.

@@ -13,6 +13,13 @@
 
 use crate::palettize::PalettizedTensor;
 use edkm_tensor::{runtime, DType, Tensor};
+use rayon::prelude::*;
+
+/// Multiply-accumulate count below which [`PalettizedLinear::forward_batch`]
+/// stays on the serial path (mirrors the kernel threshold in
+/// `edkm_tensor::ops`): spawning workers costs more than it saves on small
+/// layers.
+const PAR_WORK_THRESHOLD: usize = 1 << 17;
 
 /// A linear layer evaluated straight from its palettized weights.
 #[derive(Debug, Clone)]
@@ -31,7 +38,11 @@ impl PalettizedLinear {
     ///
     /// Panics if the palette is not 2-D scalar-clustered.
     pub fn new(weights: PalettizedTensor) -> Self {
-        assert_eq!(weights.shape().len(), 2, "palettized linear expects [out, in]");
+        assert_eq!(
+            weights.shape().len(),
+            2,
+            "palettized linear expects [out, in]"
+        );
         let (out_features, in_features) = (weights.shape()[0], weights.shape()[1]);
         let indices = weights.indices();
         assert_eq!(
@@ -82,22 +93,68 @@ impl PalettizedLinear {
         let xd = x.to_vec();
         let mut out = vec![0.0f32; n * self.out_features];
         let mut bins = vec![0.0f32; k];
-        for i in 0..n {
-            let xrow = &xd[i * self.in_features..(i + 1) * self.in_features];
-            for r in 0..self.out_features {
-                bins.iter_mut().for_each(|b| *b = 0.0);
-                let idx_row = &self.indices[r * self.in_features..(r + 1) * self.in_features];
-                for (&xv, &c) in xrow.iter().zip(idx_row) {
-                    bins[c as usize] += xv;
-                }
-                let mut acc = 0.0f32;
-                for (b, &l) in bins.iter().zip(lut) {
-                    acc += b * l;
-                }
-                out[i * self.out_features + r] = acc;
+        if self.out_features > 0 {
+            for (i, orow) in out.chunks_mut(self.out_features).enumerate() {
+                let xrow = &xd[i * self.in_features..(i + 1) * self.in_features];
+                self.forward_row(xrow, orow, lut, &mut bins);
             }
         }
         // The LUT trick costs |W| adds + k·out multiplies instead of 2|W|.
+        runtime::record_compute(
+            (n * self.out_features * (self.in_features + k)) as f64,
+            x.device(),
+        );
+        Tensor::from_vec(out, &[n, self.out_features], DType::F32, x.device())
+    }
+
+    /// One batch row of the LUT-GEMM: per-centroid partial sums, then the
+    /// `k`-wide dot with the palette. Identical accumulation order to
+    /// [`PalettizedLinear::forward`], so results match it bit for bit.
+    fn forward_row(&self, xrow: &[f32], orow: &mut [f32], lut: &[f32], bins: &mut [f32]) {
+        for (r, o) in orow.iter_mut().enumerate() {
+            bins.iter_mut().for_each(|b| *b = 0.0);
+            let idx_row = &self.indices[r * self.in_features..(r + 1) * self.in_features];
+            for (&xv, &c) in xrow.iter().zip(idx_row) {
+                bins[c as usize] += xv;
+            }
+            let mut acc = 0.0f32;
+            for (b, &l) in bins.iter().zip(lut) {
+                acc += b * l;
+            }
+            *o = acc;
+        }
+    }
+
+    /// Batched `y = x Wᵀ` for `x: [n, in]`, with the per-row LUT-GEMM
+    /// partial sums computed across worker threads.
+    ///
+    /// Bit-identical to [`PalettizedLinear::forward`]; every FLOP is charged
+    /// once to the caller's runtime (workers do pure slice math). Rows are
+    /// independent, so the split is by batch row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[n, in]`.
+    pub fn forward_batch(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 2, "input must be [n, in]");
+        assert_eq!(x.shape()[1], self.in_features, "input width mismatch");
+        let n = x.shape()[0];
+        let k = self.weights.k();
+        if self.out_features == 0
+            || n * self.out_features * (self.in_features + k) < PAR_WORK_THRESHOLD
+        {
+            return self.forward(x);
+        }
+        let lut = self.weights.lut();
+        let xd = x.to_vec();
+        let mut out = vec![0.0f32; n * self.out_features];
+        out.par_chunks_mut(self.out_features)
+            .enumerate()
+            .for_each(|(i, orow)| {
+                let xrow = &xd[i * self.in_features..(i + 1) * self.in_features];
+                let mut bins = vec![0.0f32; k];
+                self.forward_row(xrow, orow, lut, &mut bins);
+            });
         runtime::record_compute(
             (n * self.out_features * (self.in_features + k)) as f64,
             x.device(),
@@ -143,7 +200,10 @@ mod tests {
         // 3-bit clustering: close but not exact.
         let rel = t::max_abs_diff(&approx, &exact) / t::l2_norm(&exact).max(1e-9);
         assert!(rel < 0.5, "palettized forward too far off: {rel}");
-        assert!(t::max_abs_diff(&approx, &exact) > 0.0, "must not be bit-identical");
+        assert!(
+            t::max_abs_diff(&approx, &exact) > 0.0,
+            "must not be bit-identical"
+        );
     }
 
     #[test]
@@ -167,5 +227,97 @@ mod tests {
         let (_w, lin) = palettized_pair(6);
         let x = Tensor::zeros(&[3, 20], DType::F32, Device::Cpu);
         assert!(lin.forward(&x).to_vec().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn forward_batch_is_bit_identical_to_forward() {
+        let (_w, lin) = palettized_pair(7);
+        // Small batch (serial fallback) and large batch (threaded path).
+        for n in [33usize, 512] {
+            let x = Tensor::randn(&[n, 20], DType::F32, Device::Cpu, 8);
+            assert_eq!(
+                lin.forward(&x).to_vec(),
+                lin.forward_batch(&x).to_vec(),
+                "threaded LUT-GEMM must match the serial loop bit for bit"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_output_features_yield_empty_result() {
+        runtime::reset();
+        let w = Tensor::zeros(&[0, 5], DType::F32, Device::Cpu);
+        let centroids = Tensor::from_vec(vec![0.0, 1.0], &[2, 1], DType::F32, Device::Cpu);
+        let lin = PalettizedLinear::new(crate::palettize::PalettizedTensor::from_nearest(
+            &w, &centroids, 1, 1,
+        ));
+        let x = Tensor::randn(&[3, 5], DType::F32, Device::Cpu, 0);
+        assert_eq!(lin.forward(&x).shape(), &[3, 0]);
+        assert_eq!(lin.forward_batch(&x).shape(), &[3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn forward_batch_wrong_width_panics() {
+        let (_w, lin) = palettized_pair(9);
+        lin.forward_batch(&Tensor::zeros(&[2, 7], DType::F32, Device::Cpu));
+    }
+
+    #[test]
+    fn forward_batch_accounts_every_flop_exactly_once_across_threads() {
+        use std::sync::Arc;
+
+        // Reference: one forward_batch on one thread.
+        runtime::reset();
+        let (_w, lin) = palettized_pair(10); // resets the runtime again
+        let lin = Arc::new(lin);
+        // Batch 512 clears PAR_WORK_THRESHOLD, so every call below also
+        // fans out its own worker threads.
+        runtime::reset_peak(Device::Cpu);
+        let t0 = runtime::sim_seconds();
+        let allocs0 = runtime::pool(Device::Cpu).alloc_count();
+        // The measured unit matches what each thread below does: allocate
+        // the input, run the batch, drop both.
+        let x = Tensor::randn(&[512, 20], DType::F32, Device::Cpu, 11);
+        drop(lin.forward_batch(&x));
+        drop(x);
+        let one_call_seconds = runtime::sim_seconds() - t0;
+        let one_call_allocs = runtime::pool(Device::Cpu).alloc_count() - allocs0;
+        assert!(one_call_seconds > 0.0);
+
+        // Four threads, all bound to one fresh runtime, each running the
+        // same forward_batch (which itself fans out worker threads). The
+        // shared ledgers must account exactly 4× one call: no lost updates,
+        // no double counting, no bytes left behind.
+        let rt = edkm_tensor::runtime::Runtime::new();
+        let workers = 4;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let lin = Arc::clone(&lin);
+                let rt = rt.clone();
+                s.spawn(move || {
+                    let _g = runtime::bind(&rt);
+                    let x = Tensor::randn(&[512, 20], DType::F32, Device::Cpu, 11);
+                    drop(lin.forward_batch(&x));
+                });
+            }
+        });
+        let _g = runtime::bind(&rt);
+        // The clock advance per call is a deterministic nanosecond quantum,
+        // so 4 concurrent calls must land on exactly 4x one call.
+        assert!(
+            (runtime::sim_seconds() - workers as f64 * one_call_seconds).abs() < 1e-12,
+            "compute ledger lost or duplicated work: {} vs {}",
+            runtime::sim_seconds(),
+            workers as f64 * one_call_seconds
+        );
+        // Every input + output allocation of every thread hit the shared
+        // pool (one x + one output per call), and every byte drained.
+        assert_eq!(
+            runtime::pool(Device::Cpu).alloc_count(),
+            workers * one_call_allocs,
+            "pool must see each thread's allocations exactly once"
+        );
+        assert_eq!(runtime::cpu_live_bytes(), 0, "all buffers must drain");
     }
 }

@@ -54,8 +54,8 @@ pub use ablation::{render_table2, run_one, run_table2, AblationRow, AblationSetu
 pub use accounting::AccountedVec;
 pub use dkm::{DkmConfig, DkmInit, DkmLayer, DkmOutput};
 pub use entropy::{index_entropy_bits, EntropyCoded, HuffmanCode};
-pub use infer::PalettizedLinear;
 pub use hooks::{EdkmConfig, EdkmHooks, HookStatsSnapshot};
+pub use infer::PalettizedLinear;
 pub use marshal::{EdkmPacked, MarshalRegistry, StoredEntry};
 pub use palettize::{AffineQuantized, GroupedPalettized, PalettizedTensor};
 pub use pipeline::{

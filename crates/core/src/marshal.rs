@@ -347,7 +347,9 @@ mod tests {
         runtime::reset();
         // 128 blocks drawn from only 4 distinct block keys: table has 4
         // rows, so the wide decomposition wins.
-        let patterns: Vec<u16> = (0..256).map(|i| [1u16, 2, 3, 4, 5, 6, 7, 8][i % 8]).collect();
+        let patterns: Vec<u16> = (0..256)
+            .map(|i| [1u16, 2, 3, 4, 5, 6, 7, 8][i % 8])
+            .collect();
         let keys = uniquify::RowKeys::blocks(&patterns, 2);
         let rows: Vec<f32> = keys
             .keys()
@@ -374,7 +376,10 @@ mod tests {
         let rows: Vec<f32> = (0..64).map(|i| i as f32).collect();
         let t = Tensor::from_vec(rows.clone(), &[32, 2], DType::F32, Device::gpu());
         let e = StoredEntry::build(&t, Some(&keys), None);
-        assert!(!e.is_uniquified(), "unprofitable blocks must offload densely");
+        assert!(
+            !e.is_uniquified(),
+            "unprofitable blocks must offload densely"
+        );
         assert_eq!(e.local_bytes(), 64 * 4);
         let (r, _) = e.reconstruct_storage();
         assert_eq!(r.to_vec(), rows);
@@ -436,7 +441,14 @@ mod tests {
         assert_eq!(r.shape(), &[3, 2]);
         let r = apply_invariant(&t, &InvariantOp::Reshape { shape: vec![6] });
         assert_eq!(r.shape(), &[6]);
-        let r = apply_invariant(&t, &InvariantOp::Slice { dim: 0, start: 1, len: 1 });
+        let r = apply_invariant(
+            &t,
+            &InvariantOp::Slice {
+                dim: 0,
+                start: 1,
+                len: 1,
+            },
+        );
         assert_eq!(r.to_vec(), vec![3.0, 4.0, 5.0]);
         let r = apply_invariant(&t.transpose(0, 1), &InvariantOp::Contiguous);
         assert!(r.is_contiguous());

@@ -524,14 +524,14 @@ mod tests {
         );
         // And overall the grouped form is no worse.
         let total = |t: &Tensor| -> f32 {
-            data.iter().zip(t.to_vec()).map(|(a, b)| (a - b) * (a - b)).sum()
+            data.iter()
+                .zip(t.to_vec())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
         };
         assert!(total(&dec) <= total(&dkm.palettize(&w).decode()));
         // Cost: one extra LUT (8 entries × 2 B).
-        assert_eq!(
-            grouped.size_bytes(),
-            dkm.palettize(&w).size_bytes() + 8 * 2
-        );
+        assert_eq!(grouped.size_bytes(), dkm.palettize(&w).size_bytes() + 8 * 2);
     }
 
     #[test]

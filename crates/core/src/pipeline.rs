@@ -198,7 +198,11 @@ impl CompressedModel {
                 .find(|(n, _)| n == name)
                 .unwrap_or_else(|| panic!("model has no parameter named {name}"));
             let values = entry.decode_values();
-            assert_eq!(values.len(), var.value().numel(), "size mismatch for {name}");
+            assert_eq!(
+                values.len(),
+                var.value().numel(),
+                "size mismatch for {name}"
+            );
             var.value().apply_inplace(|i, _| values[i]);
         }
     }
@@ -388,7 +392,12 @@ mod tests {
                     .iter()
                     .map(|v| v.to_bits())
                     .collect();
-                assert!(unique.len() <= 8, "{} has {} values", p.name(), unique.len());
+                assert!(
+                    unique.len() <= 8,
+                    "{} has {} values",
+                    p.name(),
+                    unique.len()
+                );
             }
         }
     }
@@ -397,7 +406,10 @@ mod tests {
     fn fine_tune_and_compress_trains_and_reports_stats() {
         runtime::reset();
         let model = tiny_model();
-        let batches = vec![LmBatch::new(vec![vec![1, 2, 3, 4, 1, 2], vec![3, 4, 1, 2, 3, 4]])];
+        let batches = vec![LmBatch::new(vec![
+            vec![1, 2, 3, 4, 1, 2],
+            vec![3, 4, 1, 2, 3, 4],
+        ])];
         let pipeline = CompressionPipeline::new(quick_spec());
         let result = pipeline.fine_tune_and_compress(&model, &batches);
         assert_eq!(result.losses.len(), 1);
@@ -491,7 +503,10 @@ mod tests {
         let target = tiny_model();
         compressed.apply_to(&target);
         // 8 centroids of 2 values: at most 16 distinct scalars per matrix.
-        let w = target.layers()[0].projections()[0].weight().value().to_vec();
+        let w = target.layers()[0].projections()[0]
+            .weight()
+            .value()
+            .to_vec();
         let uniq: std::collections::HashSet<u32> = w.iter().map(|v| v.to_bits()).collect();
         assert!(uniq.len() <= 16, "vector palette too rich: {}", uniq.len());
         // Serialization handles vector palettes too.
@@ -524,8 +539,7 @@ mod tests {
         let target = tiny_model();
         back.apply_to(&target);
         let w = target.layers()[0].projections()[0].weight().value();
-        let uniq: std::collections::HashSet<u32> =
-            w.to_vec().iter().map(|v| v.to_bits()).collect();
+        let uniq: std::collections::HashSet<u32> = w.to_vec().iter().map(|v| v.to_bits()).collect();
         // tiny d_model=8 rows split into groups of 4: 2 groups × ≤8 values.
         assert!(uniq.len() <= 16, "got {} distinct values", uniq.len());
     }

@@ -191,8 +191,7 @@ impl CompressedModel {
         let mut entries = Vec::with_capacity(n);
         for _ in 0..n {
             let name_len = r.u16()? as usize;
-            let name = String::from_utf8(r.bytes(name_len)?)
-                .map_err(|_| DecodeError::Truncated)?;
+            let name = String::from_utf8(r.bytes(name_len)?).map_err(|_| DecodeError::Truncated)?;
             let tag = r.u8()?;
             let entry = match tag {
                 0 => CompressedTensor::Palettized(PalettizedTensor::read_from(&mut r)?),
@@ -287,7 +286,10 @@ mod tests {
         let target = LlamaModel::new(*model.config(), model.dtype(), model.device(), 5);
         back.apply_to(&target);
         // Spot-check: projections carry at most 8 distinct values.
-        let w = target.layers()[0].projections()[0].weight().value().to_vec();
+        let w = target.layers()[0].projections()[0]
+            .weight()
+            .value()
+            .to_vec();
         let uniq: std::collections::HashSet<u32> = w.iter().map(|v| v.to_bits()).collect();
         assert!(uniq.len() <= 8);
     }

@@ -73,7 +73,11 @@ impl<T: Copy> Store<T> {
     pub fn gather(&self) -> Vec<T> {
         match self {
             Store::Whole(v) => v.as_slice().to_vec(),
-            Store::Sharded { local, remote, group } => {
+            Store::Sharded {
+                local,
+                remote,
+                group,
+            } => {
                 let mut shards: Vec<Vec<T>> = Vec::with_capacity(remote.len() + 1);
                 shards.push(local.as_slice().to_vec());
                 shards.extend(remote.iter().cloned());

@@ -76,10 +76,7 @@ impl RowKeys {
         );
         let keys = patterns
             .chunks_exact(dim)
-            .map(|blk| {
-                blk.iter()
-                    .fold(0u64, |acc, &p| (acc << 16) | u64::from(p))
-            })
+            .map(|blk| blk.iter().fold(0u64, |acc, &p| (acc << 16) | u64::from(p)))
             .collect();
         RowKeys { keys, dim }
     }
@@ -182,9 +179,8 @@ fn uniquify_generic<I: IndexElem>(
                 index.push(r);
             }
             None => {
-                let r = I::from_usize(table.len() / k).unwrap_or_else(|| {
-                    panic!("unique rows overflow the index type at row {i}")
-                });
+                let r = I::from_usize(table.len() / k)
+                    .unwrap_or_else(|| panic!("unique rows overflow the index type at row {i}"));
                 row_of_key.insert(key, r);
                 table.extend_from_slice(row);
                 index.push(r);
@@ -302,7 +298,9 @@ mod tests {
     #[test]
     fn all_same_key_gives_single_row() {
         let keys = RowKeys::scalar(vec![7u16; 100]);
-        let dense: Vec<f32> = std::iter::repeat_n([0.25f32, 0.75], 100).flatten().collect();
+        let dense: Vec<f32> = std::iter::repeat_n([0.25f32, 0.75], 100)
+            .flatten()
+            .collect();
         let (table, index, u) = uniquify(&dense, keys.keys(), 2);
         assert_eq!(u, 1);
         assert_eq!(table, vec![0.25, 0.75]);

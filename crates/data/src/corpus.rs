@@ -74,12 +74,7 @@ impl Corpus {
     pub fn subsample(&self, k: usize) -> Corpus {
         assert!(k >= 1);
         Corpus {
-            windows: self
-                .windows
-                .iter()
-                .step_by(k)
-                .cloned()
-                .collect(),
+            windows: self.windows.iter().step_by(k).cloned().collect(),
             seq_len: self.seq_len,
         }
     }

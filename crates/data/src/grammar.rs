@@ -102,7 +102,11 @@ impl Grammar {
 
     fn ranked(probs: &[f32]) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..probs.len()).collect();
-        idx.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.sort_by(|&a, &b| {
+            probs[b]
+                .partial_cmp(&probs[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         idx
     }
 
@@ -273,8 +277,12 @@ mod tests {
         assert_eq!(s1, s2);
         let g3 = Grammar::default_with_seed(8);
         assert_ne!(
-            (0..g1.spec().n_subjects).map(|s| g1.preferred_verb(s)).collect::<Vec<_>>(),
-            (0..g3.spec().n_subjects).map(|s| g3.preferred_verb(s)).collect::<Vec<_>>(),
+            (0..g1.spec().n_subjects)
+                .map(|s| g1.preferred_verb(s))
+                .collect::<Vec<_>>(),
+            (0..g3.spec().n_subjects)
+                .map(|s| g3.preferred_verb(s))
+                .collect::<Vec<_>>(),
             "different seeds should (almost surely) differ"
         );
     }
@@ -291,7 +299,9 @@ mod tests {
             assert!((total - 1.0).abs() < 1e-4);
         }
         for o in 0..g.spec().n_objects {
-            let total: f32 = (0..g.spec().n_modifiers).map(|m| g.modifier_prob(o, m)).sum();
+            let total: f32 = (0..g.spec().n_modifiers)
+                .map(|m| g.modifier_prob(o, m))
+                .sum();
             assert!((total - 1.0).abs() < 1e-4);
         }
     }
@@ -326,8 +336,14 @@ mod tests {
         }
         let mean_top = top_sum / ns as f32;
         let mean_ratio = ratio_sum / ns as f32;
-        assert!(mean_top > 0.25 && mean_top < 0.95, "mean top prob {mean_top}");
-        assert!(mean_ratio > 0.05, "runner-up must be competitive: {mean_ratio}");
+        assert!(
+            mean_top > 0.25 && mean_top < 0.95,
+            "mean top prob {mean_top}"
+        );
+        assert!(
+            mean_ratio > 0.05,
+            "runner-up must be competitive: {mean_ratio}"
+        );
     }
 
     #[test]

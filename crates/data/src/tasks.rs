@@ -200,14 +200,26 @@ pub fn gen_hellaswag(g: &Grammar, n: usize, seed: u64) -> Task {
             let wrong_v = g.ranked_verbs(s2)[1];
             let distractors = vec![
                 // Plausible-but-lower-probability verb for this subject.
-                vec![spec.verb(wrong_v), spec.object(g.preferred_object(wrong_v)), special::STOP],
+                vec![
+                    spec.verb(wrong_v),
+                    spec.object(g.preferred_object(wrong_v)),
+                    special::STOP,
+                ],
                 // Class order broken: object before verb.
                 vec![spec.object(o2), spec.verb(v2), special::STOP],
                 // Close wrong object for the right verb.
-                vec![spec.verb(v2), spec.object(g.distractor_object(v2, i)), special::STOP],
+                vec![
+                    spec.verb(v2),
+                    spec.object(g.distractor_object(v2, i)),
+                    special::STOP,
+                ],
             ];
             let (choices, correct) = shuffled_choices(&mut rng, correct, distractors);
-            MultiChoiceTask { prompt, choices, correct }
+            MultiChoiceTask {
+                prompt,
+                choices,
+                correct,
+            }
         })
         .collect();
     Task::MultiChoice {
@@ -231,13 +243,22 @@ pub fn gen_winogrande(g: &Grammar, n: usize, seed: u64) -> Task {
             let o = g.preferred_object(v);
             // Context mentions both subjects; the consistent continuation is
             // whichever subject truly has the higher P(v | s).
-            let prompt = vec![special::BOS, spec.subject(s_a), spec.subject(s_b), special::STOP];
+            let prompt = vec![
+                special::BOS,
+                spec.subject(s_a),
+                spec.subject(s_b),
+                special::STOP,
+            ];
             let right = if a_is_right { s_a } else { s_b };
             let wrong = if a_is_right { s_b } else { s_a };
             let correct = vec![spec.subject(right), spec.verb(v), spec.object(o)];
             let distractors = vec![vec![spec.subject(wrong), spec.verb(v), spec.object(o)]];
             let (choices, correct) = shuffled_choices(&mut rng, correct, distractors);
-            MultiChoiceTask { prompt, choices, correct }
+            MultiChoiceTask {
+                prompt,
+                choices,
+                correct,
+            }
         })
         .collect();
     Task::MultiChoice {
@@ -280,7 +301,11 @@ pub fn gen_arc(g: &Grammar, n: usize, seed: u64, challenge: bool) -> Task {
                     distractors.push(vec![spec.object(cand)]);
                 }
                 let (choices, correct) = shuffled_choices(&mut rng, correct, distractors);
-                MultiChoiceTask { prompt, choices, correct }
+                MultiChoiceTask {
+                    prompt,
+                    choices,
+                    correct,
+                }
             } else {
                 // Challenge split: the flat modifier relation with
                 // probability-closest distractors — borderline calls on a
@@ -298,7 +323,11 @@ pub fn gen_arc(g: &Grammar, n: usize, seed: u64, challenge: bool) -> Task {
                     .map(|cand| vec![spec.modifier(cand)])
                     .collect();
                 let (choices, correct) = shuffled_choices(&mut rng, correct, distractors);
-                MultiChoiceTask { prompt, choices, correct }
+                MultiChoiceTask {
+                    prompt,
+                    choices,
+                    correct,
+                }
             }
         })
         .collect();
@@ -379,10 +408,12 @@ pub fn gen_mmlu(g: &Grammar, n: usize, seed: u64) -> Task {
             };
             let correct_tok = base + ranked[0];
             // Exam-style: the three closest runners-up as distractors.
-            let distractors: Vec<Vec<usize>> =
-                ranked[1..].iter().take(3).map(|&c| vec![base + c]).collect();
-            let (choices, correct) =
-                shuffled_choices(&mut rng, vec![correct_tok], distractors);
+            let distractors: Vec<Vec<usize>> = ranked[1..]
+                .iter()
+                .take(3)
+                .map(|&c| vec![base + c])
+                .collect();
+            let (choices, correct) = shuffled_choices(&mut rng, vec![correct_tok], distractors);
             MultiChoiceTask {
                 prompt: vec![special::BOS, special::QM, prompt_tok, special::RESP],
                 choices,
@@ -463,7 +494,10 @@ mod tests {
             panic!("piqa is multi-choice")
         };
         let firsts = items.iter().filter(|i| i.correct == 0).count();
-        assert!(firsts > 20 && firsts < 80, "correct index not shuffled: {firsts}/100");
+        assert!(
+            firsts > 20 && firsts < 80,
+            "correct index not shuffled: {firsts}/100"
+        );
     }
 
     #[test]
@@ -477,7 +511,10 @@ mod tests {
             let s = it.prompt[1] - spec.subject(0);
             let v = g.preferred_verb(s);
             assert_eq!(it.prompt[2], spec.verb(v));
-            assert_eq!(it.choices[it.correct], vec![spec.object(g.preferred_object(v))]);
+            assert_eq!(
+                it.choices[it.correct],
+                vec![spec.object(g.preferred_object(v))]
+            );
         }
     }
 
@@ -519,7 +556,10 @@ mod tests {
         for it in &items {
             classes.insert(spec.classify(it.prompt[2]));
         }
-        assert!(classes.len() >= 3, "expected multiple domains, got {classes:?}");
+        assert!(
+            classes.len() >= 3,
+            "expected multiple domains, got {classes:?}"
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ impl VocabSpec {
     ///
     /// Panics if `i` is out of range (same for the sibling methods).
     pub fn subject(&self, i: usize) -> usize {
-        assert!(i < self.n_subjects, "subject {i} out of {}", self.n_subjects);
+        assert!(
+            i < self.n_subjects,
+            "subject {i} out of {}",
+            self.n_subjects
+        );
         special::COUNT + i
     }
 
@@ -76,7 +80,11 @@ impl VocabSpec {
 
     /// Token id of modifier `i`.
     pub fn modifier(&self, i: usize) -> usize {
-        assert!(i < self.n_modifiers, "modifier {i} out of {}", self.n_modifiers);
+        assert!(
+            i < self.n_modifiers,
+            "modifier {i} out of {}",
+            self.n_modifiers
+        );
         special::COUNT + self.n_subjects + self.n_verbs + self.n_objects + i
     }
 
@@ -114,7 +122,10 @@ impl VocabSpec {
 
     /// Render a sequence of ids as space-joined tokens.
     pub fn render_seq(&self, ids: &[usize]) -> String {
-        ids.iter().map(|&i| self.render(i)).collect::<Vec<_>>().join(" ")
+        ids.iter()
+            .map(|&i| self.render(i))
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 }
 
@@ -139,7 +150,9 @@ mod tests {
             assert!(seen.insert(v.modifier(i)));
         }
         assert_eq!(seen.len() + special::COUNT, v.vocab_size());
-        assert!(seen.iter().all(|&id| id >= special::COUNT && id < v.vocab_size()));
+        assert!(seen
+            .iter()
+            .all(|&id| id >= special::COUNT && id < v.vocab_size()));
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Fully synchronous data-parallel training over a learner group.
+//!
+//! The paper's Section 3 setup trains on 8×A100 under FSDP: every step, all
+//! learners hold identical weights, compute gradients, all-reduce them, and
+//! apply the same optimizer update. Because the simulation is single-process
+//! and the learners are *identical by construction*, the canonical learner's
+//! step on the full batch already produces every learner's result bit-exactly
+//! — so [`DataParallelTrainer::step`] computes that one step (losses equal a
+//! single-process [`Trainer`] run to the last bit) and charges the gradient
+//! ring all-reduce to the simulated clock: a reduce-scatter plus an
+//! all-gather, each `(L-1)` ring steps of `1/L` of the gradient bytes.
+
+use crate::LearnerGroup;
+use edkm_autograd::Var;
+use edkm_nn::{clip_grad_norm, AdamW, LlamaModel, LmBatch, TrainConfig, WeightHook};
+use edkm_tensor::runtime;
+
+/// Synchronous data-parallel counterpart of [`edkm_nn::Trainer`].
+#[derive(Debug)]
+pub struct DataParallelTrainer {
+    group: LearnerGroup,
+    optim: AdamW,
+    config: TrainConfig,
+    losses: Vec<f32>,
+}
+
+impl DataParallelTrainer {
+    /// A trainer stepping `group` learners in lockstep.
+    pub fn new(group: LearnerGroup, config: TrainConfig) -> Self {
+        DataParallelTrainer {
+            group,
+            optim: AdamW::with_schedule(config.optim, config.schedule),
+            config,
+            losses: Vec::new(),
+        }
+    }
+
+    /// The learner group.
+    pub fn group(&self) -> LearnerGroup {
+        self.group
+    }
+
+    /// Loss history, one entry per step.
+    pub fn losses(&self) -> &[f32] {
+        &self.losses
+    }
+
+    /// The underlying optimizer.
+    pub fn optimizer(&self) -> &AdamW {
+        &self.optim
+    }
+
+    /// Split `batch` into one micro-batch per learner (balanced contiguous,
+    /// like index-list sharding). Ranks past the sequence count get `None`.
+    pub fn shard_batch(&self, batch: &LmBatch) -> Vec<Option<LmBatch>> {
+        let spec = self.group.shard_spec(batch.seqs.len());
+        (0..self.group.n_learners())
+            .map(|r| {
+                let range = spec.shard_range(r);
+                if range.is_empty() {
+                    None
+                } else {
+                    Some(LmBatch::new(batch.seqs[range].to_vec()))
+                }
+            })
+            .collect()
+    }
+
+    /// One synchronous data-parallel step; returns the loss.
+    ///
+    /// Numerically identical to [`edkm_nn::Trainer::step`] on the same batch
+    /// (invariant 1 of the distributed-training demo); additionally charges
+    /// the gradient all-reduce over the group to the simulated clock.
+    pub fn step(
+        &mut self,
+        model: &LlamaModel,
+        batch: &LmBatch,
+        params: &[Var],
+        hook: Option<WeightHook<'_>>,
+    ) -> f32 {
+        let loss = model.lm_loss(&batch.seqs, hook);
+        let loss_val = loss.value().item();
+        loss.backward();
+        self.charge_gradient_allreduce(params);
+        clip_grad_norm(params, self.config.clip_norm);
+        self.optim.step(params);
+        self.losses.push(loss_val);
+        loss_val
+    }
+
+    /// Charge the ring all-reduce of every parameter gradient: reduce-scatter
+    /// then all-gather, each moving `1/L` of the gradient per ring step.
+    fn charge_gradient_allreduce(&self, params: &[Var]) {
+        let learners = self.group.n_learners();
+        if learners <= 1 {
+            return;
+        }
+        for p in params {
+            if let Some(g) = p.grad() {
+                let bytes = g.numel() * g.dtype().size_bytes();
+                let spec = self.group.shard_spec(bytes);
+                // Two collective phases of a ring all-reduce.
+                runtime::record_all_gather(spec.shard_len(0), learners);
+                runtime::record_all_gather(spec.shard_len(0), learners);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edkm_nn::{AdamWConfig, LlamaConfig, Trainer};
+    use edkm_tensor::{DType, Device};
+
+    fn config() -> TrainConfig {
+        TrainConfig {
+            optim: AdamWConfig {
+                lr: 1e-3,
+                ..AdamWConfig::default()
+            },
+            ..TrainConfig::default()
+        }
+    }
+
+    fn batch() -> LmBatch {
+        LmBatch::new(vec![
+            vec![1, 2, 3, 1],
+            vec![2, 3, 1, 2],
+            vec![3, 1, 2, 3],
+            vec![1, 3, 2, 1],
+        ])
+    }
+
+    #[test]
+    fn dp_losses_match_single_process_bitexact() {
+        let single: Vec<f32> = {
+            runtime::reset();
+            let model = LlamaModel::new(LlamaConfig::tiny(), DType::F32, Device::Cpu, 0);
+            let params = model.params();
+            let mut t = Trainer::new(config());
+            (0..4)
+                .map(|_| t.step(&model, &batch(), &params, None))
+                .collect()
+        };
+        let dp: Vec<f32> = {
+            runtime::reset();
+            let model = LlamaModel::new(LlamaConfig::tiny(), DType::F32, Device::Cpu, 0);
+            let params = model.params();
+            let mut t = DataParallelTrainer::new(LearnerGroup::new(4), config());
+            (0..4)
+                .map(|_| t.step(&model, &batch(), &params, None))
+                .collect()
+        };
+        assert_eq!(single, dp, "synchronous DP must be bit-exact");
+    }
+
+    #[test]
+    fn dp_step_charges_allreduce_time() {
+        let solo_t = {
+            runtime::reset();
+            let model = LlamaModel::new(LlamaConfig::tiny(), DType::F32, Device::Cpu, 0);
+            let params = model.params();
+            let mut t = DataParallelTrainer::new(LearnerGroup::new(1), config());
+            t.step(&model, &batch(), &params, None);
+            runtime::sim_seconds()
+        };
+        let dp_t = {
+            runtime::reset();
+            let model = LlamaModel::new(LlamaConfig::tiny(), DType::F32, Device::Cpu, 0);
+            let params = model.params();
+            let mut t = DataParallelTrainer::new(LearnerGroup::new(8), config());
+            t.step(&model, &batch(), &params, None);
+            runtime::sim_seconds()
+        };
+        assert!(
+            dp_t > solo_t,
+            "the gradient all-reduce must cost simulated time: {dp_t} vs {solo_t}"
+        );
+    }
+
+    #[test]
+    fn shard_batch_is_balanced_with_empty_tail() {
+        runtime::reset();
+        let t = DataParallelTrainer::new(LearnerGroup::new(3), config());
+        let shards = t.shard_batch(&batch());
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0].as_ref().unwrap().batch_size(), 2);
+        assert_eq!(shards[1].as_ref().unwrap().batch_size(), 1);
+        assert_eq!(shards[2].as_ref().unwrap().batch_size(), 1);
+        // More learners than sequences: tail ranks sit this step out.
+        let t = DataParallelTrainer::new(LearnerGroup::new(7), config());
+        let shards = t.shard_batch(&batch());
+        assert!(shards[6].is_none());
+        // Reassembling the shards restores the batch.
+        let all: Vec<Vec<usize>> = shards.into_iter().flatten().flat_map(|b| b.seqs).collect();
+        assert_eq!(all, batch().seqs);
+    }
+
+    #[test]
+    fn accessors() {
+        runtime::reset();
+        let t = DataParallelTrainer::new(LearnerGroup::new(4), config());
+        assert_eq!(t.group().n_learners(), 4);
+        assert!(t.losses().is_empty());
+        assert_eq!(t.optimizer().steps(), 0);
+    }
+}

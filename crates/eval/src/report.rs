@@ -23,7 +23,10 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
         .first()
         .map(|r| r.accuracies.iter().map(|(k, _)| k.name()).collect())
         .unwrap_or_default();
-    s.push_str(&format!("{:<14} {:>4} {:>10}", "Method", "bits", "Size(KB)"));
+    s.push_str(&format!(
+        "{:<14} {:>4} {:>10}",
+        "Method", "bits", "Size(KB)"
+    ));
     for h in &headers {
         s.push_str(&format!(" {h:>10}"));
     }

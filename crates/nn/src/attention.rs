@@ -120,10 +120,38 @@ impl CausalSelfAttention {
         assert_eq!(d_model % n_heads, 0, "d_model must divide by n_heads");
         assert_eq!((d_model / n_heads) % 2, 0, "head dim must be even for RoPE");
         CausalSelfAttention {
-            q_proj: Linear::new(format!("{prefix}.q_proj"), d_model, d_model, dtype, device, seed),
-            k_proj: Linear::new(format!("{prefix}.k_proj"), d_model, d_model, dtype, device, seed + 1),
-            v_proj: Linear::new(format!("{prefix}.v_proj"), d_model, d_model, dtype, device, seed + 2),
-            o_proj: Linear::new(format!("{prefix}.o_proj"), d_model, d_model, dtype, device, seed + 3),
+            q_proj: Linear::new(
+                format!("{prefix}.q_proj"),
+                d_model,
+                d_model,
+                dtype,
+                device,
+                seed,
+            ),
+            k_proj: Linear::new(
+                format!("{prefix}.k_proj"),
+                d_model,
+                d_model,
+                dtype,
+                device,
+                seed + 1,
+            ),
+            v_proj: Linear::new(
+                format!("{prefix}.v_proj"),
+                d_model,
+                d_model,
+                dtype,
+                device,
+                seed + 2,
+            ),
+            o_proj: Linear::new(
+                format!("{prefix}.o_proj"),
+                d_model,
+                d_model,
+                dtype,
+                device,
+                seed + 3,
+            ),
             n_heads,
             d_model,
             rope_theta,
@@ -146,14 +174,20 @@ impl CausalSelfAttention {
     ///
     /// Panics if `x` is not `[b·t, d_model]`.
     pub fn forward(&self, x: &Var, b: usize, t: usize, hook: Option<WeightHook<'_>>) -> Var {
-        assert_eq!(x.value().shape(), &[b * t, self.d_model], "attention input shape");
+        assert_eq!(
+            x.value().shape(),
+            &[b * t, self.d_model],
+            "attention input shape"
+        );
         let h = self.n_heads;
         let hd = self.d_model / h;
         let device = x.value().device();
 
         let split = |y: &Var| -> Var {
             // [bt, d] -> [b, t, h, hd] -> [b, h, t, hd] -> [bh, t, hd]
-            y.reshape(&[b, t, h, hd]).transpose(1, 2).reshape(&[b * h, t, hd])
+            y.reshape(&[b, t, h, hd])
+                .transpose(1, 2)
+                .reshape(&[b * h, t, hd])
         };
 
         let (cos, sin) = rope_tables(t, hd, self.rope_theta);
@@ -214,7 +248,11 @@ mod tests {
         let (cos, sin) = rope_tables(3, 4, 10000.0);
         let w = Tensor::randn(&[1, 3, 4], DType::F32, Device::Cpu, 2);
         check_gradients(
-            |vs| rope(&vs[0], &cos, &sin).mul(&Var::constant(w.clone())).sum_all(),
+            |vs| {
+                rope(&vs[0], &cos, &sin)
+                    .mul(&Var::constant(w.clone()))
+                    .sum_all()
+            },
             &[x],
             1e-2,
             2e-2,

@@ -227,10 +227,14 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
     fn u32(&mut self) -> Result<u32, CheckpointError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
     fn u64(&mut self) -> Result<u64, CheckpointError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
     fn string(&mut self) -> Result<String, CheckpointError> {
         let n = self.u64()? as usize;
@@ -367,7 +371,10 @@ mod tests {
             TrainCheckpoint::from_bytes(&bytes[..bytes.len() / 2]),
             Err(CheckpointError::Truncated)
         );
-        assert_eq!(TrainCheckpoint::from_bytes(&[]), Err(CheckpointError::Truncated));
+        assert_eq!(
+            TrainCheckpoint::from_bytes(&[]),
+            Err(CheckpointError::Truncated)
+        );
     }
 
     #[test]
@@ -423,12 +430,7 @@ mod tests {
         runtime::reset();
         let (model, mut trainer, batch) = setup();
         let params = model.params();
-        let mean = trainer.step_accumulated(
-            &model,
-            &[batch.clone(), batch.clone()],
-            &params,
-            None,
-        );
+        let mean = trainer.step_accumulated(&model, &[batch.clone(), batch.clone()], &params, None);
         assert!(mean.is_finite());
         assert_eq!(trainer.losses().len(), 1, "one entry per optimizer step");
     }

@@ -39,7 +39,14 @@ impl DecoderLayer {
                 seed,
             ),
             post_norm: RmsNorm::new(format!("{prefix}.post_norm"), d_model, dtype, device),
-            mlp: SwiGluMlp::new(&format!("{prefix}.mlp"), d_model, d_ff, dtype, device, seed + 10),
+            mlp: SwiGluMlp::new(
+                &format!("{prefix}.mlp"),
+                d_model,
+                d_ff,
+                dtype,
+                device,
+                seed + 10,
+            ),
         }
     }
 
@@ -100,7 +107,11 @@ mod tests {
         // With zeroed projections the layer must be the identity (residuals).
         let layer = DecoderLayer::new(0, 8, 2, 16, 10000.0, DType::F32, Device::Cpu, 0);
         let zero_hook = |_: &str, w: &Var| -> Var {
-            Var::constant(Tensor::zeros(w.value().shape(), w.value().dtype(), w.value().device()))
+            Var::constant(Tensor::zeros(
+                w.value().shape(),
+                w.value().dtype(),
+                w.value().device(),
+            ))
         };
         let x = Tensor::randn(&[4, 8], DType::F32, Device::Cpu, 2);
         let y = layer.forward(&Var::constant(x.clone()), 1, 4, Some(&zero_hook));

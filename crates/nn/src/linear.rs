@@ -97,10 +97,19 @@ mod tests {
     fn hook_substitutes_weight() {
         runtime::reset();
         let lin = Linear::new("proj", 2, 2, DType::F32, Device::Cpu, 0);
-        let x = Var::constant(Tensor::from_vec(vec![1.0, 1.0], &[1, 2], DType::F32, Device::Cpu));
+        let x = Var::constant(Tensor::from_vec(
+            vec![1.0, 1.0],
+            &[1, 2],
+            DType::F32,
+            Device::Cpu,
+        ));
         let zero_hook = |name: &str, w: &Var| -> Var {
             assert_eq!(name, "proj");
-            Var::constant(Tensor::zeros(w.value().shape(), w.value().dtype(), w.value().device()))
+            Var::constant(Tensor::zeros(
+                w.value().shape(),
+                w.value().dtype(),
+                w.value().device(),
+            ))
         };
         let y = lin.forward(&x, Some(&zero_hook));
         assert_eq!(y.value().to_vec(), vec![0.0, 0.0]);

@@ -23,9 +23,30 @@ impl SwiGluMlp {
         seed: u64,
     ) -> Self {
         SwiGluMlp {
-            gate_proj: Linear::new(format!("{prefix}.gate_proj"), d_model, d_ff, dtype, device, seed),
-            up_proj: Linear::new(format!("{prefix}.up_proj"), d_model, d_ff, dtype, device, seed + 1),
-            down_proj: Linear::new(format!("{prefix}.down_proj"), d_ff, d_model, dtype, device, seed + 2),
+            gate_proj: Linear::new(
+                format!("{prefix}.gate_proj"),
+                d_model,
+                d_ff,
+                dtype,
+                device,
+                seed,
+            ),
+            up_proj: Linear::new(
+                format!("{prefix}.up_proj"),
+                d_model,
+                d_ff,
+                dtype,
+                device,
+                seed + 1,
+            ),
+            down_proj: Linear::new(
+                format!("{prefix}.down_proj"),
+                d_ff,
+                d_model,
+                dtype,
+                device,
+                seed + 2,
+            ),
         }
     }
 

@@ -80,7 +80,14 @@ pub struct LlamaModel {
 impl LlamaModel {
     /// Build a model with seeded initialization.
     pub fn new(config: LlamaConfig, dtype: DType, device: Device, seed: u64) -> Self {
-        let embed = Embedding::new("embed_tokens", config.vocab, config.d_model, dtype, device, seed);
+        let embed = Embedding::new(
+            "embed_tokens",
+            config.vocab,
+            config.d_model,
+            dtype,
+            device,
+            seed,
+        );
         let layers = (0..config.n_layers)
             .map(|i| {
                 DecoderLayer::new(
@@ -96,7 +103,14 @@ impl LlamaModel {
             })
             .collect();
         let final_norm = RmsNorm::new("final_norm", config.d_model, dtype, device);
-        let lm_head = Linear::new("lm_head", config.d_model, config.vocab, dtype, device, seed + 7);
+        let lm_head = Linear::new(
+            "lm_head",
+            config.d_model,
+            config.vocab,
+            dtype,
+            device,
+            seed + 7,
+        );
         LlamaModel {
             config,
             embed,
@@ -190,8 +204,14 @@ impl LlamaModel {
                 out.push((n.name().to_string(), n.weight().clone()));
             }
         }
-        out.push((self.final_norm.name().to_string(), self.final_norm.weight().clone()));
-        out.push((self.lm_head.name().to_string(), self.lm_head.weight().clone()));
+        out.push((
+            self.final_norm.name().to_string(),
+            self.final_norm.weight().clone(),
+        ));
+        out.push((
+            self.lm_head.name().to_string(),
+            self.lm_head.weight().clone(),
+        ));
         out
     }
 
@@ -306,7 +326,10 @@ mod tests {
         let seqs = vec![vec![0usize; 6]];
         let loss = model.lm_loss(&seqs, None).value().item();
         let uniform = (cfg.vocab as f32).ln();
-        assert!((loss - uniform).abs() < 0.5, "init loss {loss} vs ln|V| {uniform}");
+        assert!(
+            (loss - uniform).abs() < 0.5,
+            "init loss {loss} vs ln|V| {uniform}"
+        );
     }
 
     #[test]

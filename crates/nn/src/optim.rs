@@ -170,8 +170,9 @@ impl AdamW {
                 st.v[i] = b2 * st.v[i] + (1.0 - b2) * g[i] * g[i];
                 let mhat = st.m[i] / bc1;
                 let vhat = st.v[i] / bc2;
-                st.master[i] -=
-                    lr * (mhat / (vhat.sqrt() + self.config.eps) + self.config.weight_decay * st.master[i]);
+                st.master[i] -= lr
+                    * (mhat / (vhat.sqrt() + self.config.eps)
+                        + self.config.weight_decay * st.master[i]);
             }
             let master = &st.master;
             p.value().apply_inplace(|i, _| master[i]);
@@ -228,7 +229,11 @@ pub fn clip_grad_norm(params: &[Var], max_norm: f32) -> f32 {
     let mut sq = 0.0f64;
     for p in params {
         if let Some(g) = p.grad() {
-            sq += g.to_vec().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+            sq += g
+                .to_vec()
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>();
         }
     }
     let norm = sq.sqrt() as f32;
@@ -262,7 +267,11 @@ mod tests {
             loss.backward();
             opt.step(std::slice::from_ref(&x));
         }
-        assert!((x.value().item() - 3.0).abs() < 0.05, "x={}", x.value().item());
+        assert!(
+            (x.value().item() - 3.0).abs() < 0.05,
+            "x={}",
+            x.value().item()
+        );
         assert_eq!(opt.steps(), 200);
     }
 
@@ -309,7 +318,12 @@ mod tests {
     #[test]
     fn clip_rescales_when_above_threshold() {
         runtime::reset();
-        let x = Var::param(Tensor::from_vec(vec![3.0, 4.0], &[2], DType::F32, Device::Cpu));
+        let x = Var::param(Tensor::from_vec(
+            vec![3.0, 4.0],
+            &[2],
+            DType::F32,
+            Device::Cpu,
+        ));
         x.square().sum_all().backward(); // grad = [6, 8], norm 10
         let norm = clip_grad_norm(std::slice::from_ref(&x), 1.0);
         assert!((norm - 10.0).abs() < 1e-4);
@@ -321,7 +335,12 @@ mod tests {
     #[test]
     fn clip_leaves_small_grads_alone() {
         runtime::reset();
-        let x = Var::param(Tensor::from_vec(vec![0.01, 0.02], &[2], DType::F32, Device::Cpu));
+        let x = Var::param(Tensor::from_vec(
+            vec![0.01, 0.02],
+            &[2],
+            DType::F32,
+            Device::Cpu,
+        ));
         x.sum_all().backward(); // grad = [1, 1], norm sqrt2
         let norm = clip_grad_norm(std::slice::from_ref(&x), 10.0);
         assert!((norm - 2.0f32.sqrt()).abs() < 1e-5);

@@ -139,7 +139,12 @@ mod tests {
         let xd: Vec<f32> = x
             .to_vec()
             .chunks(16)
-            .flat_map(|row| row.iter().zip(&scales).map(|(v, s)| v * s).collect::<Vec<_>>())
+            .flat_map(|row| {
+                row.iter()
+                    .zip(&scales)
+                    .map(|(v, s)| v * s)
+                    .collect::<Vec<_>>()
+            })
             .collect();
         Tensor::from_vec(xd, &[96, 16], DType::F32, Device::Cpu)
     }
@@ -174,7 +179,10 @@ mod tests {
             "AWQ must not lose to RTN on calibration: {e_awq} vs {e_rtn}"
         );
         // And with strong outliers it should win strictly.
-        assert!(e_awq < e_rtn * 0.95, "expected a strict win: {e_awq} vs {e_rtn}");
+        assert!(
+            e_awq < e_rtn * 0.95,
+            "expected a strict win: {e_awq} vs {e_rtn}"
+        );
     }
 
     #[test]

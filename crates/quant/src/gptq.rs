@@ -102,8 +102,7 @@ impl WeightQuantizer for GptqQuantizer {
             }
         };
         // Dead inputs + dampening.
-        let mean_diag: f32 =
-            (0..cols).map(|i| h[i * cols + i]).sum::<f32>() / cols as f32;
+        let mean_diag: f32 = (0..cols).map(|i| h[i * cols + i]).sum::<f32>() / cols as f32;
         let damp = (self.damp_frac * mean_diag).max(1e-6);
         for i in 0..cols {
             if h[i * cols + i] == 0.0 {
@@ -233,12 +232,19 @@ mod tests {
         runtime::reset();
         // Anisotropic activations (some channels much louder) is where
         // second-order compensation pays off.
-        let scales: Vec<f32> = (0..16).map(|i| if i % 4 == 0 { 8.0 } else { 0.5 }).collect();
+        let scales: Vec<f32> = (0..16)
+            .map(|i| if i % 4 == 0 { 8.0 } else { 0.5 })
+            .collect();
         let x_raw = Tensor::randn(&[128, 16], DType::F32, Device::Cpu, 1);
         let xd: Vec<f32> = x_raw
             .to_vec()
             .chunks(16)
-            .flat_map(|row| row.iter().zip(&scales).map(|(v, s)| v * s).collect::<Vec<_>>())
+            .flat_map(|row| {
+                row.iter()
+                    .zip(&scales)
+                    .map(|(v, s)| v * s)
+                    .collect::<Vec<_>>()
+            })
             .collect();
         let x = Tensor::from_vec(xd, &[128, 16], DType::F32, Device::Cpu);
         let w = Tensor::randn(&[8, 16], DType::F32, Device::Cpu, 2);
@@ -259,7 +265,8 @@ mod tests {
         let x = Tensor::randn(&[64, 12], DType::F32, Device::Cpu, 3);
         let w = Tensor::randn(&[6, 12], DType::F32, Device::Cpu, 4);
         let q = GptqQuantizer::new(8, 0).quantize(&w, Some(&x));
-        let rel = output_mse(&x, &w, &q.dequantized) / output_mse(&x, &w, &Tensor::zeros(&[6, 12], DType::F32, Device::Cpu));
+        let rel = output_mse(&x, &w, &q.dequantized)
+            / output_mse(&x, &w, &Tensor::zeros(&[6, 12], DType::F32, Device::Cpu));
         assert!(rel < 1e-4, "8-bit relative error {rel}");
     }
 
@@ -273,13 +280,20 @@ mod tests {
         let xd: Vec<f32> = x_raw
             .to_vec()
             .chunks(16)
-            .flat_map(|row| row.iter().zip(&scales).map(|(v, s)| v * s).collect::<Vec<_>>())
+            .flat_map(|row| {
+                row.iter()
+                    .zip(&scales)
+                    .map(|(v, s)| v * s)
+                    .collect::<Vec<_>>()
+            })
             .collect();
         let x = Tensor::from_vec(xd, &[128, 16], DType::F32, Device::Cpu);
         let w = Tensor::randn(&[8, 16], DType::F32, Device::Cpu, 10);
 
         let plain = GptqQuantizer::new(3, 0).quantize(&w, Some(&x));
-        let ordered = GptqQuantizer::new(3, 0).with_act_order().quantize(&w, Some(&x));
+        let ordered = GptqQuantizer::new(3, 0)
+            .with_act_order()
+            .quantize(&w, Some(&x));
         let e_plain = output_mse(&x, &w, &plain.dequantized);
         let e_ordered = output_mse(&x, &w, &ordered.dequantized);
         assert!(
@@ -323,9 +337,8 @@ mod tests {
         let d = q.dequantized.to_vec();
         for r in 0..4 {
             for gi in 0..4 {
-                let seg: std::collections::HashSet<u32> = (0..4)
-                    .map(|c| d[r * 16 + gi * 4 + c].to_bits())
-                    .collect();
+                let seg: std::collections::HashSet<u32> =
+                    (0..4).map(|c| d[r * 16 + gi * 4 + c].to_bits()).collect();
                 assert!(seg.len() <= 8);
             }
         }

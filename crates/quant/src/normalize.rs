@@ -59,10 +59,7 @@ impl WeightNormed {
     /// Recompose `diag(g) · D` — exact inverse of [`Self::decompose`] up to
     /// floating-point rounding.
     pub fn recompose(&self) -> Tensor {
-        let (rows, cols) = (
-            self.directions.shape()[0],
-            self.directions.shape()[1],
-        );
+        let (rows, cols) = (self.directions.shape()[0], self.directions.shape()[1]);
         let d = self.directions.to_vec();
         let out: Vec<f32> = (0..rows * cols)
             .map(|i| d[i] * self.gains[i / cols])
@@ -77,10 +74,7 @@ impl WeightNormed {
     pub fn quantize_directions(&self, bits: u8) -> (Tensor, usize) {
         let d = self.directions.to_vec();
         let dq = affine_fake_quant(&d, bits);
-        let (rows, cols) = (
-            self.directions.shape()[0],
-            self.directions.shape()[1],
-        );
+        let (rows, cols) = (self.directions.shape()[0], self.directions.shape()[1]);
         let out: Vec<f32> = (0..rows * cols)
             .map(|i| dq[i] * self.gains[i / cols])
             .collect();

@@ -217,7 +217,10 @@ mod tests {
         let w = Tensor::randn(&[64, 64], DType::F32, Device::Cpu, 0);
         let dense_16bit = 64 * 64 * 2;
         let r90 = MagnitudePruner::unstructured(0.9).prune(&w);
-        assert!(r90.size_bytes < dense_16bit / 3, "90% sparse ≈ mask + 10% values");
+        assert!(
+            r90.size_bytes < dense_16bit / 3,
+            "90% sparse ≈ mask + 10% values"
+        );
         let r24 = MagnitudePruner::two_of_four().prune(&w);
         // 2:4 = half the values + 2 index bits each.
         assert!(r24.size_bytes < dense_16bit * 3 / 4);

@@ -1,6 +1,8 @@
 //! Round-to-nearest (RTN) uniform quantization.
 
-use crate::common::{affine_fake_quant, effective_group, group_quant_size_bytes, QuantResult, WeightQuantizer};
+use crate::common::{
+    affine_fake_quant, effective_group, group_quant_size_bytes, QuantResult, WeightQuantizer,
+};
 use edkm_tensor::{DType, Tensor};
 
 /// Per-group affine min–max quantizer (the simplest PTQ baseline in

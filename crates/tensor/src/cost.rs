@@ -60,7 +60,11 @@ impl Default for CostModel {
 impl CostModel {
     /// Seconds to execute `flops` floating-point operations on `device`.
     pub fn compute_s(&self, flops: f64, device: Device) -> f64 {
-        let rate = if device.is_gpu() { self.gpu_flops } else { self.cpu_flops };
+        let rate = if device.is_gpu() {
+            self.gpu_flops
+        } else {
+            self.cpu_flops
+        };
         flops / rate
     }
 

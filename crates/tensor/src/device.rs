@@ -9,8 +9,9 @@
 use serde::{Deserialize, Serialize};
 
 /// A logical compute device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub enum Device {
     /// Host memory ("CPU" in the paper: the offload target).
     #[default]
@@ -39,7 +40,6 @@ impl Device {
         matches!(self, Device::Cpu)
     }
 }
-
 
 impl std::fmt::Display for Device {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

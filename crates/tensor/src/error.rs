@@ -48,7 +48,10 @@ impl std::fmt::Display for TensorError {
                 write!(f, "tensor expected on {expected}, found on {actual}")
             }
             TensorError::ShapeMismatch { from, to } => {
-                write!(f, "cannot reshape {from} elements into a {to}-element shape")
+                write!(
+                    f,
+                    "cannot reshape {from} elements into a {to}-element shape"
+                )
             }
             TensorError::InvalidAxis { axis, rank } => {
                 write!(f, "axis {axis} out of range for rank {rank}")

@@ -36,7 +36,11 @@ impl Layout {
             shape.len(),
             strides.len()
         );
-        Layout { shape, strides, offset }
+        Layout {
+            shape,
+            strides,
+            offset,
+        }
     }
 
     /// Logical shape.
@@ -106,12 +110,19 @@ impl Layout {
     ///
     /// Panics if either axis is out of range.
     pub fn transpose(&self, d0: usize, d1: usize) -> Layout {
-        assert!(d0 < self.rank() && d1 < self.rank(), "transpose axes out of range");
+        assert!(
+            d0 < self.rank() && d1 < self.rank(),
+            "transpose axes out of range"
+        );
         let mut shape = self.shape.clone();
         let mut strides = self.strides.clone();
         shape.swap(d0, d1);
         strides.swap(d0, d1);
-        Layout { shape, strides, offset: self.offset }
+        Layout {
+            shape,
+            strides,
+            offset: self.offset,
+        }
     }
 
     /// Layout of a contiguous view reshaped to `shape`.
@@ -180,10 +191,7 @@ impl Layout {
             } else if s == 1 {
                 strides[i] = 0;
             } else {
-                panic!(
-                    "cannot broadcast shape {:?} to {:?}",
-                    self.shape, target
-                );
+                panic!("cannot broadcast shape {:?} to {:?}", self.shape, target);
             }
         }
         Layout {
@@ -222,8 +230,16 @@ pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Vec<usize> {
     let rank = a.len().max(b.len());
     let mut out = vec![0usize; rank];
     for i in 0..rank {
-        let da = if i + a.len() >= rank { a[i + a.len() - rank] } else { 1 };
-        let db = if i + b.len() >= rank { b[i + b.len() - rank] } else { 1 };
+        let da = if i + a.len() >= rank {
+            a[i + a.len() - rank]
+        } else {
+            1
+        };
+        let db = if i + b.len() >= rank {
+            b[i + b.len() - rank]
+        } else {
+            1
+        };
         out[i] = if da == db {
             da
         } else if da == 1 {

@@ -6,6 +6,11 @@
 
 use crate::layout::broadcast_shapes;
 use crate::{runtime, DType, Tensor};
+use rayon::prelude::*;
+
+/// Multiply-accumulate count below which a kernel stays single-threaded
+/// (spawning workers costs more than it saves on small tensors).
+const PAR_WORK_THRESHOLD: usize = 1 << 17;
 
 /// Dtype promotion for binary ops: like dtypes stay, unlike promote to f32.
 pub fn promote(a: DType, b: DType) -> DType {
@@ -38,7 +43,14 @@ pub fn binary_op(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor 
 
     let out = if a.shape() == b.shape() && a.shape() == out_shape.as_slice() {
         // Fast path: identical logical order.
-        a.with_data(|av| b.with_data(|bv| av.iter().zip(bv).map(|(&x, &y)| f(x, y)).collect::<Vec<f32>>()))
+        a.with_data(|av| {
+            b.with_data(|bv| {
+                av.iter()
+                    .zip(bv)
+                    .map(|(&x, &y)| f(x, y))
+                    .collect::<Vec<f32>>()
+            })
+        })
     } else {
         let la = a.layout().broadcast_to(&out_shape);
         let lb = b.layout().broadcast_to(&out_shape);
@@ -108,7 +120,13 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(b.rank(), 2, "matmul rhs must be 2-D, got {:?}", b.shape());
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
-    assert_eq!(k, k2, "matmul inner dims: {:?} × {:?}", a.shape(), b.shape());
+    assert_eq!(
+        k,
+        k2,
+        "matmul inner dims: {:?} × {:?}",
+        a.shape(),
+        b.shape()
+    );
 
     let dt = promote(a.dtype(), b.dtype());
     let out = a.with_data(|ad| b.with_data(|bd| matmul_kernel(ad, bd, m, k, n)));
@@ -124,17 +142,56 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 
 pub(crate) fn matmul_kernel(ad: &[f32], bd: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let a_row = &ad[i * k..(i + 1) * k];
-        let o_row = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in a_row.iter().enumerate() {
-            let b_row = &bd[p * n..(p + 1) * n];
-            for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
+    batched_matmul_into(&mut out, ad, bd, 1, m, k, n);
+    out
+}
+
+/// `out[i, :] += a_row ⋅ B` for one output row.
+#[inline]
+fn matmul_row(o_row: &mut [f32], a_row: &[f32], bd: &[f32], n: usize) {
+    for (p, &av) in a_row.iter().enumerate() {
+        let b_row = &bd[p * n..(p + 1) * n];
+        for (o, &bv) in o_row.iter_mut().zip(b_row) {
+            *o += av * bv;
         }
     }
-    out
+}
+
+/// Batched `[ba,m,k] × [ba,k,n] → [ba,m,n]` into a zeroed `out`, splitting
+/// the `ba·m` output rows across worker threads when the multiply count
+/// clears [`PAR_WORK_THRESHOLD`]. Workers only touch their own output rows;
+/// all runtime accounting stays with the caller.
+fn batched_matmul_into(
+    out: &mut [f32],
+    ad: &[f32],
+    bd: &[f32],
+    ba: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(out.len(), ba * m * n);
+    if n == 0 {
+        return; // zero-width output: nothing to compute (chunking needs n > 0)
+    }
+    let row = |idx: usize| {
+        let (bi, i) = (idx / m, idx % m);
+        (
+            &ad[bi * m * k + i * k..][..k],
+            &bd[bi * k * n..(bi + 1) * k * n],
+        )
+    };
+    if ba * m * n * k >= PAR_WORK_THRESHOLD && ba * m > 1 {
+        out.par_chunks_mut(n).enumerate().for_each(|(idx, o_row)| {
+            let (a_row, b_mat) = row(idx);
+            matmul_row(o_row, a_row, b_mat, n);
+        });
+    } else {
+        for (idx, o_row) in out.chunks_mut(n).enumerate() {
+            let (a_row, b_mat) = row(idx);
+            matmul_row(o_row, a_row, b_mat, n);
+        }
+    }
 }
 
 /// Batched matrix product `[b,m,k] × [b,k,n] → [b,m,n]`.
@@ -153,16 +210,7 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
 
     let dt = promote(a.dtype(), b.dtype());
     let mut out = vec![0.0f32; ba * m * n];
-    a.with_data(|ad| {
-        b.with_data(|bd| {
-            for bi in 0..ba {
-                let ares = &ad[bi * m * k..(bi + 1) * m * k];
-                let bres = &bd[bi * k * n..(bi + 1) * k * n];
-                let chunk = matmul_kernel(ares, bres, m, k, n);
-                out[bi * m * n..(bi + 1) * m * n].copy_from_slice(&chunk);
-            }
-        })
-    });
+    a.with_data(|ad| b.with_data(|bd| batched_matmul_into(&mut out, ad, bd, ba, m, k, n)));
     if dt.is_16bit() {
         for v in &mut out {
             *v = dt.round(*v);
@@ -325,23 +373,37 @@ pub fn neg_sqdist(w: &Tensor, c: &Tensor) -> Tensor {
     check_same_device(w, c, "neg_sqdist");
     assert_eq!(w.rank(), 2, "neg_sqdist: w must be [n,d]");
     assert_eq!(c.rank(), 2, "neg_sqdist: c must be [k,d]");
-    assert_eq!(w.shape()[1], c.shape()[1], "neg_sqdist: feature dims differ");
+    assert_eq!(
+        w.shape()[1],
+        c.shape()[1],
+        "neg_sqdist: feature dims differ"
+    );
     let (n, d) = (w.shape()[0], w.shape()[1]);
     let k = c.shape()[0];
     let mut out = vec![0.0f32; n * k];
+    let sqdist_row = |i: usize, orow: &mut [f32], wd: &[f32], cd: &[f32]| {
+        let wrow = &wd[i * d..(i + 1) * d];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let crow = &cd[j * d..(j + 1) * d];
+            let mut acc = 0.0f32;
+            for (&wv, &cv) in wrow.iter().zip(crow) {
+                let diff = wv - cv;
+                acc += diff * diff;
+            }
+            *o = -acc;
+        }
+    };
     w.with_data(|wd| {
         c.with_data(|cd| {
-            for i in 0..n {
-                let wrow = &wd[i * d..(i + 1) * d];
-                let orow = &mut out[i * k..(i + 1) * k];
-                for (j, o) in orow.iter_mut().enumerate() {
-                    let crow = &cd[j * d..(j + 1) * d];
-                    let mut acc = 0.0f32;
-                    for (&wv, &cv) in wrow.iter().zip(crow) {
-                        let diff = wv - cv;
-                        acc += diff * diff;
-                    }
-                    *o = -acc;
+            if k == 0 {
+                // zero centroids: empty map (chunking needs k > 0)
+            } else if n * k * d >= PAR_WORK_THRESHOLD && n > 1 {
+                out.par_chunks_mut(k)
+                    .enumerate()
+                    .for_each(|(i, orow)| sqdist_row(i, orow, wd, cd));
+            } else {
+                for (i, orow) in out.chunks_mut(k).enumerate() {
+                    sqdist_row(i, orow, wd, cd);
                 }
             }
         })
@@ -372,7 +434,12 @@ pub fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
 
 /// Euclidean norm of all elements.
 pub fn l2_norm(t: &Tensor) -> f32 {
-    t.with_data(|d| d.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt() as f32)
+    t.with_data(|d| {
+        d.iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt() as f32
+    })
 }
 
 #[cfg(test)]
@@ -397,11 +464,20 @@ mod tests {
         runtime::reset();
         let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
         let row = t(vec![10.0, 20.0, 30.0], &[3]);
-        assert_eq!(add(&a, &row).to_vec(), vec![11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        assert_eq!(
+            add(&a, &row).to_vec(),
+            vec![11.0, 22.0, 33.0, 14.0, 25.0, 36.0]
+        );
         let s = t(vec![100.0], &[1]);
-        assert_eq!(add(&a, &s).to_vec(), vec![101.0, 102.0, 103.0, 104.0, 105.0, 106.0]);
+        assert_eq!(
+            add(&a, &s).to_vec(),
+            vec![101.0, 102.0, 103.0, 104.0, 105.0, 106.0]
+        );
         let col = t(vec![1.0, 2.0], &[2, 1]);
-        assert_eq!(mul(&col, &row).to_vec(), vec![10.0, 20.0, 30.0, 20.0, 40.0, 60.0]);
+        assert_eq!(
+            mul(&col, &row).to_vec(),
+            vec![10.0, 20.0, 30.0, 20.0, 40.0, 60.0]
+        );
     }
 
     #[test]
@@ -474,6 +550,88 @@ mod tests {
     fn matmul_bad_shapes_panics() {
         runtime::reset();
         matmul(&t(vec![0.0; 6], &[2, 3]), &t(vec![0.0; 4], &[2, 2]));
+    }
+
+    #[test]
+    fn zero_width_matmul_and_bmm_return_empty() {
+        runtime::reset();
+        let a = t(vec![0.0; 6], &[2, 3]);
+        let b = Tensor::zeros(&[3, 0], DType::F32, Device::Cpu);
+        let r = matmul(&a, &b);
+        assert_eq!(r.shape(), &[2, 0]);
+        assert!(r.to_vec().is_empty());
+        let a3 = Tensor::zeros(&[2, 2, 3], DType::F32, Device::Cpu);
+        let b3 = Tensor::zeros(&[2, 3, 0], DType::F32, Device::Cpu);
+        assert_eq!(bmm(&a3, &b3).shape(), &[2, 2, 0]);
+    }
+
+    #[test]
+    fn zero_centroid_neg_sqdist_returns_empty() {
+        runtime::reset();
+        let w = t(vec![1.0, 2.0], &[2, 1]);
+        let c = Tensor::zeros(&[0, 1], DType::F32, Device::Cpu);
+        let r = neg_sqdist(&w, &c);
+        assert_eq!(r.shape(), &[2, 0]);
+        assert!(r.to_vec().is_empty());
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial_reference() {
+        runtime::reset();
+        // Big enough to clear PAR_WORK_THRESHOLD and exercise the threaded
+        // path; compare row-by-row against a straightforward serial product.
+        let (m, k, n) = (96, 64, 80);
+        let a = Tensor::randn(&[m, k], DType::F32, Device::Cpu, 21);
+        let b = Tensor::randn(&[k, n], DType::F32, Device::Cpu, 22);
+        assert!(m * k * n >= super::PAR_WORK_THRESHOLD);
+        let fast = matmul(&a, &b).to_vec();
+        let (av, bv) = (a.to_vec(), b.to_vec());
+        for i in 0..m {
+            for j in 0..n {
+                let want: f32 = (0..k).map(|p| av[i * k + p] * bv[p * n + j]).sum();
+                assert!((fast[i * n + j] - want).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_bmm_matches_big_batches() {
+        runtime::reset();
+        let (ba, m, k, n) = (12, 16, 32, 24);
+        let a = Tensor::randn(&[ba, m, k], DType::F32, Device::Cpu, 31);
+        let b = Tensor::randn(&[ba, k, n], DType::F32, Device::Cpu, 32);
+        assert!(ba * m * k * n >= super::PAR_WORK_THRESHOLD);
+        let r = bmm(&a, &b);
+        for bi in [0, 5, 11] {
+            let ab = matmul(
+                &a.slice(0, bi, 1).reshape(&[m, k]),
+                &b.slice(0, bi, 1).reshape(&[k, n]),
+            );
+            let rb = r.slice(0, bi, 1).reshape(&[m, n]);
+            assert!(allclose(&ab, &rb, 1e-5));
+        }
+    }
+
+    #[test]
+    fn parallel_neg_sqdist_matches_serial() {
+        runtime::reset();
+        let (n, k, d) = (2048, 32, 4);
+        let w = Tensor::randn(&[n, d], DType::F32, Device::Cpu, 41);
+        let c = Tensor::randn(&[k, d], DType::F32, Device::Cpu, 42);
+        assert!(n * k * d >= super::PAR_WORK_THRESHOLD);
+        let fast = neg_sqdist(&w, &c).to_vec();
+        let (wv, cv) = (w.to_vec(), c.to_vec());
+        for i in (0..n).step_by(97) {
+            for j in 0..k {
+                let want: f32 = -(0..d)
+                    .map(|p| {
+                        let diff = wv[i * d + p] - cv[j * d + p];
+                        diff * diff
+                    })
+                    .sum::<f32>();
+                assert!((fast[i * k + j] - want).abs() < 1e-4);
+            }
+        }
     }
 
     #[test]

@@ -98,7 +98,8 @@ impl PoolCell {
 
     /// Reset the peak to the current live value (to scope a measurement).
     pub fn reset_peak(&self) {
-        self.peak.store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.peak
+            .store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Snapshot the counters.

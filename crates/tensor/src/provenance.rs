@@ -209,7 +209,12 @@ mod tests {
             InvariantOp::Reshape { shape: vec![4, 2] },
             Arc::clone(&root),
         );
-        let b = TensorMeta::derived(sid(1), lay(), InvariantOp::Transpose { d0: 0, d1: 1 }, Arc::clone(&a));
+        let b = TensorMeta::derived(
+            sid(1),
+            lay(),
+            InvariantOp::Transpose { d0: 0, d1: 1 },
+            Arc::clone(&a),
+        );
 
         let anc = b.ancestors(4);
         assert_eq!(anc.len(), 2);
@@ -242,13 +247,21 @@ mod tests {
         assert_eq!(InvariantOp::Contiguous.name(), "contiguous");
         assert_eq!(InvariantOp::Alias.to_string(), "alias");
         assert_eq!(
-            InvariantOp::Slice { dim: 0, start: 2, len: 3 }.to_string(),
+            InvariantOp::Slice {
+                dim: 0,
+                start: 2,
+                len: 3
+            }
+            .to_string(),
             "slice(dim=0,2..5)"
         );
         assert_eq!(
             InvariantOp::Reshape { shape: vec![2, 2] }.to_string(),
             "reshape[2, 2]"
         );
-        assert_eq!(InvariantOp::Transpose { d0: 0, d1: 1 }.to_string(), "transpose(0,1)");
+        assert_eq!(
+            InvariantOp::Transpose { d0: 0, d1: 1 }.to_string(),
+            "transpose(0,1)"
+        );
     }
 }

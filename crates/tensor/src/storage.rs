@@ -47,7 +47,7 @@ impl Storage {
     /// `data.len() * dtype.size_bytes()` to `pool`.
     ///
     /// Callers normally go through [`crate::Tensor`] constructors, which fetch
-    /// the pool from the thread-local runtime.
+    /// the pool from the active runtime (see [`crate::runtime::current`]).
     pub fn new(data: Vec<f32>, device: Device, dtype: DType, pool: Arc<PoolCell>) -> Arc<Self> {
         let device_bytes = data.len() * dtype.size_bytes();
         pool.alloc(device_bytes);

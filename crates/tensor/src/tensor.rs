@@ -51,7 +51,13 @@ impl Tensor {
     /// Panics if `data.len()` does not match the product of `shape`.
     pub fn from_vec(mut data: Vec<f32>, shape: &[usize], dtype: DType, device: Device) -> Self {
         let numel: usize = shape.iter().product();
-        assert_eq!(data.len(), numel, "data length {} != shape {:?}", data.len(), shape);
+        assert_eq!(
+            data.len(),
+            numel,
+            "data length {} != shape {:?}",
+            data.len(),
+            shape
+        );
         if dtype.is_16bit() {
             for v in &mut data {
                 *v = dtype.round(*v);
@@ -115,7 +121,14 @@ impl Tensor {
     }
 
     /// Uniform samples in `[lo, hi)`, seeded.
-    pub fn uniform(shape: &[usize], lo: f32, hi: f32, dtype: DType, device: Device, seed: u64) -> Self {
+    pub fn uniform(
+        shape: &[usize],
+        lo: f32,
+        hi: f32,
+        dtype: DType,
+        device: Device,
+        seed: u64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let data = (0..shape.iter().product::<usize>())
             .map(|_| lo + (hi - lo) * rng.gen::<f32>())
@@ -158,7 +171,10 @@ impl Tensor {
         }
         let numel: usize = shape.iter().product();
         if bits.len() != numel {
-            return Err(TensorError::ShapeMismatch { from: bits.len(), to: numel });
+            return Err(TensorError::ShapeMismatch {
+                from: bits.len(),
+                to: numel,
+            });
         }
         let data = bits
             .iter()
@@ -308,7 +324,10 @@ impl Tensor {
     /// Panics if the tensor is not contiguous (in-place math on strided views
     /// is not needed by this crate's consumers and would hide aliasing bugs).
     pub fn apply_inplace(&self, mut f: impl FnMut(usize, f32) -> f32) {
-        assert!(self.is_contiguous(), "apply_inplace requires contiguous tensor");
+        assert!(
+            self.is_contiguous(),
+            "apply_inplace requires contiguous tensor"
+        );
         let off = self.layout.offset();
         let n = self.numel();
         let dt = self.dtype;
@@ -328,7 +347,10 @@ impl Tensor {
         assert_eq!(self.shape(), src.shape(), "copy_from shape mismatch");
         let data = src.to_vec();
         let dt = self.dtype;
-        assert!(self.is_contiguous(), "copy_from requires contiguous destination");
+        assert!(
+            self.is_contiguous(),
+            "copy_from requires contiguous destination"
+        );
         let off = self.layout.offset();
         self.storage.with_data_mut(|d| {
             for (dst, s) in d[off..off + data.len()].iter_mut().zip(&data) {
@@ -364,7 +386,12 @@ impl Tensor {
         Tensor {
             storage: Arc::clone(&self.storage),
             dtype: self.dtype,
-            meta: TensorMeta::derived(self.storage.id(), layout.clone(), op, Arc::clone(&self.meta)),
+            meta: TensorMeta::derived(
+                self.storage.id(),
+                layout.clone(),
+                op,
+                Arc::clone(&self.meta),
+            ),
             layout,
         }
     }
@@ -385,7 +412,9 @@ impl Tensor {
         if self.is_contiguous() {
             self.derived_view(
                 self.layout.reshape(shape),
-                InvariantOp::Reshape { shape: shape.to_vec() },
+                InvariantOp::Reshape {
+                    shape: shape.to_vec(),
+                },
             )
         } else {
             self.contiguous().reshape(shape)
@@ -403,7 +432,10 @@ impl Tensor {
     ///
     /// Panics if either axis is out of range.
     pub fn transpose(&self, d0: usize, d1: usize) -> Tensor {
-        self.derived_view(self.layout.transpose(d0, d1), InvariantOp::Transpose { d0, d1 })
+        self.derived_view(
+            self.layout.transpose(d0, d1),
+            InvariantOp::Transpose { d0, d1 },
+        )
     }
 
     /// Matrix transpose of a 2-D tensor.
@@ -447,7 +479,12 @@ impl Tensor {
         }
         let data = self.gather();
         runtime::record_compute(self.numel() as f64, self.device());
-        let storage = Storage::new(data, self.device(), self.dtype, runtime::pool(self.device()));
+        let storage = Storage::new(
+            data,
+            self.device(),
+            self.dtype,
+            runtime::pool(self.device()),
+        );
         let layout = Layout::contiguous(self.shape());
         let meta = TensorMeta::derived(
             storage.id(),
@@ -594,7 +631,12 @@ mod tests {
     #[test]
     fn from_vec_and_accessors() {
         runtime::reset();
-        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3], DType::F32, Device::Cpu);
+        let t = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            &[2, 3],
+            DType::F32,
+            Device::Cpu,
+        );
         assert_eq!(t.shape(), &[2, 3]);
         assert_eq!(t.rank(), 2);
         assert_eq!(t.numel(), 6);
@@ -612,10 +654,22 @@ mod tests {
     #[test]
     fn constructors() {
         runtime::reset();
-        assert_eq!(Tensor::zeros(&[3], DType::F32, Device::Cpu).to_vec(), vec![0.0; 3]);
-        assert_eq!(Tensor::ones(&[2], DType::F32, Device::Cpu).to_vec(), vec![1.0; 2]);
-        assert_eq!(Tensor::full(2.5, &[2], DType::F32, Device::Cpu).to_vec(), vec![2.5; 2]);
-        assert_eq!(Tensor::arange(4, DType::F32, Device::Cpu).to_vec(), vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(
+            Tensor::zeros(&[3], DType::F32, Device::Cpu).to_vec(),
+            vec![0.0; 3]
+        );
+        assert_eq!(
+            Tensor::ones(&[2], DType::F32, Device::Cpu).to_vec(),
+            vec![1.0; 2]
+        );
+        assert_eq!(
+            Tensor::full(2.5, &[2], DType::F32, Device::Cpu).to_vec(),
+            vec![2.5; 2]
+        );
+        assert_eq!(
+            Tensor::arange(4, DType::F32, Device::Cpu).to_vec(),
+            vec![0.0, 1.0, 2.0, 3.0]
+        );
         assert_eq!(Tensor::scalar(7.0, DType::F32, Device::Cpu).item(), 7.0);
     }
 

@@ -7,8 +7,8 @@
 //! Run with `cargo run --release --example baseline_zoo`.
 
 use edkm::quant::{
-    AwqQuantizer, GptqQuantizer, MagnitudePruner, RtnQuantizer, SmoothQuantQuantizer,
-    WeightNormed, WeightQuantizer,
+    AwqQuantizer, GptqQuantizer, MagnitudePruner, RtnQuantizer, SmoothQuantQuantizer, WeightNormed,
+    WeightQuantizer,
 };
 use edkm::tensor::{ops as t, DType, Device, Tensor};
 
@@ -48,7 +48,10 @@ fn main() {
 
     println!("quantizing a [{out_dim}, {in_dim}] projection at 3 and 4 bits");
     println!("calibration: 256 rows with outlier channels every 16 dims\n");
-    println!("{:<16} {:>5} {:>14} {:>12}", "method", "bits", "output MSE", "size (B)");
+    println!(
+        "{:<16} {:>5} {:>14} {:>12}",
+        "method", "bits", "output MSE", "size (B)"
+    );
 
     for bits in [4u8, 3] {
         let methods: Vec<Box<dyn WeightQuantizer>> = vec![
@@ -74,7 +77,10 @@ fn main() {
 
     // The other two branches of Fig. 1's taxonomy.
     println!("\n--- pruning (Fig. 1 branch) ---");
-    println!("{:<16} {:>8} {:>14} {:>12}", "pattern", "sparsity", "output MSE", "size (B)");
+    println!(
+        "{:<16} {:>8} {:>14} {:>12}",
+        "pattern", "sparsity", "output MSE", "size (B)"
+    );
     for pruner in [
         MagnitudePruner::unstructured(0.5),
         MagnitudePruner::unstructured(0.75),
@@ -84,8 +90,13 @@ fn main() {
         let label = match pruner.granularity() {
             edkm::quant::PruneGranularity::Unstructured { .. } => "unstructured",
             edkm::quant::PruneGranularity::NOfM { n, m } => {
-                println!("{:<16} {:>8.2} {:>14.4} {:>12}", format!("{n}:{m}"),
-                    r.achieved_sparsity, output_mse(&x, &w, &r.pruned), r.size_bytes);
+                println!(
+                    "{:<16} {:>8.2} {:>14.4} {:>12}",
+                    format!("{n}:{m}"),
+                    r.achieved_sparsity,
+                    output_mse(&x, &w, &r.pruned),
+                    r.size_bytes
+                );
                 continue;
             }
         };

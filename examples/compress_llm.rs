@@ -53,7 +53,11 @@ fn main() {
     }
     let held_out = corpus.subsample(23);
     let base_ppl = perplexity(&base, held_out.windows());
-    println!("base model: ppl {:.2}, {} bytes (bf16)\n", base_ppl, base.native_size_bytes());
+    println!(
+        "base model: ppl {:.2}, {} bytes (bf16)\n",
+        base_ppl,
+        base.native_size_bytes()
+    );
 
     // 2. RTN 3-bit (post-training, no fine-tuning).
     let rtn_model = fresh_copy(&base);

@@ -49,17 +49,24 @@ fn main() {
         let model = LlamaModel::new(cfg, DType::Bf16, Device::gpu(), 0);
         let params = model.params();
         let mut t = Trainer::new(train_cfg);
-        (0..5).map(|_| t.step(&model, &batch, &params, None)).collect()
+        (0..5)
+            .map(|_| t.step(&model, &batch, &params, None))
+            .collect()
     };
     let dp_losses: Vec<f32> = {
         runtime::reset();
         let model = LlamaModel::new(cfg, DType::Bf16, Device::gpu(), 0);
         let params = model.params();
         let mut t = DataParallelTrainer::new(LearnerGroup::new(4), train_cfg);
-        (0..5).map(|_| t.step(&model, &batch, &params, None)).collect()
+        (0..5)
+            .map(|_| t.step(&model, &batch, &params, None))
+            .collect()
     };
     for (i, (a, b)) in single_losses.iter().zip(&dp_losses).enumerate() {
-        println!("  step {i}: single {a:.6}  dp(4) {b:.6}  Δ {:.1e}", (a - b).abs());
+        println!(
+            "  step {i}: single {a:.6}  dp(4) {b:.6}  Δ {:.1e}",
+            (a - b).abs()
+        );
     }
 
     // 2. Clustered fine-tune under full eDKM, sweeping the learner count.

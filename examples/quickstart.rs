@@ -17,7 +17,11 @@ fn main() {
     let dkm = DkmLayer::new(DkmConfig::with_bits(3)); // 8 centroids = 3 bits/weight
 
     let out = dkm.cluster(&w);
-    println!("clustered {} weights into {} centroids:", w.value().numel(), out.centroids.numel());
+    println!(
+        "clustered {} weights into {} centroids:",
+        w.value().numel(),
+        out.centroids.numel()
+    );
     println!("  centroids = {:?}", out.centroids.to_vec());
 
     // Gradients flow through the attention map back to the weights, so a
@@ -39,7 +43,10 @@ fn main() {
         dkm.cluster(&w).soft.square().mean_all().backward();
     }
     let naive_bytes = runtime::peak_bytes(Device::Cpu);
-    println!("\nnaive CPU offload of saved tensors : {:>9} bytes on CPU", naive_bytes);
+    println!(
+        "\nnaive CPU offload of saved tensors : {:>9} bytes on CPU",
+        naive_bytes
+    );
 
     // ------------------------------------------------------------------
     // 3. The fix: eDKM hooks (marshaling + uniquification + sharding).

@@ -15,11 +15,9 @@
 //! (`cargo run --release -p edkm-bench --bin table3`); this CLI is the
 //! quick interactive path a downstream user reaches for first.
 
-use edkm::core::{
-    CompressSpec, CompressedTensor, CompressionPipeline, EdkmConfig, EdkmHooks,
-};
 use edkm::autograd::SavedTensorHooks;
 use edkm::core::{run_table2, AblationSetup};
+use edkm::core::{CompressSpec, CompressedTensor, CompressionPipeline, EdkmConfig, EdkmHooks};
 use edkm::data::{AlpacaSet, Corpus, Grammar};
 use edkm::eval::perplexity;
 use edkm::nn::{AdamWConfig, LlamaConfig, LlamaModel, LmBatch, TrainConfig, Trainer};
@@ -168,8 +166,8 @@ fn cmd_compress(args: &[String]) {
     );
 
     let target = wb.fresh_copy();
-    let result = CompressionPipeline::new(spec)
-        .fine_tune_and_compress(&target, &wb.mixed_batches(40));
+    let result =
+        CompressionPipeline::new(spec).fine_tune_and_compress(&target, &wb.mixed_batches(40));
     let shipped = wb.fresh_copy();
     result.compressed.apply_to(&shipped);
     let ppl = perplexity(&shipped, held_out.windows());
@@ -221,8 +219,8 @@ fn cmd_sweep(args: &[String]) {
         spec.dkm.iters = 4;
         spec.train.optim.lr = 3e-4;
         let target = wb.fresh_copy();
-        let result =
-            CompressionPipeline::new(spec.clone()).fine_tune_and_compress(&target, &wb.mixed_batches(30));
+        let result = CompressionPipeline::new(spec.clone())
+            .fine_tune_and_compress(&target, &wb.mixed_batches(30));
         let shipped = wb.fresh_copy();
         result.compressed.apply_to(&shipped);
         let ppl = perplexity(&shipped, held_out.windows());
@@ -256,9 +254,11 @@ fn cmd_inspect(args: &[String]) {
                 g.size_bytes(),
                 g.entropy_size_bytes(),
             ),
-            CompressedTensor::Affine(a) => {
-                ("affine".to_string() + &format!(" {}b", a.bits()), a.size_bytes(), a.size_bytes())
-            }
+            CompressedTensor::Affine(a) => (
+                "affine".to_string() + &format!(" {}b", a.bits()),
+                a.size_bytes(),
+                a.size_bytes(),
+            ),
             CompressedTensor::Native { values, .. } => (
                 "native 16b".to_string(),
                 edkm::core::palettize::native16_size_bytes(values.len()),

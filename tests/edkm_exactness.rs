@@ -88,6 +88,9 @@ fn hooks_actually_intercepted_the_step() {
     }
     let s = hooks.stats();
     assert!(s.packs > 20, "a model step saves many tensors: {s:?}");
-    assert!(s.direct_hits + s.walk_hits > 0, "DKM must trigger dedup: {s:?}");
+    assert!(
+        s.direct_hits + s.walk_hits > 0,
+        "DKM must trigger dedup: {s:?}"
+    );
     assert!(s.unpacks > 0, "backward must unpack: {s:?}");
 }

@@ -4,7 +4,7 @@
 
 use edkm::autograd::SavedTensorHooks;
 use edkm::core::{CompressSpec, CompressedModel, CompressionPipeline, EdkmConfig, EdkmHooks};
-use edkm::nn::{LlamaConfig, LlamaModel, TrainCheckpoint, Trainer, TrainConfig};
+use edkm::nn::{LlamaConfig, LlamaModel, TrainCheckpoint, TrainConfig, Trainer};
 use edkm::tensor::{runtime, DType, Device, Tensor};
 
 /// The Table 1 scenario under a CPU budget: the naive offload of a tensor
@@ -62,7 +62,10 @@ fn corrupted_compressed_model_is_rejected_not_misread() {
     // Wrong magic.
     let mut bad = bytes.clone();
     bad[0] ^= 0xFF;
-    assert!(CompressedModel::from_bytes(&bad).is_err(), "bad magic must fail");
+    assert!(
+        CompressedModel::from_bytes(&bad).is_err(),
+        "bad magic must fail"
+    );
 
     // Truncations at every prefix length must error, never panic.
     for cut in [0, 1, 7, 8, 9, bytes.len() / 2, bytes.len() - 1] {
@@ -121,5 +124,8 @@ fn reset_clears_capacity_and_oom_state() {
     assert!(runtime::device_fits(Device::Cpu));
     assert_eq!(runtime::device_oom_events(Device::Cpu), 0);
     let _v = Tensor::rand(&[1024], DType::F32, Device::Cpu, 2);
-    assert!(runtime::device_fits(Device::Cpu), "no capacity => unlimited");
+    assert!(
+        runtime::device_fits(Device::Cpu),
+        "no capacity => unlimited"
+    );
 }
