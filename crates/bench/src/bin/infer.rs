@@ -1,5 +1,5 @@
-//! Serial vs threaded palettized inference (`PalettizedLinear::forward` vs
-//! `forward_batch`) on the deployment-scale case the runtime refactor
+//! Serial vs threaded palettized inference (`PalettizedLinear::forward_serial`
+//! vs `forward_batch`) on the deployment-scale case the runtime refactor
 //! targets: a `[2048 × 2048]` 3-bit palette at batch 32.
 //!
 //! Prints a comparison table and writes a `BENCH_infer.json` perf record so
@@ -51,11 +51,16 @@ fn main() {
     let lin = PalettizedLinear::new(PalettizedTensor::from_nearest(&w, &centroids, BITS, 1));
     let x = Tensor::randn(&[BATCH, IN_FEATURES], DType::F32, Device::Cpu, 1);
 
-    let identical = lin.forward(&x).to_vec() == lin.forward_batch(&x).to_vec();
-    assert!(identical, "forward_batch must match forward bit for bit");
+    let identical = lin.forward_serial(&x).to_vec() == lin.forward_batch(&x).to_vec();
+    assert!(
+        identical,
+        "forward_batch must match forward_serial bit for bit"
+    );
 
+    // `forward` now delegates to the batch path, so the serial baseline is
+    // the explicit single-threaded reference.
     let serial_s = best_of(REPS, || {
-        black_box(lin.forward(black_box(&x)));
+        black_box(lin.forward_serial(black_box(&x)));
     });
     let batch_s = best_of(REPS, || {
         black_box(lin.forward_batch(black_box(&x)));

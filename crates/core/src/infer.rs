@@ -11,9 +11,14 @@
 //! (k multiplies per row instead of `in` multiplies). This is the classic
 //! LUT-GEMM trick.
 
-use crate::palettize::PalettizedTensor;
-use edkm_tensor::{runtime, DType, Tensor};
+use crate::palettize::{AffineQuantized, PalettizedTensor};
+use crate::pipeline::{CompressSpec, CompressedModel, CompressedTensor, CompressionPipeline};
+use edkm_nn::attention::rope_tables;
+use edkm_nn::{LlamaConfig, LlamaModel};
+use edkm_tensor::pool::PoolCell;
+use edkm_tensor::{ops as t, runtime, DType, Device, Tensor};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Multiply-accumulate count below which [`PalettizedLinear::forward_batch`]
 /// stays on the serial path (mirrors the kernel threshold in
@@ -79,12 +84,27 @@ impl PalettizedLinear {
     }
 
     /// `y = x Wᵀ` for `x: [n, in]`, computed via per-centroid accumulation
-    /// (k multiplies per output instead of `in`).
+    /// (k multiplies per output instead of `in`). Delegates to
+    /// [`PalettizedLinear::forward_batch`] — there is exactly one LUT-GEMM
+    /// inner loop in this type, and both entry points charge the ledger
+    /// identically.
     ///
     /// # Panics
     ///
     /// Panics if `x` is not `[n, in]`.
     pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.forward_batch(x)
+    }
+
+    /// Reference single-threaded LUT-GEMM (the loop `forward_batch` runs on
+    /// every row when the work is below the parallel threshold). Public so
+    /// benchmarks can pin the serial baseline; charges the ledger exactly
+    /// like `forward_batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[n, in]`.
+    pub fn forward_serial(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.rank(), 2, "input must be [n, in]");
         assert_eq!(x.shape()[1], self.in_features, "input width mismatch");
         let n = x.shape()[0];
@@ -108,8 +128,8 @@ impl PalettizedLinear {
     }
 
     /// One batch row of the LUT-GEMM: per-centroid partial sums, then the
-    /// `k`-wide dot with the palette. Identical accumulation order to
-    /// [`PalettizedLinear::forward`], so results match it bit for bit.
+    /// `k`-wide dot with the palette. The single inner loop shared by the
+    /// serial and threaded paths, so results match bit for bit.
     fn forward_row(&self, xrow: &[f32], orow: &mut [f32], lut: &[f32], bins: &mut [f32]) {
         for (r, o) in orow.iter_mut().enumerate() {
             bins.iter_mut().for_each(|b| *b = 0.0);
@@ -126,11 +146,12 @@ impl PalettizedLinear {
     }
 
     /// Batched `y = x Wᵀ` for `x: [n, in]`, with the per-row LUT-GEMM
-    /// partial sums computed across worker threads.
+    /// partial sums computed across worker threads once the work clears
+    /// [`PAR_WORK_THRESHOLD`] (serial below it).
     ///
-    /// Bit-identical to [`PalettizedLinear::forward`]; every FLOP is charged
-    /// once to the caller's runtime (workers do pure slice math). Rows are
-    /// independent, so the split is by batch row.
+    /// Bit-identical to [`PalettizedLinear::forward_serial`]; every FLOP is
+    /// charged once to the caller's runtime (workers do pure slice math).
+    /// Rows are independent, so the split is by batch row.
     ///
     /// # Panics
     ///
@@ -143,7 +164,7 @@ impl PalettizedLinear {
         if self.out_features == 0
             || n * self.out_features * (self.in_features + k) < PAR_WORK_THRESHOLD
         {
-            return self.forward(x);
+            return self.forward_serial(x);
         }
         let lut = self.weights.lut();
         let xd = x.to_vec();
@@ -160,6 +181,547 @@ impl PalettizedLinear {
             x.device(),
         );
         Tensor::from_vec(out, &[n, self.out_features], DType::F32, x.device())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-model compressed inference.
+// ---------------------------------------------------------------------
+
+/// RMSNorm epsilon, matching `edkm_nn::RmsNorm`.
+const RMS_EPS: f32 = 1e-5;
+
+/// RoPE base, matching `edkm_nn::LlamaModel`.
+const ROPE_THETA: f32 = 10000.0;
+
+/// Error constructing a [`PalettizedModel`] from a compressed container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The container has no entry with this parameter name.
+    MissingParam(String),
+    /// The entry kind cannot be served from compressed form.
+    Unsupported(String),
+    /// An entry's shape disagrees with the model config.
+    Shape(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::MissingParam(n) => write!(f, "compressed model lacks parameter {n}"),
+            ServeError::Unsupported(m) => write!(f, "unsupported for serving: {m}"),
+            ServeError::Shape(m) => write!(f, "shape mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Per-sequence KV cache whose bytes are charged to the device pool, so
+/// Table-1-style footprint accounting covers serving state, not just
+/// training. Rows are stored per layer as `[t, d_model]` (head-major within
+/// a row), already rotated; bytes return to the pool when the cache drops
+/// (i.e. when a request retires).
+#[derive(Debug)]
+pub struct KvCache {
+    k: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    d_model: usize,
+    charged: usize,
+    pool: Arc<PoolCell>,
+}
+
+impl KvCache {
+    fn new(n_layers: usize, d_model: usize, device: Device) -> Self {
+        KvCache {
+            k: vec![Vec::new(); n_layers],
+            v: vec![Vec::new(); n_layers],
+            d_model,
+            charged: 0,
+            pool: runtime::pool(device),
+        }
+    }
+
+    /// Cached sequence length.
+    pub fn len(&self) -> usize {
+        self.k.first().map_or(0, |rows| rows.len() / self.d_model)
+    }
+
+    /// `true` before the first token.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently charged to the device pool for this cache.
+    pub fn bytes(&self) -> usize {
+        self.charged
+    }
+
+    fn append(&mut self, layer: usize, k_rows: &[f32], v_rows: &[f32]) {
+        let bytes = (k_rows.len() + v_rows.len()) * std::mem::size_of::<f32>();
+        self.pool.alloc(bytes);
+        self.charged += bytes;
+        self.k[layer].extend_from_slice(k_rows);
+        self.v[layer].extend_from_slice(v_rows);
+    }
+}
+
+impl Drop for KvCache {
+    fn drop(&mut self) {
+        self.pool.free(self.charged);
+    }
+}
+
+/// Embedding storage of a compressed model: affine-quantized (the paper's
+/// 8-bit embeddings) or dense 16-bit values (the lossless config).
+#[derive(Debug, Clone)]
+enum EmbedStore {
+    Affine(AffineQuantized),
+    Dense { values: Vec<f32> },
+}
+
+impl EmbedStore {
+    fn write_row(&self, id: usize, out: &mut [f32]) {
+        match self {
+            EmbedStore::Affine(a) => out.copy_from_slice(&a.decode_row(id)),
+            EmbedStore::Dense { values } => {
+                let d = out.len();
+                out.copy_from_slice(&values[id * d..(id + 1) * d]);
+            }
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            EmbedStore::Affine(a) => a.size_bytes(),
+            EmbedStore::Dense { values } => crate::palettize::native16_size_bytes(values.len()),
+        }
+    }
+}
+
+/// One decoder layer served from compressed storage.
+#[derive(Debug, Clone)]
+struct PalettizedLayer {
+    input_norm: Vec<f32>,
+    q: PalettizedLinear,
+    k: PalettizedLinear,
+    v: PalettizedLinear,
+    o: PalettizedLinear,
+    post_norm: Vec<f32>,
+    gate: PalettizedLinear,
+    up: PalettizedLinear,
+    down: PalettizedLinear,
+}
+
+impl PalettizedLayer {
+    fn projections(&self) -> [&PalettizedLinear; 7] {
+        [
+            &self.q, &self.k, &self.v, &self.o, &self.gate, &self.up, &self.down,
+        ]
+    }
+}
+
+/// A whole LLaMA-style decoder whose every projection runs straight from
+/// `PalettizedTensor` storage via the LUT-GEMM kernels — the model an
+/// accelerator would execute from the shipped artifact. Weights never
+/// decompress to dense matrices; only the norm gains and (optionally) the
+/// embedding table live as raw 16-bit-equivalent values, exactly the split
+/// the paper ships.
+#[derive(Debug, Clone)]
+pub struct PalettizedModel {
+    config: LlamaConfig,
+    embed: EmbedStore,
+    layers: Vec<PalettizedLayer>,
+    final_norm: Vec<f32>,
+    lm_head: PalettizedLinear,
+    cos: Vec<f32>,
+    sin: Vec<f32>,
+    device: Device,
+}
+
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+/// RMS-normalize each `gain.len()`-wide row (identical accumulation order
+/// to `Var::rmsnorm`, so serving matches training-side numerics).
+fn rmsnorm_rows(x: &Tensor, gain: &[f32]) -> Tensor {
+    let d = gain.len();
+    let xd = x.to_vec();
+    let mut out = vec![0.0f32; xd.len()];
+    for (row, orow) in xd.chunks(d).zip(out.chunks_mut(d)) {
+        let ms = row.iter().map(|v| v * v).sum::<f32>() / d as f32;
+        let r = 1.0 / (ms + RMS_EPS).sqrt();
+        for ((o, &xv), &wv) in orow.iter_mut().zip(row).zip(gain) {
+            *o = xv * r * wv;
+        }
+    }
+    runtime::record_compute(4.0 * xd.len() as f64, x.device());
+    Tensor::from_vec(out, x.shape(), DType::F32, x.device())
+}
+
+/// Rotate one `[h·hd]` projection row at absolute position `p` (GPT-NeoX
+/// half-split, same math as `edkm_nn::attention::rope`).
+fn rope_row(row: &mut [f32], n_heads: usize, hd: usize, cos: &[f32], sin: &[f32], p: usize) {
+    let half = hd / 2;
+    let tb = p * half;
+    for head in 0..n_heads {
+        let base = head * hd;
+        for i in 0..half {
+            let (c, s) = (cos[tb + i], sin[tb + i]);
+            let x1 = row[base + i];
+            let x2 = row[base + half + i];
+            row[base + i] = x1 * c - x2 * s;
+            row[base + half + i] = x1 * s + x2 * c;
+        }
+    }
+}
+
+impl PalettizedModel {
+    /// Build from a compressed container plus the architecture config.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] if a parameter is missing, has the wrong
+    /// shape, or is stored in a form the serving engine cannot run from
+    /// (vector palettes and per-group LUTs are export-only today).
+    pub fn from_compressed(
+        compressed: &CompressedModel,
+        config: LlamaConfig,
+    ) -> Result<Self, ServeError> {
+        let find = |name: &str| -> Result<&CompressedTensor, ServeError> {
+            compressed
+                .entries()
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, e)| e)
+                .ok_or_else(|| ServeError::MissingParam(name.to_string()))
+        };
+        let proj = |name: &str, out: usize, inp: usize| -> Result<PalettizedLinear, ServeError> {
+            match find(name)? {
+                CompressedTensor::Palettized(p) => {
+                    if p.cluster_dim() != 1 {
+                        return Err(ServeError::Unsupported(format!(
+                            "{name}: vector palette (cluster_dim {})",
+                            p.cluster_dim()
+                        )));
+                    }
+                    if p.shape() != [out, inp] {
+                        return Err(ServeError::Shape(format!(
+                            "{name}: palette is {:?}, config wants [{out}, {inp}]",
+                            p.shape()
+                        )));
+                    }
+                    Ok(PalettizedLinear::new(p.clone()))
+                }
+                CompressedTensor::PalettizedGrouped(_) => {
+                    Err(ServeError::Unsupported(format!("{name}: per-group LUTs")))
+                }
+                _ => Err(ServeError::Unsupported(format!(
+                    "{name}: expected a palettized projection"
+                ))),
+            }
+        };
+        let norm = |name: &str, d: usize| -> Result<Vec<f32>, ServeError> {
+            match find(name)? {
+                CompressedTensor::Native { values, shape } => {
+                    if shape != &[d] {
+                        return Err(ServeError::Shape(format!(
+                            "{name}: norm is {shape:?}, config wants [{d}]"
+                        )));
+                    }
+                    Ok(values.clone())
+                }
+                _ => Err(ServeError::Unsupported(format!(
+                    "{name}: norm gains must be stored natively"
+                ))),
+            }
+        };
+
+        let d = config.d_model;
+        let embed = match find("embed_tokens")? {
+            CompressedTensor::Affine(a) => {
+                if a.rows() != config.vocab || a.cols() != d {
+                    return Err(ServeError::Shape(format!(
+                        "embed_tokens: affine is [{}, {}], config wants [{}, {d}]",
+                        a.rows(),
+                        a.cols(),
+                        config.vocab
+                    )));
+                }
+                EmbedStore::Affine(a.clone())
+            }
+            CompressedTensor::Native { values, shape } => {
+                if shape != &[config.vocab, d] {
+                    return Err(ServeError::Shape(format!(
+                        "embed_tokens: table is {shape:?}, config wants [{}, {d}]",
+                        config.vocab
+                    )));
+                }
+                EmbedStore::Dense {
+                    values: values.clone(),
+                }
+            }
+            _ => {
+                return Err(ServeError::Unsupported(
+                    "embed_tokens: expected affine or native storage".into(),
+                ))
+            }
+        };
+
+        let mut layers = Vec::with_capacity(config.n_layers);
+        for i in 0..config.n_layers {
+            let p = format!("layers.{i}");
+            layers.push(PalettizedLayer {
+                input_norm: norm(&format!("{p}.input_norm"), d)?,
+                q: proj(&format!("{p}.attn.q_proj"), d, d)?,
+                k: proj(&format!("{p}.attn.k_proj"), d, d)?,
+                v: proj(&format!("{p}.attn.v_proj"), d, d)?,
+                o: proj(&format!("{p}.attn.o_proj"), d, d)?,
+                post_norm: norm(&format!("{p}.post_norm"), d)?,
+                gate: proj(&format!("{p}.mlp.gate_proj"), config.d_ff, d)?,
+                up: proj(&format!("{p}.mlp.up_proj"), config.d_ff, d)?,
+                down: proj(&format!("{p}.mlp.down_proj"), d, config.d_ff)?,
+            });
+        }
+
+        let hd = d / config.n_heads;
+        let (cos, sin) = rope_tables(config.max_seq, hd, ROPE_THETA);
+        Ok(PalettizedModel {
+            embed,
+            layers,
+            final_norm: norm("final_norm", d)?,
+            lm_head: proj("lm_head", config.vocab, d)?,
+            cos,
+            sin,
+            config,
+            device: Device::Cpu,
+        })
+    }
+
+    /// Export `model` under `spec` (no training) and wrap the result for
+    /// serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] if the spec produces entries the engine
+    /// cannot serve (vector palettes, per-group LUTs).
+    pub fn from_dense(model: &LlamaModel, spec: &CompressSpec) -> Result<Self, ServeError> {
+        // Pre-validate lossless exports so the export's own panic (a weight
+        // matrix with more distinct values than the 2^16-entry palette, e.g.
+        // a large f32 model) surfaces here as a typed error instead.
+        for name in model.clusterable_names() {
+            if spec.bits_for(&name) < 16 {
+                continue;
+            }
+            let (_, var) = model
+                .named_params()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .expect("clusterable name is a parameter");
+            let distinct: std::collections::HashSet<u32> =
+                var.value().to_vec().iter().map(|v| v.to_bits()).collect();
+            if distinct.len() > 1 << 16 {
+                return Err(ServeError::Unsupported(format!(
+                    "{name}: {} distinct values exceed the 2^16-entry lossless \
+                     palette (use <= 15 bits or 16-bit source weights)",
+                    distinct.len()
+                )));
+            }
+        }
+        let compressed = CompressionPipeline::new(spec.clone()).export(model);
+        Self::from_compressed(&compressed, *model.config())
+    }
+
+    /// Architecture config.
+    pub fn config(&self) -> &LlamaConfig {
+        &self.config
+    }
+
+    /// Serialized bytes of all served parameters (palettes + norms + embed).
+    pub fn size_bytes(&self) -> usize {
+        let norms = crate::palettize::native16_size_bytes(
+            self.final_norm.len()
+                + self
+                    .layers
+                    .iter()
+                    .map(|l| l.input_norm.len() + l.post_norm.len())
+                    .sum::<usize>(),
+        );
+        self.embed.size_bytes()
+            + norms
+            + self.lm_head.size_bytes()
+            + self
+                .layers
+                .iter()
+                .map(|l| {
+                    l.projections()
+                        .iter()
+                        .map(|p| p.size_bytes())
+                        .sum::<usize>()
+                })
+                .sum::<usize>()
+    }
+
+    /// A fresh empty KV cache for one sequence.
+    pub fn new_cache(&self) -> KvCache {
+        KvCache::new(self.config.n_layers, self.config.d_model, self.device)
+    }
+
+    /// Run one forward chunk per sequence — the continuous-batching core.
+    ///
+    /// `chunks[i]` holds the *new* tokens of sequence `i` (a whole prompt at
+    /// prefill, one token at decode) entering at position `caches[i].len()`;
+    /// every projection GEMM is batched across all chunks' rows while
+    /// attention stays per-sequence against its own cache. Returns logits
+    /// `[Σ chunk lens, vocab]`, rows grouped chunk by chunk.
+    ///
+    /// Each row's values depend only on its own sequence, never on what it
+    /// was batched with — the property the scheduler invariant tests pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty/oversized chunks, chunk/cache count mismatch, or
+    /// out-of-vocabulary ids.
+    pub fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [&mut KvCache]) -> Tensor {
+        assert_eq!(chunks.len(), caches.len(), "one cache per chunk");
+        assert!(!chunks.is_empty(), "at least one chunk");
+        let d = self.config.d_model;
+        let h = self.config.n_heads;
+        let hd = d / h;
+        let n_total: usize = chunks.iter().map(|c| c.len()).sum();
+        let mut starts = Vec::with_capacity(chunks.len());
+        for (chunk, cache) in chunks.iter().zip(caches.iter()) {
+            assert!(!chunk.is_empty(), "empty chunk");
+            assert!(
+                cache.len() + chunk.len() <= self.config.max_seq,
+                "sequence too long: {} cached + {} new > {}",
+                cache.len(),
+                chunk.len(),
+                self.config.max_seq
+            );
+            starts.push(cache.len());
+        }
+        let mut pos = Vec::with_capacity(n_total);
+        for (g, chunk) in chunks.iter().enumerate() {
+            pos.extend((0..chunk.len()).map(|i| starts[g] + i));
+        }
+
+        // Embed all new tokens: [n_total, d].
+        let mut xd = vec![0.0f32; n_total * d];
+        let mut row = 0usize;
+        for chunk in chunks {
+            for &id in *chunk {
+                assert!(id < self.config.vocab, "id {id} out of vocabulary");
+                self.embed.write_row(id, &mut xd[row * d..(row + 1) * d]);
+                row += 1;
+            }
+        }
+        let mut x = Tensor::from_vec(xd, &[n_total, d], DType::F32, self.device);
+
+        let scale = 1.0 / (hd as f32).sqrt();
+        let mut scores = vec![0.0f32; self.config.max_seq];
+        for (li, layer) in self.layers.iter().enumerate() {
+            let h1 = rmsnorm_rows(&x, &layer.input_norm);
+            let mut qd = layer.q.forward_batch(&h1).to_vec();
+            let mut kd = layer.k.forward_batch(&h1).to_vec();
+            let vd = layer.v.forward_batch(&h1).to_vec();
+            for r in 0..n_total {
+                rope_row(
+                    &mut qd[r * d..(r + 1) * d],
+                    h,
+                    hd,
+                    &self.cos,
+                    &self.sin,
+                    pos[r],
+                );
+                rope_row(
+                    &mut kd[r * d..(r + 1) * d],
+                    h,
+                    hd,
+                    &self.cos,
+                    &self.sin,
+                    pos[r],
+                );
+            }
+
+            // Attention: per sequence against its own cache.
+            let mut ctx = vec![0.0f32; n_total * d];
+            let mut flops = 0.0f64;
+            let mut base = 0usize;
+            for (g, chunk) in chunks.iter().enumerate() {
+                let n = chunk.len();
+                caches[g].append(
+                    li,
+                    &kd[base * d..(base + n) * d],
+                    &vd[base * d..(base + n) * d],
+                );
+                let k_rows = &caches[g].k[li];
+                let v_rows = &caches[g].v[li];
+                for i in 0..n {
+                    let t_ctx = starts[g] + i + 1; // attends positions 0..=p
+                    let qrow = &qd[(base + i) * d..(base + i + 1) * d];
+                    let orow = &mut ctx[(base + i) * d..(base + i + 1) * d];
+                    for head in 0..h {
+                        let hb = head * hd;
+                        let qh = &qrow[hb..hb + hd];
+                        // Scores (same dot order as the dense bmm).
+                        for (j, s) in scores[..t_ctx].iter_mut().enumerate() {
+                            let kh = &k_rows[j * d + hb..j * d + hb + hd];
+                            let mut acc = 0.0f32;
+                            for (&a, &b) in qh.iter().zip(kh) {
+                                acc += a * b;
+                            }
+                            *s = acc * scale;
+                        }
+                        // Softmax (same order as ops::softmax_lastdim).
+                        let mx = scores[..t_ctx]
+                            .iter()
+                            .cloned()
+                            .fold(f32::NEG_INFINITY, f32::max);
+                        let mut sum = 0.0f32;
+                        for s in scores[..t_ctx].iter_mut() {
+                            *s = (*s - mx).exp();
+                            sum += *s;
+                        }
+                        let inv = 1.0 / sum;
+                        // Context: Σ_j p_j · v_j, ascending j per element.
+                        for (j, &w) in scores[..t_ctx].iter().enumerate() {
+                            let p = w * inv;
+                            let vh = &v_rows[j * d + hb..j * d + hb + hd];
+                            for (o, &vv) in orow[hb..hb + hd].iter_mut().zip(vh) {
+                                *o += p * vv;
+                            }
+                        }
+                    }
+                    flops += (4 * t_ctx * d) as f64;
+                }
+                base += n;
+            }
+            runtime::record_compute(flops, self.device);
+
+            let ctx_t = Tensor::from_vec(ctx, &[n_total, d], DType::F32, self.device);
+            x = t::add(&x, &layer.o.forward_batch(&ctx_t));
+            let h2 = rmsnorm_rows(&x, &layer.post_norm);
+            let gate = layer.gate.forward_batch(&h2).map(|v| v * sigmoid(v));
+            let up = layer.up.forward_batch(&h2);
+            x = t::add(&x, &layer.down.forward_batch(&t::mul(&gate, &up)));
+        }
+
+        let xf = rmsnorm_rows(&x, &self.final_norm);
+        self.lm_head.forward_batch(&xf)
+    }
+
+    /// Prefill one sequence's prompt, returning logits `[len, vocab]`.
+    pub fn prefill(&self, ids: &[usize], cache: &mut KvCache) -> Tensor {
+        self.forward_chunks(&[ids], &mut [cache])
+    }
+
+    /// One batched decode step: `tokens[i]` is sequence `i`'s newest token.
+    /// Returns logits `[tokens.len(), vocab]`.
+    pub fn decode_step(&self, tokens: &[usize], caches: &mut [&mut KvCache]) -> Tensor {
+        let chunks: Vec<&[usize]> = tokens.chunks(1).collect();
+        self.forward_chunks(&chunks, caches)
     }
 }
 
@@ -261,6 +823,170 @@ mod tests {
     fn forward_batch_wrong_width_panics() {
         let (_w, lin) = palettized_pair(9);
         lin.forward_batch(&Tensor::zeros(&[2, 7], DType::F32, Device::Cpu));
+    }
+
+    #[test]
+    fn forward_delegates_to_batch_path_with_identical_ledger_charges() {
+        runtime::reset(); // bind this thread to a private runtime/clock
+        let (_w, lin) = palettized_pair(12);
+        // Below and above the parallel threshold.
+        for n in [3usize, 512] {
+            let x = Tensor::randn(&[n, 20], DType::F32, Device::Cpu, 13);
+            let t0 = runtime::sim_seconds();
+            let a = lin.forward(&x);
+            let forward_cost = runtime::sim_seconds() - t0;
+            let t1 = runtime::sim_seconds();
+            let b = lin.forward_batch(&x);
+            let batch_cost = runtime::sim_seconds() - t1;
+            let t2 = runtime::sim_seconds();
+            let c = lin.forward_serial(&x);
+            let serial_cost = runtime::sim_seconds() - t2;
+            assert_eq!(a.to_vec(), b.to_vec(), "n={n}: outputs must be identical");
+            assert_eq!(a.to_vec(), c.to_vec(), "n={n}: serial reference matches");
+            // The clock advances by the same integer-nanosecond quantum for
+            // all three entry points (1e-12 absorbs f64 readout rounding).
+            assert!(
+                (forward_cost - batch_cost).abs() < 1e-12,
+                "n={n}: same ledger charge: {forward_cost} vs {batch_cost}"
+            );
+            assert!(
+                (forward_cost - serial_cost).abs() < 1e-12,
+                "n={n}: same ledger charge: {forward_cost} vs {serial_cost}"
+            );
+            assert!(forward_cost > 0.0);
+        }
+    }
+
+    fn tiny_bf16_model() -> edkm_nn::LlamaModel {
+        edkm_nn::LlamaModel::new(edkm_nn::LlamaConfig::tiny(), DType::Bf16, Device::Cpu, 21)
+    }
+
+    #[test]
+    fn lossless_palettized_model_matches_dense_logits() {
+        runtime::reset();
+        let dense = tiny_bf16_model();
+        let served = PalettizedModel::from_dense(&dense, &CompressSpec::lossless()).unwrap();
+        let ids = [1usize, 5, 2, 9];
+        let full = dense.logits(&ids, 1, ids.len(), None);
+        let mut cache = served.new_cache();
+        let got = served.prefill(&ids, &mut cache);
+        assert_eq!(got.shape(), full.value().shape());
+        let diff = t::max_abs_diff(&got, full.value());
+        // Same weights bit-for-bit; only the LUT-GEMM accumulation order
+        // differs from the dense matmul.
+        assert!(diff < 1e-4, "lossless serving drifted: {diff}");
+        assert_eq!(cache.len(), ids.len());
+    }
+
+    #[test]
+    fn decode_rows_are_independent_of_batch_composition() {
+        runtime::reset();
+        let dense = tiny_bf16_model();
+        let served = PalettizedModel::from_dense(&dense, &CompressSpec::with_bits(3)).unwrap();
+        // Two sequences with different prompts.
+        let (p_a, p_b) = ([1usize, 2, 3], [4usize, 5]);
+        let mut solo_a = served.new_cache();
+        let mut solo_b = served.new_cache();
+        served.prefill(&p_a, &mut solo_a);
+        served.prefill(&p_b, &mut solo_b);
+        let a_alone = served.decode_step(&[7], &mut [&mut solo_a]);
+        let b_alone = served.decode_step(&[8], &mut [&mut solo_b]);
+        // Same state, decoded batched.
+        let mut bat_a = served.new_cache();
+        let mut bat_b = served.new_cache();
+        served.forward_chunks(&[&p_a, &p_b], &mut [&mut bat_a, &mut bat_b]);
+        let both = served.decode_step(&[7, 8], &mut [&mut bat_a, &mut bat_b]);
+        let bv = both.to_vec();
+        let vocab = served.config().vocab;
+        assert_eq!(
+            &bv[..vocab],
+            &a_alone.to_vec()[..],
+            "row A depends on A only"
+        );
+        assert_eq!(
+            &bv[vocab..],
+            &b_alone.to_vec()[..],
+            "row B depends on B only"
+        );
+    }
+
+    #[test]
+    fn kv_cache_bytes_are_pool_charged_and_freed() {
+        runtime::reset();
+        let dense = tiny_bf16_model();
+        let served = PalettizedModel::from_dense(&dense, &CompressSpec::with_bits(2)).unwrap();
+        let baseline = runtime::cpu_live_bytes();
+        {
+            let mut cache = served.new_cache();
+            served.prefill(&[1, 2, 3, 4], &mut cache);
+            let cfg = served.config();
+            // K + V rows: n_layers × t × d floats each.
+            let expect = 2 * cfg.n_layers * 4 * cfg.d_model * 4;
+            assert_eq!(cache.bytes(), expect);
+            assert_eq!(cache.len(), 4);
+            assert!(runtime::cpu_live_bytes() >= baseline + expect);
+        }
+        assert_eq!(
+            runtime::cpu_live_bytes(),
+            baseline,
+            "retiring the cache must return its bytes to the pool"
+        );
+    }
+
+    #[test]
+    fn from_compressed_reports_typed_errors() {
+        runtime::reset();
+        let dense = tiny_bf16_model();
+        let cfg = *dense.config();
+        let compressed = CompressionPipeline::new(CompressSpec::with_bits(2)).export(&dense);
+        // Missing parameter.
+        let mut entries = compressed.entries().to_vec();
+        entries.retain(|(n, _)| n != "lm_head");
+        let err = PalettizedModel::from_compressed(&CompressedModel::from_entries(entries), cfg)
+            .unwrap_err();
+        assert_eq!(err, ServeError::MissingParam("lm_head".into()));
+        // Vector palettes are export-only.
+        let mut spec = CompressSpec::vector(4, 2);
+        spec.dkm.iters = 2;
+        let vec_exported = CompressionPipeline::new(spec).export(&dense);
+        match PalettizedModel::from_compressed(&vec_exported, cfg) {
+            Err(ServeError::Unsupported(m)) => assert!(m.contains("vector")),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+        // Wrong architecture.
+        let mut bigger = cfg;
+        bigger.d_model *= 2;
+        bigger.n_heads *= 2;
+        match PalettizedModel::from_compressed(&compressed, bigger) {
+            Err(ServeError::Shape(_)) => {}
+            other => panic!("expected Shape error, got {other:?}"),
+        }
+        assert!(ServeError::MissingParam("x".into())
+            .to_string()
+            .contains("x"));
+    }
+
+    #[test]
+    fn from_dense_rejects_overrich_lossless_palette_with_typed_error() {
+        runtime::reset();
+        // An f32 model large enough that one projection has > 2^16 distinct
+        // values: the lossless u16 palette cannot represent it, and the
+        // builder must say so instead of panicking mid-export.
+        let cfg = edkm_nn::LlamaConfig {
+            vocab: 16,
+            d_model: 64,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 1100, // gate_proj: 1100 × 64 = 70400 random f32 values
+            max_seq: 8,
+        };
+        let dense = edkm_nn::LlamaModel::new(cfg, DType::F32, Device::Cpu, 77);
+        match PalettizedModel::from_dense(&dense, &CompressSpec::lossless()) {
+            Err(ServeError::Unsupported(m)) => {
+                assert!(m.contains("distinct values"), "got: {m}")
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
     }
 
     #[test]

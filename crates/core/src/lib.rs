@@ -47,6 +47,7 @@ pub mod marshal;
 pub mod palettize;
 pub mod pipeline;
 pub mod serialize;
+pub mod serve;
 pub mod store;
 pub mod uniquify;
 
@@ -55,11 +56,12 @@ pub use accounting::AccountedVec;
 pub use dkm::{DkmConfig, DkmInit, DkmLayer, DkmOutput};
 pub use entropy::{index_entropy_bits, EntropyCoded, HuffmanCode};
 pub use hooks::{EdkmConfig, EdkmHooks, HookStatsSnapshot};
-pub use infer::PalettizedLinear;
+pub use infer::{KvCache, PalettizedLinear, PalettizedModel, ServeError};
 pub use marshal::{EdkmPacked, MarshalRegistry, StoredEntry};
 pub use palettize::{AffineQuantized, GroupedPalettized, PalettizedTensor};
 pub use pipeline::{
     CompressResult, CompressSpec, CompressedModel, CompressedTensor, CompressionPipeline,
 };
+pub use serve::{sample_token, Generator, SamplingConfig, Scheduler, ServeRequest, ServeResponse};
 pub use store::Store;
 pub use uniquify::RowKeys;

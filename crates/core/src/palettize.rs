@@ -109,6 +109,43 @@ impl PalettizedTensor {
         }
     }
 
+    /// Lossless palettization: the LUT is the sorted set of *distinct*
+    /// values in `w` and every index resolves to the exact original bit
+    /// pattern — the "u16 case" of 16-bit source weights, whose ≤ 2¹⁶
+    /// distinct values always fit a 16-bit index. Decoding reproduces `w`
+    /// bit for bit, which is what pins compressed serving against the dense
+    /// model in the parity suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` has more than 2¹⁶ distinct values (not 16-bit source
+    /// data).
+    pub fn lossless(w: &Tensor) -> Self {
+        let data = w.to_vec();
+        let mut distinct: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let k = distinct.len();
+        assert!(
+            k <= 1 << 16,
+            "{k} distinct values exceed the 2^16-entry lossless palette"
+        );
+        let lut: Vec<f32> = distinct.iter().map(|&b| f32::from_bits(b)).collect();
+        let indices: Vec<u32> = data
+            .iter()
+            .map(|v| distinct.binary_search(&v.to_bits()).expect("in LUT") as u32)
+            .collect();
+        let packed = pack_bits(&indices, 16);
+        PalettizedTensor {
+            lut,
+            packed,
+            bits: 16,
+            k,
+            cluster_dim: 1,
+            shape: w.shape().to_vec(),
+        }
+    }
+
     /// Palette bit width.
     pub fn bits(&self) -> u8 {
         self.bits
@@ -306,10 +343,36 @@ impl AffineQuantized {
         self.bits
     }
 
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
     /// Serialized size: codes (packed at `bits`) + per-row scale/zero at 16
     /// bits each.
     pub fn size_bytes(&self) -> usize {
         (self.q.len() * self.bits as usize).div_ceil(8) + self.rows * 4
+    }
+
+    /// Decode a single row (identical math to [`AffineQuantized::decode`],
+    /// without materializing the whole table — the embedding-lookup path of
+    /// compressed serving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn decode_row(&self, r: usize) -> Vec<f32> {
+        assert!(r < self.rows, "row {r} out of {} rows", self.rows);
+        let (s, z) = (self.scales[r], self.zeros[r]);
+        self.q[r * self.cols..(r + 1) * self.cols]
+            .iter()
+            .map(|&c| s * c as f32 + z)
+            .collect()
     }
 
     /// Decode back to a dense CPU tensor.
@@ -568,6 +631,40 @@ mod tests {
         let c = Tensor::zeros(&[4, 1], DType::F32, Device::Cpu);
         let p = PalettizedTensor::from_nearest(&w, &c, 2, 1);
         GroupedPalettized::from_parts(vec![p], 4, vec![8, 4]); // 4 rows != 8
+    }
+
+    #[test]
+    fn lossless_palette_decodes_bit_exactly() {
+        runtime::reset();
+        // bf16 source data: ≤ 2^16 distinct values by construction.
+        let w = Tensor::randn(&[24, 16], DType::Bf16, Device::Cpu, 31);
+        let p = PalettizedTensor::lossless(&w);
+        assert_eq!(p.bits(), 16);
+        assert!(p.k() <= 24 * 16);
+        assert_eq!(
+            p.decode().to_vec(),
+            w.to_vec(),
+            "lossless palette must reproduce every bit"
+        );
+        // Round-trips through the wire format exactly (f32 LUT entries).
+        let mut buf = Vec::new();
+        p.write_to(&mut buf);
+        let back = PalettizedTensor::read_from(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(back.decode().to_vec(), w.to_vec());
+        assert_eq!(back.k(), p.k());
+    }
+
+    #[test]
+    fn affine_decode_row_matches_full_decode() {
+        runtime::reset();
+        let t = Tensor::randn(&[6, 10], DType::F32, Device::Cpu, 8);
+        let q = AffineQuantized::encode(&t, 8);
+        let full = q.decode().to_vec();
+        for r in 0..6 {
+            assert_eq!(q.decode_row(r), &full[r * 10..(r + 1) * 10]);
+        }
+        assert_eq!(q.rows(), 6);
+        assert_eq!(q.cols(), 10);
     }
 
     #[test]

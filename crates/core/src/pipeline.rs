@@ -71,6 +71,20 @@ impl CompressSpec {
         }
     }
 
+    /// The lossless "u16 case": projections keep a 2¹⁶-entry distinct-value
+    /// palette ([`PalettizedTensor::lossless`]) and the embedding stays
+    /// native, so a bf16 model round-trips bit-exactly through the
+    /// container — the configuration the serving parity suite pins against
+    /// dense generation.
+    pub fn lossless() -> Self {
+        CompressSpec {
+            bits: 16,
+            embedding_bits: 0,
+            epochs: 0,
+            ..Self::paper_3bit()
+        }
+    }
+
     /// Vector-palettization preset (extension beyond the paper): `2^bits`
     /// centroids of dimension `dim`, i.e. `bits / dim` effective bits per
     /// weight — e.g. `vector(4, 2)` reaches 2 bits/weight.
@@ -280,6 +294,12 @@ impl CompressionPipeline {
 
     /// Export the current parameters of `model` as a compressed model
     /// (no training).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec asks for a lossless (≥ 16-bit) palette on a
+    /// parameter with more than 2¹⁶ distinct values (e.g. a large f32
+    /// model) — 16-bit source weights always fit.
     pub fn export(&self, model: &LlamaModel) -> CompressedModel {
         let clusterable: HashSet<String> = model.clusterable_names().into_iter().collect();
         let embed_name = model.embedding().name().to_string();
@@ -287,15 +307,21 @@ impl CompressionPipeline {
         for (name, var) in model.named_params() {
             let value = var.value().clone();
             let entry = if clusterable.contains(&name) {
-                let dkm = DkmLayer::new(self.spec.dkm_for(&name));
-                if self.spec.lut_group_rows > 0 && value.rank() == 2 {
-                    CompressedTensor::PalettizedGrouped(
-                        dkm.palettize_grouped(&value, self.spec.lut_group_rows),
-                    )
+                if self.spec.bits_for(&name) >= 16 {
+                    // The lossless u16 case: no clustering, the palette is
+                    // the distinct-value set itself.
+                    CompressedTensor::Palettized(PalettizedTensor::lossless(&value))
                 } else {
-                    CompressedTensor::Palettized(dkm.palettize(&value))
+                    let dkm = DkmLayer::new(self.spec.dkm_for(&name));
+                    if self.spec.lut_group_rows > 0 && value.rank() == 2 {
+                        CompressedTensor::PalettizedGrouped(
+                            dkm.palettize_grouped(&value, self.spec.lut_group_rows),
+                        )
+                    } else {
+                        CompressedTensor::Palettized(dkm.palettize(&value))
+                    }
                 }
-            } else if name == embed_name {
+            } else if name == embed_name && self.spec.embedding_bits > 0 {
                 CompressedTensor::Affine(AffineQuantized::encode(&value, self.spec.embedding_bits))
             } else {
                 CompressedTensor::Native {

@@ -11,14 +11,30 @@
 //!   tag 2 (native16):   shape | u16 bf16 bit patterns
 //!   tag 3 (grouped):    u32 rows_per_group | shape | u32 n_groups | groups
 //! shape := u8 rank | u32 dims…
+//! trailer := u64 FNV-1a of every preceding byte (v2)
 //! ```
+//!
+//! The v2 trailer makes corruption detection total: a truncated or
+//! bit-flipped buffer fails the checksum *before* any entry is parsed, so
+//! decoding returns a typed [`DecodeError`] on arbitrary corruption — never
+//! a panic and never a silently misread model.
 
 use crate::palettize::{AffineQuantized, GroupedPalettized, PalettizedTensor};
 use crate::pipeline::{CompressedModel, CompressedTensor};
 use edkm_tensor::dtype;
 
 const MAGIC: &[u8; 4] = b"EDKM";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+
+/// 64-bit FNV-1a over `data` (the container's integrity trailer).
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Error decoding a serialized model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +47,8 @@ pub enum DecodeError {
     Truncated,
     /// Unknown entry tag.
     BadTag(u8),
+    /// The integrity trailer does not match the payload (bit corruption).
+    BadChecksum,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -40,6 +58,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadVersion(v) => write!(f, "unsupported format version {v}"),
             DecodeError::Truncated => write!(f, "unexpected end of data"),
             DecodeError::BadTag(t) => write!(f, "unknown entry tag {t}"),
+            DecodeError::BadChecksum => write!(f, "integrity checksum mismatch"),
         }
     }
 }
@@ -170,6 +189,8 @@ impl CompressedModel {
                 }
             }
         }
+        let trailer = fnv1a(&out);
+        put_u64(&mut out, trailer);
         out
     }
 
@@ -177,7 +198,9 @@ impl CompressedModel {
     ///
     /// # Errors
     ///
-    /// Returns a [`DecodeError`] on malformed input.
+    /// Returns a [`DecodeError`] on malformed input: any truncation or bit
+    /// flip fails the integrity trailer (checked before entries are parsed)
+    /// or one of the structural checks — decoding never panics.
     pub fn from_bytes(data: &[u8]) -> Result<CompressedModel, DecodeError> {
         let mut r = Reader::new(data);
         if r.bytes(4)? != MAGIC {
@@ -187,6 +210,17 @@ impl CompressedModel {
         if version != VERSION {
             return Err(DecodeError::BadVersion(version));
         }
+        // Verify the integrity trailer before trusting any length field.
+        if data.len() < 4 + 2 + 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let payload_end = data.len() - 8;
+        let stored = u64::from_le_bytes(data[payload_end..].try_into().expect("8 bytes"));
+        if fnv1a(&data[..payload_end]) != stored {
+            return Err(DecodeError::BadChecksum);
+        }
+        let mut r = Reader::new(&data[..payload_end]);
+        let _ = r.bytes(4 + 2); // past magic + version, already checked
         let n = r.u32()? as usize;
         let mut entries = Vec::with_capacity(n);
         for _ in 0..n {
@@ -322,13 +356,32 @@ mod tests {
             let r = CompressedModel::from_bytes(&bytes[..cut]);
             assert!(r.is_err(), "prefix of {cut} bytes must not decode");
         }
-        // Trailing garbage must fail too.
+        // Trailing garbage shifts the trailer: checksum mismatch.
         let mut padded = bytes.clone();
         padded.push(0xFF);
         assert_eq!(
             CompressedModel::from_bytes(&padded).err(),
-            Some(DecodeError::Truncated)
+            Some(DecodeError::BadChecksum)
         );
+    }
+
+    #[test]
+    fn rejects_any_single_bit_flip() {
+        let (_m, compressed) = model_and_compressed();
+        let bytes = compressed.to_bytes();
+        // Flip one bit at a spread of positions, covering the header, the
+        // entry payloads and the trailer itself; every flip must surface as
+        // a typed error (magic/version damage included), never a panic or a
+        // silent misread.
+        let stride = (bytes.len() / 97).max(1);
+        for byte_idx in (0..bytes.len()).step_by(stride) {
+            let mut bad = bytes.clone();
+            bad[byte_idx] ^= 1 << (byte_idx % 8);
+            assert!(
+                CompressedModel::from_bytes(&bad).is_err(),
+                "bit flip at byte {byte_idx} must be detected"
+            );
+        }
     }
 
     #[test]
@@ -337,5 +390,6 @@ mod tests {
         assert!(DecodeError::BadVersion(7).to_string().contains('7'));
         assert!(DecodeError::BadTag(9).to_string().contains('9'));
         assert!(DecodeError::Truncated.to_string().contains("end"));
+        assert!(DecodeError::BadChecksum.to_string().contains("checksum"));
     }
 }

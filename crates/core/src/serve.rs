@@ -1,0 +1,592 @@
+//! Serving layer over [`PalettizedModel`]: KV-cached autoregressive
+//! generation and a continuous-batching scheduler.
+//!
+//! The [`Generator`] drives one sequence (greedy or seeded
+//! temperature/top-k sampling). The [`Scheduler`] keeps a request queue and
+//! a set of in-flight sequences of *uneven* lengths: each step it admits
+//! waiting requests up to the batch budget, runs one batched forward (new
+//! requests contribute their whole prompt, running ones their latest
+//! token — so projection GEMMs batch across everything), samples one token
+//! per sequence, and retires finished requests, returning their KV-cache
+//! bytes to the pool.
+//!
+//! Sampling state is **per request** (its own seeded RNG), and every
+//! logits row depends only on its own sequence, so a request produces
+//! exactly the same tokens whether it runs alone or batched with arbitrary
+//! neighbours — the invariant the scheduler test suite pins.
+
+use crate::infer::{KvCache, PalettizedModel};
+use edkm_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// How to turn a logits row into the next token.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingConfig {
+    /// Softmax temperature; `0.0` means greedy argmax.
+    pub temperature: f32,
+    /// Keep only the `top_k` most likely tokens (`0` keeps all).
+    pub top_k: usize,
+    /// Seed of the per-request RNG (ignored when greedy).
+    pub seed: u64,
+}
+
+impl SamplingConfig {
+    /// Deterministic argmax decoding.
+    pub fn greedy() -> Self {
+        SamplingConfig {
+            temperature: 0.0,
+            top_k: 0,
+            seed: 0,
+        }
+    }
+
+    /// Seeded temperature sampling over the full vocabulary.
+    pub fn with_temperature(temperature: f32, seed: u64) -> Self {
+        SamplingConfig {
+            temperature,
+            top_k: 0,
+            seed,
+        }
+    }
+
+    /// Seeded temperature sampling restricted to the `top_k` best tokens.
+    pub fn with_top_k(temperature: f32, top_k: usize, seed: u64) -> Self {
+        SamplingConfig {
+            temperature,
+            top_k,
+            seed,
+        }
+    }
+
+    /// `true` when this config never consumes randomness.
+    pub fn is_greedy(&self) -> bool {
+        self.temperature <= 0.0
+    }
+}
+
+/// Pick the next token from one logits row. Greedy takes the first argmax
+/// (ties break low, matching `ops::argmax_lastdim`); sampling scales by
+/// temperature, keeps the top-k, softmaxes and draws from `rng`.
+pub fn sample_token(row: &[f32], sampling: &SamplingConfig, rng: &mut StdRng) -> usize {
+    assert!(!row.is_empty(), "empty logits row");
+    if sampling.is_greedy() {
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in row.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        return best;
+    }
+    let mut scaled: Vec<f32> = row.iter().map(|&v| v / sampling.temperature).collect();
+    if sampling.top_k > 0 && sampling.top_k < row.len() {
+        // The top_k-th largest value is the cut. Everything strictly above
+        // it always survives; values *equal* to the cut fill the remaining
+        // budget in index order (so ties straddling the cut can never push
+        // out a strictly larger logit).
+        let mut sorted = scaled.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite logits"));
+        let cut = sorted[sampling.top_k - 1];
+        let above = scaled.iter().filter(|&&v| v > cut).count();
+        let mut tie_budget = sampling.top_k - above;
+        for v in scaled.iter_mut() {
+            if *v > cut {
+                continue;
+            }
+            if *v == cut && tie_budget > 0 {
+                tie_budget -= 1;
+            } else {
+                *v = f32::NEG_INFINITY;
+            }
+        }
+    }
+    // Stable softmax, then inverse-CDF draw.
+    let mx = scaled.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in scaled.iter_mut() {
+        *v = (*v - mx).exp();
+        sum += *v;
+    }
+    let u: f32 = rng.gen::<f32>() * sum;
+    let mut acc = 0.0f32;
+    let mut last = 0usize;
+    for (i, &p) in scaled.iter().enumerate() {
+        if p > 0.0 {
+            acc += p;
+            last = i;
+            if u < acc {
+                return i;
+            }
+        }
+    }
+    last // rounding fell off the end: return the last viable token
+}
+
+/// KV-cached autoregressive generation over a [`PalettizedModel`].
+#[derive(Debug, Clone, Copy)]
+pub struct Generator<'m> {
+    model: &'m PalettizedModel,
+}
+
+impl<'m> Generator<'m> {
+    /// Generator over `model`.
+    pub fn new(model: &'m PalettizedModel) -> Self {
+        Generator { model }
+    }
+
+    /// Continue `prompt` by `n_new` tokens under `sampling`. Returns the
+    /// full sequence (prompt + generated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty or `prompt.len() + n_new` exceeds the
+    /// model's `max_seq`.
+    pub fn generate(
+        &self,
+        prompt: &[usize],
+        n_new: usize,
+        sampling: &SamplingConfig,
+    ) -> Vec<usize> {
+        assert!(!prompt.is_empty(), "prompt must be non-empty");
+        assert!(
+            prompt.len() + n_new <= self.model.config().max_seq,
+            "prompt {} + {n_new} new tokens exceed max_seq {}",
+            prompt.len(),
+            self.model.config().max_seq
+        );
+        let mut rng = StdRng::seed_from_u64(sampling.seed);
+        let mut cache = self.model.new_cache();
+        let mut ids = prompt.to_vec();
+        if n_new == 0 {
+            return ids;
+        }
+        let logits = self.model.prefill(prompt, &mut cache);
+        let mut next = Self::last_row_token(&logits, prompt.len(), sampling, &mut rng);
+        ids.push(next);
+        for _ in 1..n_new {
+            let logits = self.model.decode_step(&[next], &mut [&mut cache]);
+            next = Self::last_row_token(&logits, 1, sampling, &mut rng);
+            ids.push(next);
+        }
+        ids
+    }
+
+    /// Greedy continuation (sugar for [`SamplingConfig::greedy`]).
+    pub fn generate_greedy(&self, prompt: &[usize], n_new: usize) -> Vec<usize> {
+        self.generate(prompt, n_new, &SamplingConfig::greedy())
+    }
+
+    fn last_row_token(
+        logits: &Tensor,
+        rows: usize,
+        sampling: &SamplingConfig,
+        rng: &mut StdRng,
+    ) -> usize {
+        let vocab = logits.shape()[1];
+        let data = logits.to_vec();
+        sample_token(&data[(rows - 1) * vocab..rows * vocab], sampling, rng)
+    }
+}
+
+/// One generation request submitted to the [`Scheduler`].
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Caller-chosen id, echoed in the response.
+    pub id: u64,
+    /// Prompt token ids (non-empty).
+    pub prompt: Vec<usize>,
+    /// How many tokens to generate.
+    pub max_new: usize,
+    /// Per-request sampling configuration.
+    pub sampling: SamplingConfig,
+}
+
+/// A finished request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeResponse {
+    /// The request id.
+    pub id: u64,
+    /// Full sequence: prompt followed by the generated continuation.
+    pub tokens: Vec<usize>,
+    /// Number of generated tokens.
+    pub generated: usize,
+}
+
+/// An in-flight sequence.
+#[derive(Debug)]
+struct ActiveSeq {
+    id: u64,
+    tokens: Vec<usize>,
+    /// Tokens to feed next step: whole prompt right after admission, the
+    /// latest sample afterwards.
+    next_input: Vec<usize>,
+    produced: usize,
+    max_new: usize,
+    sampling: SamplingConfig,
+    rng: StdRng,
+    cache: KvCache,
+}
+
+/// Continuous-batching scheduler: admits/retires sequences of uneven
+/// lengths every step and batches all projection GEMMs across whatever is
+/// in flight.
+#[derive(Debug)]
+pub struct Scheduler<'m> {
+    model: &'m PalettizedModel,
+    max_batch: usize,
+    queue: VecDeque<ServeRequest>,
+    active: Vec<ActiveSeq>,
+    decode_steps: u64,
+    tokens_generated: u64,
+}
+
+impl<'m> Scheduler<'m> {
+    /// Scheduler over `model` admitting at most `max_batch` concurrent
+    /// sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is 0.
+    pub fn new(model: &'m PalettizedModel, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "max_batch must be positive");
+        Scheduler {
+            model,
+            max_batch,
+            queue: VecDeque::new(),
+            active: Vec::new(),
+            decode_steps: 0,
+            tokens_generated: 0,
+        }
+    }
+
+    /// Enqueue a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty or the request cannot fit `max_seq`.
+    pub fn submit(&mut self, req: ServeRequest) {
+        assert!(!req.prompt.is_empty(), "prompt must be non-empty");
+        assert!(
+            req.prompt.len() + req.max_new <= self.model.config().max_seq,
+            "request {}: prompt {} + {} new tokens exceed max_seq {}",
+            req.id,
+            req.prompt.len(),
+            req.max_new,
+            self.model.config().max_seq
+        );
+        self.queue.push_back(req);
+    }
+
+    /// Requests waiting for admission.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Sequences currently in flight.
+    pub fn active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// `true` when nothing is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.active.is_empty()
+    }
+
+    /// Batched forward steps executed so far.
+    pub fn decode_steps(&self) -> u64 {
+        self.decode_steps
+    }
+
+    /// Tokens generated so far (all requests).
+    pub fn tokens_generated(&self) -> u64 {
+        self.tokens_generated
+    }
+
+    /// KV-cache bytes currently charged to the pool by in-flight sequences.
+    pub fn kv_live_bytes(&self) -> usize {
+        self.active.iter().map(|s| s.cache.bytes()).sum()
+    }
+
+    /// One scheduling step: admit, run one batched forward, sample, retire.
+    /// Returns the requests that finished during this step.
+    pub fn step(&mut self) -> Vec<ServeResponse> {
+        let mut finished = Vec::new();
+        // Admit while there is batch budget. Zero-generation requests
+        // complete immediately without touching the model.
+        while self.active.len() < self.max_batch {
+            let Some(req) = self.queue.pop_front() else {
+                break;
+            };
+            if req.max_new == 0 {
+                finished.push(ServeResponse {
+                    id: req.id,
+                    tokens: req.prompt,
+                    generated: 0,
+                });
+                continue;
+            }
+            self.active.push(ActiveSeq {
+                id: req.id,
+                tokens: req.prompt.clone(),
+                next_input: req.prompt,
+                produced: 0,
+                max_new: req.max_new,
+                sampling: req.sampling,
+                rng: StdRng::seed_from_u64(req.sampling.seed),
+                cache: self.model.new_cache(),
+            });
+        }
+        if self.active.is_empty() {
+            return finished;
+        }
+
+        // One batched forward over every in-flight sequence's new tokens.
+        // Inputs are copied out (a few tokens each) so the caches can be
+        // borrowed mutably at the same time.
+        let inputs: Vec<Vec<usize>> = self.active.iter().map(|s| s.next_input.clone()).collect();
+        let chunks: Vec<&[usize]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let row_ends: Vec<usize> = chunks
+            .iter()
+            .scan(0usize, |acc, c| {
+                *acc += c.len();
+                Some(*acc)
+            })
+            .collect();
+        let mut caches: Vec<&mut KvCache> = self.active.iter_mut().map(|s| &mut s.cache).collect();
+        let logits = self.model.forward_chunks(&chunks, &mut caches);
+        drop(caches);
+        self.decode_steps += 1;
+
+        // Sample one token per sequence (rows map by this step's order),
+        // then retire in a second pass so the row mapping stays intact.
+        let vocab = self.model.config().vocab;
+        let data = logits.to_vec();
+        for (seq, &end) in self.active.iter_mut().zip(&row_ends) {
+            let row = &data[(end - 1) * vocab..end * vocab];
+            let next = sample_token(row, &seq.sampling, &mut seq.rng);
+            seq.tokens.push(next);
+            seq.next_input = vec![next];
+            seq.produced += 1;
+            self.tokens_generated += 1;
+        }
+        let mut i = 0usize;
+        while i < self.active.len() {
+            if self.active[i].produced == self.active[i].max_new {
+                let seq = self.active.swap_remove(i); // drops the KV cache
+                finished.push(ServeResponse {
+                    id: seq.id,
+                    generated: seq.produced,
+                    tokens: seq.tokens,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        finished
+    }
+
+    /// Drive [`Scheduler::step`] until every submitted request finished.
+    pub fn run_to_completion(&mut self) -> Vec<ServeResponse> {
+        let mut all = Vec::new();
+        while !self.is_idle() {
+            all.extend(self.step());
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::CompressSpec;
+    use edkm_nn::{LlamaConfig, LlamaModel};
+    use edkm_tensor::{runtime, DType, Device};
+
+    fn served(bits_spec: &CompressSpec) -> PalettizedModel {
+        let cfg = LlamaConfig {
+            max_seq: 32,
+            ..LlamaConfig::tiny()
+        };
+        let dense = LlamaModel::new(cfg, DType::Bf16, Device::Cpu, 42);
+        PalettizedModel::from_dense(&dense, bits_spec).unwrap()
+    }
+
+    #[test]
+    fn greedy_sampling_is_argmax_with_low_tie() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let row = [0.5f32, 2.0, 2.0, -1.0];
+        assert_eq!(sample_token(&row, &SamplingConfig::greedy(), &mut rng), 1);
+    }
+
+    #[test]
+    fn temperature_zero_and_tiny_temperature_agree_eventually() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let row = [0.1f32, 8.0, 0.2, 0.3];
+        // At a tiny temperature the distribution collapses onto the argmax.
+        for _ in 0..20 {
+            assert_eq!(
+                sample_token(&row, &SamplingConfig::with_temperature(1e-3, 7), &mut rng),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_filters_the_tail() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let row = [1.0f32, 5.0, 4.0, -3.0, 2.0];
+        for _ in 0..50 {
+            let tok = sample_token(&row, &SamplingConfig::with_top_k(1.0, 2, 3), &mut rng);
+            assert!(tok == 1 || tok == 2, "top-2 must exclude token {tok}");
+        }
+    }
+
+    #[test]
+    fn top_k_ties_at_the_cut_never_evict_the_argmax() {
+        // Two 5.0s tie at the top-2 cut while 9.0 sits above it at a later
+        // index: the strict maximum must always survive the filter, and the
+        // one remaining slot goes to the first tied value.
+        let mut rng = StdRng::seed_from_u64(4);
+        let row = [5.0f32, 5.0, 9.0];
+        let mut saw_argmax = false;
+        for _ in 0..80 {
+            let tok = sample_token(&row, &SamplingConfig::with_top_k(1.0, 2, 9), &mut rng);
+            assert!(tok == 2 || tok == 0, "top-2 kept token {tok}");
+            saw_argmax |= tok == 2;
+        }
+        assert!(saw_argmax, "the argmax must be sampleable");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let model = served(&CompressSpec::with_bits(3));
+        let gen = Generator::new(&model);
+        let s = SamplingConfig::with_top_k(0.8, 4, 123);
+        let a = gen.generate(&[1, 2, 3], 10, &s);
+        let b = gen.generate(&[1, 2, 3], 10, &s);
+        assert_eq!(a, b, "same seed must reproduce the same tokens");
+        let c = gen.generate(&[1, 2, 3], 10, &SamplingConfig::with_top_k(0.8, 4, 124));
+        assert_eq!(a.len(), c.len());
+    }
+
+    #[test]
+    fn generator_respects_prompt_and_length() {
+        runtime::reset();
+        let model = served(&CompressSpec::with_bits(3));
+        let gen = Generator::new(&model);
+        let out = gen.generate_greedy(&[1, 2, 3], 8);
+        assert_eq!(out.len(), 11);
+        assert_eq!(&out[..3], &[1, 2, 3]);
+        assert!(out.iter().all(|&t| t < model.config().vocab));
+        assert_eq!(gen.generate_greedy(&[4, 5], 0), vec![4, 5]);
+    }
+
+    #[test]
+    fn scheduler_matches_solo_generation_exactly() {
+        runtime::reset();
+        let model = served(&CompressSpec::with_bits(3));
+        let gen = Generator::new(&model);
+        // Uneven prompts, mixed greedy and seeded sampling.
+        let reqs = vec![
+            ServeRequest {
+                id: 1,
+                prompt: vec![1, 2, 3, 4, 5],
+                max_new: 9,
+                sampling: SamplingConfig::greedy(),
+            },
+            ServeRequest {
+                id: 2,
+                prompt: vec![7],
+                max_new: 4,
+                sampling: SamplingConfig::with_temperature(0.9, 77),
+            },
+            ServeRequest {
+                id: 3,
+                prompt: vec![9, 8],
+                max_new: 12,
+                sampling: SamplingConfig::with_top_k(1.1, 3, 5),
+            },
+        ];
+        let solo: Vec<Vec<usize>> = reqs
+            .iter()
+            .map(|r| gen.generate(&r.prompt, r.max_new, &r.sampling))
+            .collect();
+        let mut sched = Scheduler::new(&model, 2); // forces queueing too
+        for r in &reqs {
+            sched.submit(r.clone());
+        }
+        let mut out = sched.run_to_completion();
+        out.sort_by_key(|r| r.id);
+        assert_eq!(out.len(), 3);
+        for (resp, want) in out.iter().zip(&solo) {
+            assert_eq!(
+                &resp.tokens, want,
+                "request {} must not depend on batch composition",
+                resp.id
+            );
+        }
+        assert!(sched.is_idle());
+        assert_eq!(sched.tokens_generated(), 9 + 4 + 12);
+    }
+
+    #[test]
+    fn kv_bytes_return_to_baseline_after_retirement() {
+        runtime::reset();
+        let model = served(&CompressSpec::with_bits(2));
+        let baseline = runtime::cpu_live_bytes();
+        let mut sched = Scheduler::new(&model, 8);
+        for id in 0..5u64 {
+            sched.submit(ServeRequest {
+                id,
+                prompt: vec![1 + id as usize],
+                max_new: 3 + id as usize,
+                sampling: SamplingConfig::greedy(),
+            });
+        }
+        sched.step();
+        assert!(sched.kv_live_bytes() > 0, "in-flight caches are charged");
+        assert!(runtime::cpu_live_bytes() > baseline);
+        sched.run_to_completion();
+        assert_eq!(sched.kv_live_bytes(), 0);
+        assert_eq!(
+            runtime::cpu_live_bytes(),
+            baseline,
+            "all KV bytes must drain when requests retire"
+        );
+    }
+
+    #[test]
+    fn zero_new_tokens_complete_without_forward() {
+        runtime::reset();
+        let model = served(&CompressSpec::with_bits(2));
+        let mut sched = Scheduler::new(&model, 4);
+        sched.submit(ServeRequest {
+            id: 9,
+            prompt: vec![3, 1],
+            max_new: 0,
+            sampling: SamplingConfig::greedy(),
+        });
+        let out = sched.step();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tokens, vec![3, 1]);
+        assert_eq!(out[0].generated, 0);
+        assert_eq!(sched.decode_steps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed max_seq")]
+    fn oversized_request_is_rejected_at_submit() {
+        let model = served(&CompressSpec::with_bits(2));
+        let mut sched = Scheduler::new(&model, 1);
+        sched.submit(ServeRequest {
+            id: 0,
+            prompt: vec![1; 30],
+            max_new: 30,
+            sampling: SamplingConfig::greedy(),
+        });
+    }
+}

@@ -18,6 +18,7 @@
 use edkm::autograd::SavedTensorHooks;
 use edkm::core::{run_table2, AblationSetup};
 use edkm::core::{CompressSpec, CompressedTensor, CompressionPipeline, EdkmConfig, EdkmHooks};
+use edkm::core::{PalettizedModel, SamplingConfig, Scheduler, ServeRequest};
 use edkm::data::{AlpacaSet, Corpus, Grammar};
 use edkm::eval::perplexity;
 use edkm::nn::{AdamWConfig, LlamaConfig, LlamaModel, LmBatch, TrainConfig, Trainer};
@@ -57,6 +58,10 @@ commands:
              flags: --bits N (3)  --dim D (1)  --group-rows G (0 = one LUT)
   ablate     the Table 2 M/U/S ablation at CLI scale
              flags: --d-model N (256)  --learners L (8)
+  serve      compress a small pretrained model and serve sampled requests
+             through the continuous-batching scheduler
+             flags: --bits N (3)  --batch B (4)  --requests R (6)
+                    --new T (16)  --temp F (0.8, 0 = greedy)
   table1     the Table 1 cross-device copy scenario
   help       this text
 
@@ -315,6 +320,82 @@ fn edkm_bench_table(rows: &[edkm::core::AblationRow]) -> String {
     s
 }
 
+fn cmd_serve(args: &[String]) {
+    let bits: u8 = parse_or(args, "--bits", 3);
+    let max_batch: usize = parse_or(args, "--batch", 4);
+    let n_requests: usize = parse_or(args, "--requests", 6);
+    let n_new: usize = parse_or(args, "--new", 16);
+    let temperature: f32 = parse_or(args, "--temp", 0.8);
+    println!(
+        "serving a {bits}-bit compressed model: {n_requests} requests x {n_new} tokens, \
+         continuous batching at batch {max_batch}\n"
+    );
+    let wb = Workbench::build(80);
+    let mut spec = CompressSpec::with_bits(bits);
+    spec.dkm.iters = 4;
+    let model = match PalettizedModel::from_dense(&wb.model, &spec) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot serve this export: {e}");
+            return;
+        }
+    };
+    println!(
+        "palettized {} -> {} bytes ({:.1}x)",
+        wb.model.native_size_bytes(),
+        model.size_bytes(),
+        wb.model.native_size_bytes() as f64 / model.size_bytes() as f64
+    );
+
+    // Leave room for at least one prompt token (CLI convention: clamp bad
+    // flag values instead of crashing).
+    let max_seq = model.config().max_seq;
+    if n_new >= max_seq {
+        eprintln!(
+            "--new {n_new} exceeds max_seq {max_seq}; clamping to {}",
+            max_seq - 1
+        );
+    }
+    let n_new = n_new.min(max_seq - 1);
+    let max_prompt = max_seq - n_new;
+    let mut sched = Scheduler::new(&model, max_batch);
+    for id in 0..n_requests as u64 {
+        let plen = (2 + id as usize % 5).min(max_prompt);
+        sched.submit(ServeRequest {
+            id,
+            prompt: (0..plen)
+                .map(|i| (3 + i * 11 + id as usize * 7) % model.config().vocab)
+                .collect(),
+            max_new: n_new,
+            sampling: if temperature > 0.0 {
+                SamplingConfig::with_top_k(temperature, 8, 100 + id)
+            } else {
+                SamplingConfig::greedy()
+            },
+        });
+    }
+    let t0 = std::time::Instant::now();
+    let mut peak_kv = 0usize;
+    let mut responses = Vec::new();
+    while !sched.is_idle() {
+        responses.extend(sched.step());
+        peak_kv = peak_kv.max(sched.kv_live_bytes());
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    responses.sort_by_key(|r| r.id);
+    for r in &responses {
+        println!("  req {}: {:?}", r.id, r.tokens);
+    }
+    println!(
+        "\n{} tokens in {:.3}s = {:.1} tok/s over {} batched steps; peak KV {} bytes",
+        sched.tokens_generated(),
+        secs,
+        sched.tokens_generated() as f64 / secs.max(1e-9),
+        sched.decode_steps(),
+        peak_kv
+    );
+}
+
 fn cmd_table1() {
     println!("Table 1: GPU/CPU footprint of the cross-device copy scenario\n");
     println!("{:<42} {:>8} {:>8}", "line", "GPU(MB)", "CPU(MB)");
@@ -358,6 +439,7 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("ablate") => cmd_ablate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("table1") => cmd_table1(),
         Some("help") | None => {
             usage();

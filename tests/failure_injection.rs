@@ -3,9 +3,14 @@
 //! not fit on real hardware), corrupt serialized artifacts, and API misuse.
 
 use edkm::autograd::SavedTensorHooks;
-use edkm::core::{CompressSpec, CompressedModel, CompressionPipeline, EdkmConfig, EdkmHooks};
+use edkm::core::pipeline::CompressedTensor;
+use edkm::core::{
+    AffineQuantized, CompressSpec, CompressedModel, CompressionPipeline, EdkmConfig, EdkmHooks,
+    PalettizedTensor,
+};
 use edkm::nn::{LlamaConfig, LlamaModel, TrainCheckpoint, TrainConfig, Trainer};
 use edkm::tensor::{runtime, DType, Device, Tensor};
+use proptest::prelude::*;
 
 /// The Table 1 scenario under a CPU budget: the naive offload of a tensor
 /// and its view would have OOMed a 5 MB host budget, while marshaling fits.
@@ -110,6 +115,83 @@ fn applying_to_mismatched_architecture_panics() {
     bigger_cfg.n_heads *= 2;
     let bigger = LlamaModel::new(bigger_cfg, DType::Bf16, Device::Cpu, 0);
     compressed.apply_to(&bigger);
+}
+
+/// An arbitrary synthetic container: one palettized entry at an arbitrary
+/// palette size/bit width, one affine entry, one native entry.
+fn arbitrary_container(bits: u8, k: usize, rows: usize, cols: usize, seed: u64) -> CompressedModel {
+    let w = Tensor::randn(&[rows, cols], DType::F32, Device::Cpu, seed);
+    let centroids = Tensor::randn(&[k, 1], DType::F32, Device::Cpu, seed ^ 0xABCD);
+    let pal = PalettizedTensor::from_nearest(&w, &centroids, bits, 1);
+    let e = Tensor::randn(&[rows, cols], DType::F32, Device::Cpu, seed ^ 0x1234);
+    let aff = AffineQuantized::encode(&e, 1 + (bits % 8));
+    let norm = Tensor::randn(&[cols], DType::Bf16, Device::Cpu, seed ^ 0x77);
+    CompressedModel::from_entries(vec![
+        ("proj".into(), CompressedTensor::Palettized(pal)),
+        ("embed".into(), CompressedTensor::Affine(aff)),
+        (
+            "norm".into(),
+            CompressedTensor::Native {
+                values: norm.to_vec(),
+                shape: vec![cols],
+            },
+        ),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary palette sizes and bit widths round-trip the container
+    /// exactly: same entry names, decoded values, and accounted sizes.
+    #[test]
+    fn prop_container_roundtrips_arbitrary_palettes(
+        bits in 1u8..=16,
+        kf in 0.0f64..1.0,
+        rows in 1usize..10,
+        cols in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        runtime::reset();
+        let k_max = (1usize << bits).min(64);
+        let k = 1 + ((kf * k_max as f64) as usize).min(k_max - 1);
+        let m = arbitrary_container(bits, k, rows, cols, seed);
+        let back = CompressedModel::from_bytes(&m.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(back.entries().len(), m.entries().len());
+        for ((n1, e1), (n2, e2)) in m.entries().iter().zip(back.entries()) {
+            prop_assert_eq!(n1, n2);
+            prop_assert_eq!(e1.decode_values(), e2.decode_values());
+            prop_assert_eq!(e1.size_bytes(), e2.size_bytes());
+        }
+    }
+
+    /// Any truncation yields a typed `DecodeError`, never a panic.
+    #[test]
+    fn prop_truncation_yields_typed_error(
+        cut_f in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        runtime::reset();
+        let bytes = arbitrary_container(3, 5, 4, 6, seed).to_bytes();
+        let cut = ((cut_f * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        prop_assert!(CompressedModel::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// Any single bit flip yields a typed `DecodeError` (the v2 integrity
+    /// trailer catches whatever the structural checks let through), never a
+    /// panic and never a silently corrupted model.
+    #[test]
+    fn prop_bit_flip_yields_typed_error(
+        pos_f in 0.0f64..1.0,
+        bit in 0u8..8,
+        seed in any::<u64>(),
+    ) {
+        runtime::reset();
+        let mut bytes = arbitrary_container(4, 9, 3, 8, seed).to_bytes();
+        let pos = ((pos_f * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(CompressedModel::from_bytes(&bytes).is_err());
+    }
 }
 
 /// Budgets reset with the runtime: a fresh runtime has no capacity and no

@@ -1,0 +1,178 @@
+//! Continuous-batching invariants: batching never changes what a request
+//! generates, and serving state is accounted like everything else.
+//!
+//! * With uneven prompt lengths, staggered admission and seeded sampling,
+//!   every request produces exactly the tokens it would produce running
+//!   alone.
+//! * KV-cache bytes live in the device pool while requests are in flight
+//!   and return to baseline once all of them retire.
+
+use edkm::core::{
+    CompressSpec, Generator, PalettizedModel, SamplingConfig, Scheduler, ServeRequest,
+};
+use edkm::nn::{LlamaConfig, LlamaModel};
+use edkm::tensor::{runtime, DType, Device};
+
+fn served_model(seed: u64) -> PalettizedModel {
+    let cfg = LlamaConfig {
+        vocab: 32,
+        d_model: 16,
+        n_heads: 2,
+        n_layers: 2,
+        d_ff: 32,
+        max_seq: 48,
+    };
+    let dense = LlamaModel::new(cfg, DType::Bf16, Device::Cpu, seed);
+    let mut spec = CompressSpec::with_bits(4);
+    spec.dkm.iters = 3;
+    PalettizedModel::from_dense(&dense, &spec).expect("servable export")
+}
+
+fn request_mix() -> Vec<ServeRequest> {
+    // Uneven prompt lengths, uneven generation lengths, mixed sampling.
+    (0..9u64)
+        .map(|id| {
+            let plen = 1 + (id as usize * 3) % 7;
+            let prompt: Vec<usize> = (0..plen).map(|i| (i * 5 + id as usize) % 32).collect();
+            let sampling = match id % 3 {
+                0 => SamplingConfig::greedy(),
+                1 => SamplingConfig::with_temperature(0.8, 1000 + id),
+                _ => SamplingConfig::with_top_k(1.2, 5, 2000 + id),
+            };
+            ServeRequest {
+                id,
+                prompt,
+                max_new: 2 + (id as usize * 7) % 11,
+                sampling,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn continuous_batching_matches_solo_runs_token_for_token() {
+    runtime::reset();
+    let model = served_model(7);
+    let gen = Generator::new(&model);
+    let reqs = request_mix();
+    let solo: Vec<Vec<usize>> = reqs
+        .iter()
+        .map(|r| gen.generate(&r.prompt, r.max_new, &r.sampling))
+        .collect();
+
+    // Batch caps below the request count force queueing and staggered
+    // admission; every cap must yield identical per-request tokens.
+    for max_batch in [1usize, 3, 8] {
+        let mut sched = Scheduler::new(&model, max_batch);
+        for r in &reqs {
+            sched.submit(r.clone());
+        }
+        let mut out = sched.run_to_completion();
+        out.sort_by_key(|r| r.id);
+        assert_eq!(out.len(), reqs.len());
+        for (resp, want) in out.iter().zip(&solo) {
+            assert_eq!(
+                &resp.tokens, want,
+                "request {} diverged at max_batch {max_batch}",
+                resp.id
+            );
+        }
+    }
+}
+
+#[test]
+fn late_submissions_join_the_running_batch_without_disturbing_it() {
+    runtime::reset();
+    let model = served_model(8);
+    let gen = Generator::new(&model);
+    let first = ServeRequest {
+        id: 0,
+        prompt: vec![1, 2, 3, 4],
+        max_new: 12,
+        sampling: SamplingConfig::with_temperature(0.9, 55),
+    };
+    let late = ServeRequest {
+        id: 1,
+        prompt: vec![9],
+        max_new: 5,
+        sampling: SamplingConfig::with_top_k(0.7, 3, 66),
+    };
+    let solo_first = gen.generate(&first.prompt, first.max_new, &first.sampling);
+    let solo_late = gen.generate(&late.prompt, late.max_new, &late.sampling);
+
+    let mut sched = Scheduler::new(&model, 4);
+    sched.submit(first.clone());
+    // Run a few steps alone, then a new request arrives mid-flight.
+    for _ in 0..4 {
+        sched.step();
+    }
+    sched.submit(late.clone());
+    let mut out = sched.run_to_completion();
+    out.sort_by_key(|r| r.id);
+    assert_eq!(out[0].tokens, solo_first, "running request unaffected");
+    assert_eq!(out[1].tokens, solo_late, "late joiner decodes identically");
+}
+
+#[test]
+fn kv_cache_ledger_returns_to_baseline_after_all_requests_retire() {
+    runtime::reset();
+    let model = served_model(9);
+    let baseline = runtime::cpu_live_bytes();
+    runtime::reset_peak(Device::Cpu); // ignore the model-building peak
+    let mut sched = Scheduler::new(&model, 4);
+    for r in request_mix() {
+        sched.submit(r);
+    }
+    sched.step();
+    let in_flight = sched.kv_live_bytes();
+    assert!(in_flight > 0, "prefills must charge the pool");
+    assert_eq!(
+        runtime::cpu_live_bytes(),
+        baseline + in_flight,
+        "pool must carry exactly the in-flight KV bytes between steps"
+    );
+    sched.run_to_completion();
+    assert_eq!(sched.kv_live_bytes(), 0);
+    assert_eq!(
+        runtime::cpu_live_bytes(),
+        baseline,
+        "all KV bytes must return to the pool at retirement"
+    );
+    // Serving left a footprint trace: peak covers the in-flight KV bytes.
+    assert!(runtime::peak_bytes(Device::Cpu) >= baseline + in_flight);
+}
+
+#[test]
+fn batched_decode_shares_steps_across_requests() {
+    runtime::reset();
+    let model = served_model(10);
+    let reqs: Vec<ServeRequest> = (0..4u64)
+        .map(|id| ServeRequest {
+            id,
+            prompt: vec![1 + id as usize],
+            max_new: 10,
+            sampling: SamplingConfig::greedy(),
+        })
+        .collect();
+
+    // Sequential: every request decodes alone.
+    let mut seq_steps = 0u64;
+    for r in &reqs {
+        let mut sched = Scheduler::new(&model, 1);
+        sched.submit(r.clone());
+        sched.run_to_completion();
+        seq_steps += sched.decode_steps();
+    }
+    // Continuous: all four share each batched step.
+    let mut sched = Scheduler::new(&model, 4);
+    for r in &reqs {
+        sched.submit(r.clone());
+    }
+    sched.run_to_completion();
+    assert_eq!(sched.tokens_generated(), 40);
+    assert_eq!(
+        sched.decode_steps() * 4,
+        seq_steps,
+        "batch 4 must cover the same tokens in a quarter of the steps"
+    );
+}
