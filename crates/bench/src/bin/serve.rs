@@ -12,8 +12,10 @@
 //! projection GEMMs fall below the parallel work threshold's win.
 
 use edkm_core::{
-    CompressSpec, Generator, PalettizedModel, SamplingConfig, Scheduler, ServeRequest,
+    CompressSpec, Generator, KvBlockConfig, PalettizedModel, SamplingConfig, Scheduler, ServeModel,
+    ServeRequest, ServeResponse,
 };
+use edkm_dist::LearnerGroup;
 use edkm_nn::{LlamaConfig, LlamaModel};
 use edkm_tensor::{runtime, DType, Device};
 use std::time::Instant;
@@ -79,6 +81,31 @@ fn tok_per_sec(tokens: u64, secs: f64) -> f64 {
     tokens as f64 / secs.max(1e-9)
 }
 
+/// One scheduler run: wall seconds, simulated seconds, decode steps, peak
+/// KV bytes, responses (sorted by id).
+fn run_batched<M: ServeModel>(
+    model: &M,
+    reqs: &[ServeRequest],
+    max_batch: usize,
+) -> (f64, f64, u64, usize, Vec<ServeResponse>) {
+    let mut sched = Scheduler::new(model, max_batch);
+    for r in reqs {
+        sched.submit(r.clone());
+    }
+    let sim0 = runtime::sim_seconds();
+    let t0 = Instant::now();
+    let mut peak_kv = 0usize;
+    let mut out = Vec::new();
+    while !sched.is_idle() {
+        out.extend(sched.step());
+        peak_kv = peak_kv.max(sched.kv_live_bytes());
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let sim_s = runtime::sim_seconds() - sim0;
+    out.sort_by_key(|r| r.id);
+    (secs, sim_s, sched.decode_steps(), peak_kv, out)
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let wl = if smoke {
@@ -128,14 +155,7 @@ fn main() {
     // Continuous batching at increasing caps.
     let mut batched = Vec::new();
     for &max_batch in &[1usize, 4, 8] {
-        let mut sched = Scheduler::new(&model, max_batch);
-        for r in &reqs {
-            sched.submit(r.clone());
-        }
-        let t0 = Instant::now();
-        let mut out = sched.run_to_completion();
-        let secs = t0.elapsed().as_secs_f64();
-        out.sort_by_key(|r| r.id);
+        let (secs, _, steps, _, out) = run_batched(&model, &reqs, max_batch);
         // Throughput must never change results: greedy tokens are identical
         // to the sequential run at every batch size.
         for (resp, want) in out.iter().zip(&sequential) {
@@ -145,8 +165,42 @@ fn main() {
                 resp.id
             );
         }
-        batched.push((max_batch, secs, sched.decode_steps()));
+        batched.push((max_batch, secs, steps));
     }
+
+    // Tensor-parallel shard sweep (batch 8): every projection partitioned
+    // over the learner group, shard GEMMs on worker threads, all-gathers
+    // on the simulated clock. Tokens stay bit-identical at every count.
+    let mut shard_rows = Vec::new();
+    for &shards in &[1usize, 2, 4] {
+        let sharded = model.shard(LearnerGroup::new(shards));
+        let (secs, sim_s, _, _, out) = run_batched(&sharded, &reqs, 8);
+        for (resp, want) in out.iter().zip(&sequential) {
+            assert_eq!(
+                &resp.tokens, want,
+                "{shards} shards: request {} diverged",
+                resp.id
+            );
+        }
+        shard_rows.push((shards, secs, sim_s));
+    }
+
+    // Paged vs monolithic KV (batch 8): small blocks vs one max_seq-sized
+    // block per sequence (the monolithic worst case the pool replaces).
+    let paged_model = model.clone().with_kv_config(KvBlockConfig {
+        block_tokens: 4,
+        max_blocks: 0,
+    });
+    let (_, _, _, paged_peak, paged_out) = run_batched(&paged_model, &reqs, 8);
+    let mono_model = model.clone().with_kv_config(KvBlockConfig {
+        block_tokens: wl.config.max_seq,
+        max_blocks: 0,
+    });
+    let (_, _, _, mono_peak, mono_out) = run_batched(&mono_model, &reqs, 8);
+    for (a, b) in paged_out.iter().zip(&mono_out) {
+        assert_eq!(a.tokens, b.tokens, "paging granularity changed tokens");
+    }
+    let kv_saving = mono_peak as f64 / paged_peak.max(1) as f64;
 
     let seq_tps = tok_per_sec(total_tokens, sequential_s);
     println!("\n  {:<24} {:>10} {:>12}", "mode", "tok/s", "steps");
@@ -168,13 +222,34 @@ fn main() {
     let speedup = batch8_tps / seq_tps;
     println!("  batch-8 speedup          {speedup:>10.2}x");
 
+    println!("\n  {:<24} {:>10} {:>12}", "shards", "tok/s", "sim s");
+    for &(shards, secs, sim_s) in &shard_rows {
+        println!(
+            "  {:<24} {:>10.1} {:>12.4}",
+            format!("tensor-parallel {shards}"),
+            tok_per_sec(total_tokens, secs),
+            sim_s
+        );
+    }
+    println!(
+        "\n  peak KV: paged (4-token blocks) {} B vs monolithic {} B = {:.2}x saved",
+        paged_peak, mono_peak, kv_saving
+    );
+
     let record = format!(
         "{{\n  \"bench\": \"palettized_serve\",\n  \"smoke\": {smoke},\n  \
          \"d_model\": {},\n  \"n_layers\": {},\n  \"bits\": {},\n  \
          \"requests\": {},\n  \"gen_tokens\": {},\n  \"threads\": {threads},\n  \
          \"sequential_tok_s\": {:.1},\n  \"batch1_tok_s\": {:.1},\n  \
          \"batch4_tok_s\": {:.1},\n  \"batch8_tok_s\": {:.1},\n  \
-         \"batch8_speedup\": {:.3},\n  \"tokens_identical\": true\n}}\n",
+         \"batch8_speedup\": {:.3},\n  \
+         \"shard1_tok_s\": {:.1},\n  \"shard2_tok_s\": {:.1},\n  \
+         \"shard4_tok_s\": {:.1},\n  \"shard1_sim_s\": {:.6},\n  \
+         \"shard2_sim_s\": {:.6},\n  \"shard4_sim_s\": {:.6},\n  \
+         \"kv_paged_peak_bytes\": {paged_peak},\n  \
+         \"kv_monolithic_peak_bytes\": {mono_peak},\n  \
+         \"kv_paged_saving\": {kv_saving:.3},\n  \
+         \"tokens_identical\": true\n}}\n",
         wl.config.d_model,
         wl.config.n_layers,
         wl.bits,
@@ -185,6 +260,12 @@ fn main() {
         tok_per_sec(total_tokens, batched[1].1),
         batch8_tps,
         speedup,
+        tok_per_sec(total_tokens, shard_rows[0].1),
+        tok_per_sec(total_tokens, shard_rows[1].1),
+        tok_per_sec(total_tokens, shard_rows[2].1),
+        shard_rows[0].2,
+        shard_rows[1].2,
+        shard_rows[2].2,
     );
     std::fs::write("BENCH_serve.json", &record).expect("write BENCH_serve.json");
     println!("\nwrote BENCH_serve.json");

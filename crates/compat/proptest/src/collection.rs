@@ -9,7 +9,7 @@ pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
     VecStrategy { element, sizes }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     sizes: Range<usize>,

@@ -11,11 +11,13 @@
 //! (k multiplies per row instead of `in` multiplies). This is the classic
 //! LUT-GEMM trick.
 
+pub use crate::kv::KvCache;
+use crate::kv::{KvBlockConfig, KvBlockPool};
 use crate::palettize::{AffineQuantized, PalettizedTensor};
 use crate::pipeline::{CompressSpec, CompressedModel, CompressedTensor, CompressionPipeline};
-use edkm_nn::attention::rope_tables;
+use edkm_dist::LearnerGroup;
+use edkm_nn::attention::{attend_cached_rows, rope_tables, KvRowView};
 use edkm_nn::{LlamaConfig, LlamaModel};
-use edkm_tensor::pool::PoolCell;
 use edkm_tensor::{ops as t, runtime, DType, Device, Tensor};
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -147,7 +149,7 @@ impl PalettizedLinear {
 
     /// Batched `y = x Wᵀ` for `x: [n, in]`, with the per-row LUT-GEMM
     /// partial sums computed across worker threads once the work clears
-    /// [`PAR_WORK_THRESHOLD`] (serial below it).
+    /// the parallel work threshold (serial below it).
     ///
     /// Bit-identical to [`PalettizedLinear::forward_serial`]; every FLOP is
     /// charged once to the caller's runtime (workers do pure slice math).
@@ -185,6 +187,271 @@ impl PalettizedLinear {
 }
 
 // ---------------------------------------------------------------------
+// Tensor-parallel sharded projections.
+// ---------------------------------------------------------------------
+
+/// Any projection the serving decoder can run: evaluated straight from
+/// palettized storage, unsharded ([`PalettizedLinear`]) or partitioned
+/// over a learner group ([`ShardedPalettizedLinear`]).
+pub trait LutProjection {
+    /// Output features.
+    fn out_features(&self) -> usize;
+    /// Input features.
+    fn in_features(&self) -> usize;
+    /// Serialized parameter bytes.
+    fn size_bytes(&self) -> usize;
+    /// Batched `y = x Wᵀ` for `x: [n, in]`.
+    fn forward_batch(&self, x: &Tensor) -> Tensor;
+}
+
+impl LutProjection for PalettizedLinear {
+    fn out_features(&self) -> usize {
+        PalettizedLinear::out_features(self)
+    }
+    fn in_features(&self) -> usize {
+        PalettizedLinear::in_features(self)
+    }
+    fn size_bytes(&self) -> usize {
+        PalettizedLinear::size_bytes(self)
+    }
+    fn forward_batch(&self, x: &Tensor) -> Tensor {
+        PalettizedLinear::forward_batch(self, x)
+    }
+}
+
+/// How a [`ShardedPalettizedLinear`] splits its weight over the group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partition {
+    /// Shard *output* features (weight rows). Every learner sees the full
+    /// input and produces a feature slice; the combine is an all-gather
+    /// along the feature axis. Each output element is computed by exactly
+    /// one learner over the full input row, so results are bit-identical
+    /// to the unsharded GEMM — the partition sharded serving uses.
+    Column,
+    /// Shard *input* features (weight columns). Every learner produces a
+    /// full-width partial product over its column slice; the combine is a
+    /// rank-ordered all-reduce sum. Float summation order differs from the
+    /// unsharded kernel, so results agree only to rounding.
+    Row,
+}
+
+/// A palettized projection partitioned over an [`edkm_dist::LearnerGroup`]:
+/// each learner keeps the full LUT plus the packed indices of its own
+/// shard, runs its shard GEMM on a worker thread, and the combine pays the
+/// collective through [`runtime::record_all_gather`].
+#[derive(Debug, Clone)]
+pub struct ShardedPalettizedLinear {
+    shards: Vec<PalettizedLinear>,
+    group: LearnerGroup,
+    partition: Partition,
+    out_features: usize,
+    in_features: usize,
+}
+
+impl ShardedPalettizedLinear {
+    /// Column-parallel shard of a `[out, in]` scalar palette: learner `r`
+    /// keeps output rows `shard_range(r)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the palette is not 2-D scalar-clustered.
+    pub fn column(weights: &PalettizedTensor, group: LearnerGroup) -> Self {
+        Self::build(weights, group, Partition::Column)
+    }
+
+    /// Row-parallel shard of a `[out, in]` scalar palette: learner `r`
+    /// keeps input columns `shard_range(r)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the palette is not 2-D scalar-clustered.
+    pub fn row(weights: &PalettizedTensor, group: LearnerGroup) -> Self {
+        Self::build(weights, group, Partition::Row)
+    }
+
+    fn build(weights: &PalettizedTensor, group: LearnerGroup, partition: Partition) -> Self {
+        assert_eq!(weights.shape().len(), 2, "sharded linear expects [out, in]");
+        assert_eq!(weights.cluster_dim(), 1, "sharded linear is scalar-only");
+        let (out, inp) = (weights.shape()[0], weights.shape()[1]);
+        let indices = weights.indices();
+        let lut = weights.lut();
+        let bits = weights.bits();
+        let shards = match partition {
+            Partition::Column => {
+                let spec = group.shard_spec(out);
+                (0..group.n_learners())
+                    .map(|r| {
+                        let rows = spec.shard_range(r);
+                        let shard_idx = &indices[rows.start * inp..rows.end * inp];
+                        PalettizedLinear::new(PalettizedTensor::from_lut_indices(
+                            lut.to_vec(),
+                            shard_idx,
+                            bits,
+                            1,
+                            vec![rows.len(), inp],
+                        ))
+                    })
+                    .collect()
+            }
+            Partition::Row => {
+                let spec = group.shard_spec(inp);
+                (0..group.n_learners())
+                    .map(|r| {
+                        let cols = spec.shard_range(r);
+                        let mut shard_idx = Vec::with_capacity(out * cols.len());
+                        for row in 0..out {
+                            shard_idx.extend_from_slice(
+                                &indices[row * inp + cols.start..row * inp + cols.end],
+                            );
+                        }
+                        PalettizedLinear::new(PalettizedTensor::from_lut_indices(
+                            lut.to_vec(),
+                            &shard_idx,
+                            bits,
+                            1,
+                            vec![out, cols.len()],
+                        ))
+                    })
+                    .collect()
+            }
+        };
+        ShardedPalettizedLinear {
+            shards,
+            group,
+            partition,
+            out_features: out,
+            in_features: inp,
+        }
+    }
+
+    /// The per-learner shard projections, rank order.
+    pub fn shards(&self) -> &[PalettizedLinear] {
+        &self.shards
+    }
+
+    /// The partition axis.
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// The learner group this projection is partitioned over.
+    pub fn group(&self) -> LearnerGroup {
+        self.group
+    }
+
+    /// Run `f(rank)` for every shard on its own worker thread (bound to
+    /// the caller's runtime, so every shard's FLOPs and allocations land in
+    /// the shared ledgers), collecting results in rank order.
+    ///
+    /// Single-learner groups, and projections whose total multiply-
+    /// accumulate `work` sits below the kernel parallel threshold, run the
+    /// shards inline instead — spawning a thread per shard costs more than
+    /// a small GEMM saves (on a decode step a model would otherwise spawn
+    /// `shards × projections × layers` threads for microseconds of math).
+    /// Ledger charges are identical either way.
+    fn run_shards<F>(&self, work: usize, f: F) -> Vec<Vec<f32>>
+    where
+        F: Fn(usize) -> Vec<f32> + Sync,
+    {
+        if self.group.n_learners() == 1 || work < PAR_WORK_THRESHOLD {
+            return (0..self.group.n_learners()).map(f).collect();
+        }
+        let rt = runtime::current();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..self.group.n_learners())
+                .map(|r| {
+                    let rt = rt.clone();
+                    let f = &f;
+                    s.spawn(move || {
+                        let _g = runtime::bind(&rt);
+                        f(r)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard GEMM thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Sharded `y = x Wᵀ` for `x: [n, in]`: shard GEMMs run in parallel
+    /// threads, then the group combine (feature all-gather for
+    /// [`Partition::Column`], rank-ordered all-reduce for
+    /// [`Partition::Row`]) pays simulated network time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[n, in]`.
+    pub fn forward_batch(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 2, "input must be [n, in]");
+        assert_eq!(x.shape()[1], self.in_features, "input width mismatch");
+        let n = x.shape()[0];
+        let k = self
+            .shards
+            .iter()
+            .map(|s| s.weights().k())
+            .max()
+            .unwrap_or(0);
+        let work = n * self.out_features * (self.in_features + k);
+        match self.partition {
+            Partition::Column => {
+                let outs = self.run_shards(work, |r| self.shards[r].forward_batch(x).to_vec());
+                // Pay the ring all-gather, then splice each learner's
+                // feature slice back into full-width rows.
+                let gathered = self.group.all_gather(&outs);
+                let mut out = vec![0.0f32; n * self.out_features];
+                let mut col0 = 0usize;
+                let mut base = 0usize;
+                for shard in &self.shards {
+                    let w = LutProjection::out_features(shard);
+                    for i in 0..n {
+                        out[i * self.out_features + col0..i * self.out_features + col0 + w]
+                            .copy_from_slice(&gathered[base + i * w..base + (i + 1) * w]);
+                    }
+                    col0 += w;
+                    base += n * w;
+                }
+                Tensor::from_vec(out, &[n, self.out_features], DType::F32, x.device())
+            }
+            Partition::Row => {
+                let spec = self.group.shard_spec(self.in_features);
+                let xd = x.to_vec();
+                let parts = self.run_shards(work, |r| {
+                    let cols = spec.shard_range(r);
+                    let w = cols.len();
+                    let mut slab = Vec::with_capacity(n * w);
+                    for i in 0..n {
+                        slab.extend_from_slice(
+                            &xd[i * self.in_features + cols.start..i * self.in_features + cols.end],
+                        );
+                    }
+                    let xr = Tensor::from_vec(slab, &[n, w], DType::F32, x.device());
+                    self.shards[r].forward_batch(&xr).to_vec()
+                });
+                let reduced = self.group.all_reduce_sum(&parts);
+                Tensor::from_vec(reduced, &[n, self.out_features], DType::F32, x.device())
+            }
+        }
+    }
+}
+
+impl LutProjection for ShardedPalettizedLinear {
+    fn out_features(&self) -> usize {
+        self.out_features
+    }
+    fn in_features(&self) -> usize {
+        self.in_features
+    }
+    fn size_bytes(&self) -> usize {
+        self.shards.iter().map(PalettizedLinear::size_bytes).sum()
+    }
+    fn forward_batch(&self, x: &Tensor) -> Tensor {
+        ShardedPalettizedLinear::forward_batch(self, x)
+    }
+}
+
+// ---------------------------------------------------------------------
 // Whole-model compressed inference.
 // ---------------------------------------------------------------------
 
@@ -217,58 +484,20 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// Per-sequence KV cache whose bytes are charged to the device pool, so
-/// Table-1-style footprint accounting covers serving state, not just
-/// training. Rows are stored per layer as `[t, d_model]` (head-major within
-/// a row), already rotated; bytes return to the pool when the cache drops
-/// (i.e. when a request retires).
-#[derive(Debug)]
-pub struct KvCache {
-    k: Vec<Vec<f32>>,
-    v: Vec<Vec<f32>>,
-    d_model: usize,
-    charged: usize,
-    pool: Arc<PoolCell>,
+/// Read view of one layer of a paged [`KvCache`] — what the shared
+/// attention kernel ([`attend_cached_rows`]) reads rows through, resolving
+/// positions via the sequence's block table.
+struct LayerView<'a> {
+    cache: &'a KvCache,
+    layer: usize,
 }
 
-impl KvCache {
-    fn new(n_layers: usize, d_model: usize, device: Device) -> Self {
-        KvCache {
-            k: vec![Vec::new(); n_layers],
-            v: vec![Vec::new(); n_layers],
-            d_model,
-            charged: 0,
-            pool: runtime::pool(device),
-        }
+impl KvRowView for LayerView<'_> {
+    fn k_row(&self, pos: usize) -> &[f32] {
+        self.cache.k_row(self.layer, pos)
     }
-
-    /// Cached sequence length.
-    pub fn len(&self) -> usize {
-        self.k.first().map_or(0, |rows| rows.len() / self.d_model)
-    }
-
-    /// `true` before the first token.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Bytes currently charged to the device pool for this cache.
-    pub fn bytes(&self) -> usize {
-        self.charged
-    }
-
-    fn append(&mut self, layer: usize, k_rows: &[f32], v_rows: &[f32]) {
-        let bytes = (k_rows.len() + v_rows.len()) * std::mem::size_of::<f32>();
-        self.pool.alloc(bytes);
-        self.charged += bytes;
-        self.k[layer].extend_from_slice(k_rows);
-        self.v[layer].extend_from_slice(v_rows);
-    }
-}
-
-impl Drop for KvCache {
-    fn drop(&mut self) {
-        self.pool.free(self.charged);
+    fn v_row(&self, pos: usize) -> &[f32] {
+        self.cache.v_row(self.layer, pos)
     }
 }
 
@@ -299,26 +528,56 @@ impl EmbedStore {
     }
 }
 
-/// One decoder layer served from compressed storage.
+/// One decoder layer served from compressed storage, generic over the
+/// projection kind (unsharded or tensor-parallel).
 #[derive(Debug, Clone)]
-struct PalettizedLayer {
+struct PalettizedLayer<P> {
     input_norm: Vec<f32>,
-    q: PalettizedLinear,
-    k: PalettizedLinear,
-    v: PalettizedLinear,
-    o: PalettizedLinear,
+    q: P,
+    k: P,
+    v: P,
+    o: P,
     post_norm: Vec<f32>,
-    gate: PalettizedLinear,
-    up: PalettizedLinear,
-    down: PalettizedLinear,
+    gate: P,
+    up: P,
+    down: P,
 }
 
-impl PalettizedLayer {
-    fn projections(&self) -> [&PalettizedLinear; 7] {
+impl<P> PalettizedLayer<P> {
+    fn projections(&self) -> [&P; 7] {
         [
             &self.q, &self.k, &self.v, &self.o, &self.gate, &self.up, &self.down,
         ]
     }
+
+    fn map<Q>(&self, f: &impl Fn(&P) -> Q) -> PalettizedLayer<Q> {
+        PalettizedLayer {
+            input_norm: self.input_norm.clone(),
+            q: f(&self.q),
+            k: f(&self.k),
+            v: f(&self.v),
+            o: f(&self.o),
+            post_norm: self.post_norm.clone(),
+            gate: f(&self.gate),
+            up: f(&self.up),
+            down: f(&self.down),
+        }
+    }
+}
+
+/// The shared decoder engine behind [`PalettizedModel`] and
+/// [`ShardedPalettizedModel`]: everything except the projection kind.
+#[derive(Debug, Clone)]
+struct DecoderParts<P> {
+    config: LlamaConfig,
+    embed: EmbedStore,
+    layers: Vec<PalettizedLayer<P>>,
+    final_norm: Vec<f32>,
+    lm_head: P,
+    cos: Vec<f32>,
+    sin: Vec<f32>,
+    device: Device,
+    kv_pool: Arc<KvBlockPool>,
 }
 
 /// A whole LLaMA-style decoder whose every projection runs straight from
@@ -329,14 +588,41 @@ impl PalettizedLayer {
 /// the paper ships.
 #[derive(Debug, Clone)]
 pub struct PalettizedModel {
-    config: LlamaConfig,
-    embed: EmbedStore,
-    layers: Vec<PalettizedLayer>,
-    final_norm: Vec<f32>,
-    lm_head: PalettizedLinear,
-    cos: Vec<f32>,
-    sin: Vec<f32>,
-    device: Device,
+    parts: DecoderParts<PalettizedLinear>,
+}
+
+/// A [`PalettizedModel`] partitioned over an [`edkm_dist::LearnerGroup`]
+/// for tensor-parallel serving: every projection is column-sharded
+/// ([`Partition::Column`] — LUT + packed indices per learner), shard GEMMs
+/// run in parallel threads, and each projection's feature all-gather is
+/// charged through [`runtime::record_all_gather`] so the cost model covers
+/// serving collectives. Column partitioning keeps every output element on
+/// exactly one learner, so logits are **bit-identical** to the unsharded
+/// model at any shard count (`tests/sharded_parity.rs`).
+///
+/// ```
+/// use edkm_core::{CompressSpec, PalettizedModel};
+/// use edkm_dist::LearnerGroup;
+/// use edkm_nn::{LlamaConfig, LlamaModel};
+/// use edkm_tensor::{runtime, DType, Device};
+///
+/// runtime::reset();
+/// let dense = LlamaModel::new(LlamaConfig::tiny(), DType::Bf16, Device::Cpu, 0);
+/// let mut spec = CompressSpec::with_bits(2);
+/// spec.dkm.iters = 2;
+/// let served = PalettizedModel::from_dense(&dense, &spec).unwrap();
+/// let sharded = served.shard(LearnerGroup::new(2));
+///
+/// let mut c0 = served.new_cache();
+/// let mut c1 = sharded.new_cache();
+/// let a = served.prefill(&[1, 2, 3], &mut c0);
+/// let b = sharded.prefill(&[1, 2, 3], &mut c1);
+/// assert_eq!(a.to_vec(), b.to_vec()); // bit-identical logits
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedPalettizedModel {
+    parts: DecoderParts<ShardedPalettizedLinear>,
+    group: LearnerGroup,
 }
 
 fn sigmoid(v: f32) -> f32 {
@@ -487,15 +773,24 @@ impl PalettizedModel {
 
         let hd = d / config.n_heads;
         let (cos, sin) = rope_tables(config.max_seq, hd, ROPE_THETA);
+        let device = Device::Cpu;
         Ok(PalettizedModel {
-            embed,
-            layers,
-            final_norm: norm("final_norm", d)?,
-            lm_head: proj("lm_head", config.vocab, d)?,
-            cos,
-            sin,
-            config,
-            device: Device::Cpu,
+            parts: DecoderParts {
+                embed,
+                layers,
+                final_norm: norm("final_norm", d)?,
+                lm_head: proj("lm_head", config.vocab, d)?,
+                cos,
+                sin,
+                kv_pool: KvBlockPool::new(
+                    KvBlockConfig::default(),
+                    config.n_layers,
+                    config.d_model,
+                    device,
+                ),
+                config,
+                device,
+            },
         })
     }
 
@@ -533,13 +828,252 @@ impl PalettizedModel {
         Self::from_compressed(&compressed, *model.config())
     }
 
+    /// Partition every projection of this model over `group` for
+    /// tensor-parallel serving (column shards; see
+    /// [`ShardedPalettizedModel`]). The sharded model draws from its own
+    /// fresh default KV pool.
+    pub fn shard(&self, group: LearnerGroup) -> ShardedPalettizedModel {
+        ShardedPalettizedModel {
+            parts: self
+                .parts
+                .map_projections(|p| ShardedPalettizedLinear::column(p.weights(), group)),
+            group,
+        }
+    }
+
+    /// Replace the model's KV block pool (paging granularity and physical
+    /// block cap). Call before handing out caches; existing caches keep
+    /// draining into the pool they were drawn from.
+    pub fn with_kv_config(mut self, cfg: KvBlockConfig) -> Self {
+        self.parts.replace_kv_pool(cfg);
+        self
+    }
+
     /// Architecture config.
     pub fn config(&self) -> &LlamaConfig {
-        &self.config
+        &self.parts.config
+    }
+
+    /// The shared paged KV block pool caches draw from.
+    pub fn kv_pool(&self) -> &Arc<KvBlockPool> {
+        &self.parts.kv_pool
     }
 
     /// Serialized bytes of all served parameters (palettes + norms + embed).
     pub fn size_bytes(&self) -> usize {
+        self.parts.size_bytes()
+    }
+
+    /// A fresh empty KV cache for one sequence.
+    pub fn new_cache(&self) -> KvCache {
+        self.parts.new_cache()
+    }
+
+    /// Run one forward chunk per sequence — the continuous-batching core.
+    ///
+    /// `chunks[i]` holds the *new* tokens of sequence `i` (a whole prompt at
+    /// prefill, one token at decode) entering at position `caches[i].len()`;
+    /// every projection GEMM is batched across all chunks' rows while
+    /// attention stays per-sequence against its own cache. Returns logits
+    /// `[Σ chunk lens, vocab]`, rows grouped chunk by chunk.
+    ///
+    /// Each row's values depend only on its own sequence, never on what it
+    /// was batched with — the property the scheduler invariant tests pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty/oversized chunks, chunk/cache count mismatch,
+    /// out-of-vocabulary ids, or an exhausted KV block pool (the scheduler
+    /// reserves blocks before stepping, so it never trips this).
+    pub fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [&mut KvCache]) -> Tensor {
+        self.parts.forward_chunks(chunks, caches)
+    }
+
+    /// Prefill one sequence's prompt, returning logits `[len, vocab]`.
+    pub fn prefill(&self, ids: &[usize], cache: &mut KvCache) -> Tensor {
+        self.forward_chunks(&[ids], &mut [cache])
+    }
+
+    /// One batched decode step: `tokens[i]` is sequence `i`'s newest token.
+    /// Returns logits `[tokens.len(), vocab]`.
+    pub fn decode_step(&self, tokens: &[usize], caches: &mut [&mut KvCache]) -> Tensor {
+        self.parts.decode_step(tokens, caches)
+    }
+}
+
+impl ShardedPalettizedModel {
+    /// Build from a compressed container, sharding every projection over
+    /// `group`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] under the same conditions as
+    /// [`PalettizedModel::from_compressed`].
+    pub fn from_compressed(
+        compressed: &CompressedModel,
+        config: LlamaConfig,
+        group: LearnerGroup,
+    ) -> Result<Self, ServeError> {
+        Ok(PalettizedModel::from_compressed(compressed, config)?.shard(group))
+    }
+
+    /// Export `model` under `spec` and shard the result over `group`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] under the same conditions as
+    /// [`PalettizedModel::from_dense`].
+    pub fn from_dense(
+        model: &LlamaModel,
+        spec: &CompressSpec,
+        group: LearnerGroup,
+    ) -> Result<Self, ServeError> {
+        Ok(PalettizedModel::from_dense(model, spec)?.shard(group))
+    }
+
+    /// The learner group serving is partitioned over.
+    pub fn group(&self) -> LearnerGroup {
+        self.group
+    }
+
+    /// Replace the model's KV block pool; see
+    /// [`PalettizedModel::with_kv_config`].
+    pub fn with_kv_config(mut self, cfg: KvBlockConfig) -> Self {
+        self.parts.replace_kv_pool(cfg);
+        self
+    }
+
+    /// Architecture config.
+    pub fn config(&self) -> &LlamaConfig {
+        &self.parts.config
+    }
+
+    /// The shared paged KV block pool caches draw from.
+    pub fn kv_pool(&self) -> &Arc<KvBlockPool> {
+        &self.parts.kv_pool
+    }
+
+    /// Serialized bytes of all served parameters. Slightly above the
+    /// unsharded model: every learner carries a full copy of each LUT.
+    pub fn size_bytes(&self) -> usize {
+        self.parts.size_bytes()
+    }
+
+    /// A fresh empty KV cache for one sequence.
+    pub fn new_cache(&self) -> KvCache {
+        self.parts.new_cache()
+    }
+
+    /// Batched forward over per-sequence chunks; see
+    /// [`PalettizedModel::forward_chunks`]. Logits are bit-identical to the
+    /// unsharded model's for any shard count.
+    pub fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [&mut KvCache]) -> Tensor {
+        self.parts.forward_chunks(chunks, caches)
+    }
+
+    /// Prefill one sequence's prompt, returning logits `[len, vocab]`.
+    pub fn prefill(&self, ids: &[usize], cache: &mut KvCache) -> Tensor {
+        self.forward_chunks(&[ids], &mut [cache])
+    }
+
+    /// One batched decode step; see [`PalettizedModel::decode_step`].
+    pub fn decode_step(&self, tokens: &[usize], caches: &mut [&mut KvCache]) -> Tensor {
+        self.parts.decode_step(tokens, caches)
+    }
+}
+
+/// The serving surface [`crate::serve::Generator`] and
+/// [`crate::serve::Scheduler`] drive — implemented by [`PalettizedModel`]
+/// and [`ShardedPalettizedModel`], so single-worker and tensor-parallel
+/// serving share one generation/scheduling stack.
+pub trait ServeModel {
+    /// Architecture config.
+    fn config(&self) -> &LlamaConfig;
+    /// The paged KV block pool sequences draw from.
+    fn kv_pool(&self) -> &Arc<KvBlockPool>;
+    /// A fresh empty KV cache for one sequence.
+    fn new_cache(&self) -> KvCache;
+    /// Batched forward over per-sequence chunks; see
+    /// [`PalettizedModel::forward_chunks`].
+    fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [&mut KvCache]) -> Tensor;
+
+    /// Prefill one sequence's prompt, returning logits `[len, vocab]`.
+    fn prefill(&self, ids: &[usize], cache: &mut KvCache) -> Tensor {
+        self.forward_chunks(&[ids], &mut [cache])
+    }
+
+    /// One batched decode step: `tokens[i]` is sequence `i`'s newest token.
+    fn decode_step(&self, tokens: &[usize], caches: &mut [&mut KvCache]) -> Tensor {
+        let chunks: Vec<&[usize]> = tokens.chunks(1).collect();
+        self.forward_chunks(&chunks, caches)
+    }
+}
+
+impl ServeModel for PalettizedModel {
+    fn config(&self) -> &LlamaConfig {
+        PalettizedModel::config(self)
+    }
+    fn kv_pool(&self) -> &Arc<KvBlockPool> {
+        PalettizedModel::kv_pool(self)
+    }
+    fn new_cache(&self) -> KvCache {
+        PalettizedModel::new_cache(self)
+    }
+    fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [&mut KvCache]) -> Tensor {
+        PalettizedModel::forward_chunks(self, chunks, caches)
+    }
+}
+
+impl ServeModel for ShardedPalettizedModel {
+    fn config(&self) -> &LlamaConfig {
+        ShardedPalettizedModel::config(self)
+    }
+    fn kv_pool(&self) -> &Arc<KvBlockPool> {
+        ShardedPalettizedModel::kv_pool(self)
+    }
+    fn new_cache(&self) -> KvCache {
+        ShardedPalettizedModel::new_cache(self)
+    }
+    fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [&mut KvCache]) -> Tensor {
+        ShardedPalettizedModel::forward_chunks(self, chunks, caches)
+    }
+}
+
+impl<P> DecoderParts<P> {
+    /// Clone everything but the projections, mapping each through `f`
+    /// (how a model is resharded). The result draws from a fresh default
+    /// KV pool.
+    fn map_projections<Q>(&self, f: impl Fn(&P) -> Q) -> DecoderParts<Q> {
+        DecoderParts {
+            config: self.config,
+            embed: self.embed.clone(),
+            layers: self.layers.iter().map(|l| l.map(&f)).collect(),
+            final_norm: self.final_norm.clone(),
+            lm_head: f(&self.lm_head),
+            cos: self.cos.clone(),
+            sin: self.sin.clone(),
+            device: self.device,
+            kv_pool: KvBlockPool::new(
+                KvBlockConfig::default(),
+                self.config.n_layers,
+                self.config.d_model,
+                self.device,
+            ),
+        }
+    }
+
+    fn replace_kv_pool(&mut self, cfg: KvBlockConfig) {
+        self.kv_pool =
+            KvBlockPool::new(cfg, self.config.n_layers, self.config.d_model, self.device);
+    }
+
+    fn new_cache(&self) -> KvCache {
+        KvCache::new(Arc::clone(&self.kv_pool))
+    }
+}
+
+impl<P: LutProjection> DecoderParts<P> {
+    fn size_bytes(&self) -> usize {
         let norms = crate::palettize::native16_size_bytes(
             self.final_norm.len()
                 + self
@@ -563,27 +1097,7 @@ impl PalettizedModel {
                 .sum::<usize>()
     }
 
-    /// A fresh empty KV cache for one sequence.
-    pub fn new_cache(&self) -> KvCache {
-        KvCache::new(self.config.n_layers, self.config.d_model, self.device)
-    }
-
-    /// Run one forward chunk per sequence — the continuous-batching core.
-    ///
-    /// `chunks[i]` holds the *new* tokens of sequence `i` (a whole prompt at
-    /// prefill, one token at decode) entering at position `caches[i].len()`;
-    /// every projection GEMM is batched across all chunks' rows while
-    /// attention stays per-sequence against its own cache. Returns logits
-    /// `[Σ chunk lens, vocab]`, rows grouped chunk by chunk.
-    ///
-    /// Each row's values depend only on its own sequence, never on what it
-    /// was batched with — the property the scheduler invariant tests pin.
-    ///
-    /// # Panics
-    ///
-    /// Panics on empty/oversized chunks, chunk/cache count mismatch, or
-    /// out-of-vocabulary ids.
-    pub fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [&mut KvCache]) -> Tensor {
+    fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [&mut KvCache]) -> Tensor {
         assert_eq!(chunks.len(), caches.len(), "one cache per chunk");
         assert!(!chunks.is_empty(), "at least one chunk");
         let d = self.config.d_model;
@@ -591,7 +1105,7 @@ impl PalettizedModel {
         let hd = d / h;
         let n_total: usize = chunks.iter().map(|c| c.len()).sum();
         let mut starts = Vec::with_capacity(chunks.len());
-        for (chunk, cache) in chunks.iter().zip(caches.iter()) {
+        for (chunk, cache) in chunks.iter().zip(caches.iter_mut()) {
             assert!(!chunk.is_empty(), "empty chunk");
             assert!(
                 cache.len() + chunk.len() <= self.config.max_seq,
@@ -599,6 +1113,13 @@ impl PalettizedModel {
                 cache.len(),
                 chunk.len(),
                 self.config.max_seq
+            );
+            assert!(
+                cache.try_reserve(chunk.len()),
+                "KV block pool exhausted: {} more tokens need {} blocks, {} free",
+                chunk.len(),
+                self.kv_pool.blocks_for(cache.len() + chunk.len()),
+                self.kv_pool.free_blocks()
             );
             starts.push(cache.len());
         }
@@ -619,7 +1140,6 @@ impl PalettizedModel {
         }
         let mut x = Tensor::from_vec(xd, &[n_total, d], DType::F32, self.device);
 
-        let scale = 1.0 / (hd as f32).sqrt();
         let mut scores = vec![0.0f32; self.config.max_seq];
         for (li, layer) in self.layers.iter().enumerate() {
             let h1 = rmsnorm_rows(&x, &layer.input_norm);
@@ -645,57 +1165,34 @@ impl PalettizedModel {
                 );
             }
 
-            // Attention: per sequence against its own cache.
+            // Attention: per sequence against its own cache, rows read
+            // through the block table (same accumulation order as the
+            // monolithic layout — `attend_cached_rows` is bit-stable in
+            // the storage geometry).
             let mut ctx = vec![0.0f32; n_total * d];
             let mut flops = 0.0f64;
             let mut base = 0usize;
             for (g, chunk) in chunks.iter().enumerate() {
                 let n = chunk.len();
-                caches[g].append(
+                caches[g].write_rows(
                     li,
+                    starts[g],
                     &kd[base * d..(base + n) * d],
                     &vd[base * d..(base + n) * d],
                 );
-                let k_rows = &caches[g].k[li];
-                let v_rows = &caches[g].v[li];
-                for i in 0..n {
-                    let t_ctx = starts[g] + i + 1; // attends positions 0..=p
-                    let qrow = &qd[(base + i) * d..(base + i + 1) * d];
-                    let orow = &mut ctx[(base + i) * d..(base + i + 1) * d];
-                    for head in 0..h {
-                        let hb = head * hd;
-                        let qh = &qrow[hb..hb + hd];
-                        // Scores (same dot order as the dense bmm).
-                        for (j, s) in scores[..t_ctx].iter_mut().enumerate() {
-                            let kh = &k_rows[j * d + hb..j * d + hb + hd];
-                            let mut acc = 0.0f32;
-                            for (&a, &b) in qh.iter().zip(kh) {
-                                acc += a * b;
-                            }
-                            *s = acc * scale;
-                        }
-                        // Softmax (same order as ops::softmax_lastdim).
-                        let mx = scores[..t_ctx]
-                            .iter()
-                            .cloned()
-                            .fold(f32::NEG_INFINITY, f32::max);
-                        let mut sum = 0.0f32;
-                        for s in scores[..t_ctx].iter_mut() {
-                            *s = (*s - mx).exp();
-                            sum += *s;
-                        }
-                        let inv = 1.0 / sum;
-                        // Context: Σ_j p_j · v_j, ascending j per element.
-                        for (j, &w) in scores[..t_ctx].iter().enumerate() {
-                            let p = w * inv;
-                            let vh = &v_rows[j * d + hb..j * d + hb + hd];
-                            for (o, &vv) in orow[hb..hb + hd].iter_mut().zip(vh) {
-                                *o += p * vv;
-                            }
-                        }
-                    }
-                    flops += (4 * t_ctx * d) as f64;
-                }
+                let view = LayerView {
+                    cache: &*caches[g],
+                    layer: li,
+                };
+                flops += attend_cached_rows(
+                    &qd[base * d..(base + n) * d],
+                    starts[g],
+                    h,
+                    hd,
+                    &view,
+                    &mut ctx[base * d..(base + n) * d],
+                    &mut scores,
+                );
                 base += n;
             }
             runtime::record_compute(flops, self.device);
@@ -707,19 +1204,15 @@ impl PalettizedModel {
             let up = layer.up.forward_batch(&h2);
             x = t::add(&x, &layer.down.forward_batch(&t::mul(&gate, &up)));
         }
+        for (g, chunk) in chunks.iter().enumerate() {
+            caches[g].commit(chunk.len());
+        }
 
         let xf = rmsnorm_rows(&x, &self.final_norm);
         self.lm_head.forward_batch(&xf)
     }
 
-    /// Prefill one sequence's prompt, returning logits `[len, vocab]`.
-    pub fn prefill(&self, ids: &[usize], cache: &mut KvCache) -> Tensor {
-        self.forward_chunks(&[ids], &mut [cache])
-    }
-
-    /// One batched decode step: `tokens[i]` is sequence `i`'s newest token.
-    /// Returns logits `[tokens.len(), vocab]`.
-    pub fn decode_step(&self, tokens: &[usize], caches: &mut [&mut KvCache]) -> Tensor {
+    fn decode_step(&self, tokens: &[usize], caches: &mut [&mut KvCache]) -> Tensor {
         let chunks: Vec<&[usize]> = tokens.chunks(1).collect();
         self.forward_chunks(&chunks, caches)
     }
@@ -919,11 +1412,14 @@ mod tests {
         {
             let mut cache = served.new_cache();
             served.prefill(&[1, 2, 3, 4], &mut cache);
-            let cfg = served.config();
-            // K + V rows: n_layers × t × d floats each.
-            let expect = 2 * cfg.n_layers * 4 * cfg.d_model * 4;
+            // Paged: charged at block granularity, exactly the blocks the
+            // sequence's table holds.
+            let pool = served.kv_pool();
+            let expect = pool.blocks_for(4) * pool.block_bytes();
             assert_eq!(cache.bytes(), expect);
+            assert_eq!(cache.block_table().len(), pool.blocks_for(4));
             assert_eq!(cache.len(), 4);
+            assert_eq!(pool.blocks_in_use(), pool.blocks_for(4));
             assert!(runtime::cpu_live_bytes() >= baseline + expect);
         }
         assert_eq!(
@@ -931,6 +1427,26 @@ mod tests {
             baseline,
             "retiring the cache must return its bytes to the pool"
         );
+        assert_eq!(served.kv_pool().blocks_in_use(), 0);
+    }
+
+    #[test]
+    fn small_kv_blocks_charge_less_than_worst_case() {
+        runtime::reset();
+        let dense = tiny_bf16_model();
+        let served = PalettizedModel::from_dense(&dense, &CompressSpec::with_bits(2))
+            .unwrap()
+            .with_kv_config(KvBlockConfig {
+                block_tokens: 2,
+                max_blocks: 0,
+            });
+        let mut cache = served.new_cache();
+        served.prefill(&[1, 2, 3], &mut cache);
+        // 3 tokens at 2 tokens/block: 2 blocks, not a max_seq reservation.
+        assert_eq!(cache.block_table().len(), 2);
+        let monolithic_worst =
+            2 * served.config().n_layers * served.config().max_seq * served.config().d_model * 4;
+        assert!(cache.bytes() < monolithic_worst);
     }
 
     #[test]
@@ -1045,5 +1561,91 @@ mod tests {
             "pool must see each thread's allocations exactly once"
         );
         assert_eq!(runtime::cpu_live_bytes(), 0, "all buffers must drain");
+    }
+
+    #[test]
+    fn column_sharded_linear_is_bit_identical_to_unsharded() {
+        runtime::reset();
+        let (_w, lin) = palettized_pair(20);
+        let x = Tensor::randn(&[6, 20], DType::F32, Device::Cpu, 21);
+        let want = lin.forward_batch(&x).to_vec();
+        // Uneven shards, and more learners than output rows (empty tails).
+        for learners in [1usize, 2, 4, 5, 13] {
+            let sharded =
+                ShardedPalettizedLinear::column(lin.weights(), LearnerGroup::new(learners));
+            assert_eq!(sharded.partition(), Partition::Column);
+            assert_eq!(sharded.shards().len(), learners);
+            assert_eq!(LutProjection::out_features(&sharded), 12);
+            let got = sharded.forward_batch(&x);
+            assert_eq!(got.shape(), &[6, 12]);
+            assert_eq!(
+                got.to_vec(),
+                want,
+                "{learners} column shards must not change a single bit"
+            );
+        }
+    }
+
+    #[test]
+    fn row_sharded_linear_matches_within_rounding() {
+        runtime::reset();
+        let (_w, lin) = palettized_pair(22);
+        let x = Tensor::randn(&[4, 20], DType::F32, Device::Cpu, 23);
+        let want = lin.forward_batch(&x);
+        for learners in [1usize, 2, 3] {
+            let sharded = ShardedPalettizedLinear::row(lin.weights(), LearnerGroup::new(learners));
+            assert_eq!(sharded.partition(), Partition::Row);
+            let got = sharded.forward_batch(&x);
+            assert_eq!(got.shape(), want.shape());
+            let diff = t::max_abs_diff(&got, &want);
+            assert!(
+                diff < 1e-4,
+                "{learners} row shards drifted past rounding: {diff}"
+            );
+            if learners == 1 {
+                assert_eq!(got.to_vec(), want.to_vec(), "one shard is the identity");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_forward_charges_the_collective_to_the_clock() {
+        runtime::reset();
+        let (_w, lin) = palettized_pair(24);
+        let x = Tensor::randn(&[3, 20], DType::F32, Device::Cpu, 25);
+        let t0 = runtime::sim_seconds();
+        lin.forward_batch(&x);
+        let unsharded_cost = runtime::sim_seconds() - t0;
+        let sharded = ShardedPalettizedLinear::column(lin.weights(), LearnerGroup::new(4));
+        let t1 = runtime::sim_seconds();
+        sharded.forward_batch(&x);
+        let sharded_cost = runtime::sim_seconds() - t1;
+        assert!(
+            sharded_cost > unsharded_cost,
+            "shard GEMM FLOPs plus the all-gather must exceed the \
+             unsharded cost: {sharded_cost} vs {unsharded_cost}"
+        );
+    }
+
+    #[test]
+    fn sharded_model_shares_the_generation_stack() {
+        runtime::reset();
+        let dense = tiny_bf16_model();
+        let spec = CompressSpec::with_bits(3);
+        let base = PalettizedModel::from_dense(&dense, &spec).unwrap();
+        let sharded = base.shard(LearnerGroup::new(2));
+        assert_eq!(sharded.group().n_learners(), 2);
+        assert!(
+            sharded.size_bytes() > base.size_bytes(),
+            "each learner carries a full LUT copy"
+        );
+        // Same logits through the ServeModel surface.
+        let ids = [1usize, 4, 2];
+        let mut c0 = base.new_cache();
+        let mut c1 = sharded.new_cache();
+        let a = base.prefill(&ids, &mut c0);
+        let b = sharded.prefill(&ids, &mut c1);
+        assert_eq!(a.to_vec(), b.to_vec(), "sharded logits are bit-identical");
+        assert_eq!(c0.len(), c1.len());
     }
 }

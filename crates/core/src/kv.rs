@@ -1,0 +1,434 @@
+//! Paged KV-cache pool: fixed-size token blocks, a free-list allocator and
+//! per-sequence block tables — the vLLM-style storage layout that lets the
+//! continuous-batching scheduler admit by *actual free blocks* instead of
+//! reserving worst-case sequence lengths.
+//!
+//! A [`KvBlockPool`] owns a bounded (or unbounded) population of
+//! [`KvBlock`]s. Each block stores `block_tokens` positions of rotated K and
+//! V rows for *every* decoder layer, so one block table per sequence covers
+//! the whole model. Blocks are checked out of the pool when a sequence
+//! grows past a block boundary and return to the free list when the
+//! sequence retires; buffer memory is recycled across sequences.
+//!
+//! **Ledger conservation invariant:** exactly the blocks currently checked
+//! out are charged to the device pool (`block_bytes` each, charged at
+//! checkout, freed at return). Free-listed blocks are uncharged, so
+//! `runtime::cpu_live_bytes()` returns to its baseline once every sequence
+//! retires — the property `tests/paged_kv.rs` pins over arbitrary
+//! admit/generate/retire interleavings.
+
+use edkm_tensor::pool::PoolCell;
+use edkm_tensor::{runtime, Device};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Sizing of a [`KvBlockPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvBlockConfig {
+    /// Token positions per block (the paging granularity).
+    pub block_tokens: usize,
+    /// Total physical blocks the pool may hand out; `0` means unbounded.
+    pub max_blocks: usize,
+}
+
+impl Default for KvBlockConfig {
+    fn default() -> Self {
+        KvBlockConfig {
+            block_tokens: 16,
+            max_blocks: 0,
+        }
+    }
+}
+
+/// One physical KV block: `block_tokens` positions of K and V rows for
+/// every layer of the model it was sized for.
+#[derive(Debug)]
+pub struct KvBlock {
+    id: usize,
+    k: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl KvBlock {
+    /// Physical block id (stable across free-list recycling).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    /// Recycled blocks ready for checkout.
+    free: Vec<KvBlock>,
+    /// Next fresh physical id.
+    next_id: usize,
+    /// Blocks currently checked out by live caches.
+    in_use: usize,
+}
+
+/// Shared pool of fixed-size KV blocks for one served model.
+///
+/// Cheap to clone through its `Arc`; thread-safe. Sequences draw blocks
+/// through [`KvCache::try_reserve`] and return them when the cache drops.
+///
+/// ```
+/// use edkm_core::kv::{KvBlockConfig, KvBlockPool, KvCache};
+/// use edkm_tensor::{runtime, Device};
+///
+/// runtime::reset();
+/// // 4-token blocks, at most 3 blocks, for a 2-layer d_model-8 model.
+/// let cfg = KvBlockConfig { block_tokens: 4, max_blocks: 3 };
+/// let pool = KvBlockPool::new(cfg, 2, 8, Device::Cpu);
+/// let mut cache = KvCache::new(pool.clone());
+/// assert!(cache.try_reserve(6)); // 6 tokens -> 2 blocks
+/// assert_eq!(pool.blocks_in_use(), 2);
+/// assert_eq!(pool.free_blocks(), 1);
+/// assert_eq!(cache.block_table().len(), 2);
+/// drop(cache); // blocks return to the free list
+/// assert_eq!(pool.blocks_in_use(), 0);
+/// assert_eq!(runtime::cpu_live_bytes(), 0);
+/// ```
+#[derive(Debug)]
+pub struct KvBlockPool {
+    block_tokens: usize,
+    max_blocks: usize,
+    n_layers: usize,
+    d_model: usize,
+    inner: Mutex<PoolInner>,
+    mem: Arc<PoolCell>,
+}
+
+impl KvBlockPool {
+    /// A pool sized for a model of `n_layers` layers and width `d_model`,
+    /// allocating on `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens` is 0.
+    pub fn new(cfg: KvBlockConfig, n_layers: usize, d_model: usize, device: Device) -> Arc<Self> {
+        assert!(cfg.block_tokens > 0, "block_tokens must be positive");
+        Arc::new(KvBlockPool {
+            block_tokens: cfg.block_tokens,
+            max_blocks: cfg.max_blocks,
+            n_layers,
+            d_model,
+            inner: Mutex::new(PoolInner {
+                free: Vec::new(),
+                next_id: 0,
+                in_use: 0,
+            }),
+            mem: runtime::pool(device),
+        })
+    }
+
+    /// Token positions per block.
+    pub fn block_tokens(&self) -> usize {
+        self.block_tokens
+    }
+
+    /// Physical block cap (`0` = unbounded).
+    pub fn max_blocks(&self) -> usize {
+        self.max_blocks
+    }
+
+    /// Device-pool bytes one block accounts for: K + V rows for every
+    /// layer, `block_tokens` positions each.
+    pub fn block_bytes(&self) -> usize {
+        2 * self.n_layers * self.block_tokens * self.d_model * std::mem::size_of::<f32>()
+    }
+
+    /// Blocks needed to hold `tokens` positions.
+    pub fn blocks_for(&self, tokens: usize) -> usize {
+        tokens.div_ceil(self.block_tokens)
+    }
+
+    /// Blocks currently checked out by live caches.
+    pub fn blocks_in_use(&self) -> usize {
+        self.inner.lock().in_use
+    }
+
+    /// Blocks still available for checkout (`usize::MAX` when unbounded).
+    pub fn free_blocks(&self) -> usize {
+        if self.max_blocks == 0 {
+            usize::MAX
+        } else {
+            self.max_blocks - self.inner.lock().in_use
+        }
+    }
+
+    /// Check out `n` blocks, recycling free-listed buffers first. Returns
+    /// `None` (taking nothing) if the cap would be exceeded; the device
+    /// pool is charged `block_bytes` per block on success.
+    fn try_take(&self, n: usize) -> Option<Vec<KvBlock>> {
+        let row_floats = self.n_layers * self.block_tokens * self.d_model;
+        let mut inner = self.inner.lock();
+        if self.max_blocks > 0 && inner.in_use + n > self.max_blocks {
+            return None;
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let block = inner.free.pop().unwrap_or_else(|| {
+                let id = inner.next_id;
+                inner.next_id += 1;
+                KvBlock {
+                    id,
+                    k: vec![0.0; row_floats],
+                    v: vec![0.0; row_floats],
+                }
+            });
+            out.push(block);
+        }
+        inner.in_use += n;
+        drop(inner);
+        self.mem.alloc(n * self.block_bytes());
+        Some(out)
+    }
+
+    /// Return blocks to the free list, uncharging their bytes.
+    fn put_back(&self, blocks: Vec<KvBlock>) {
+        if blocks.is_empty() {
+            return;
+        }
+        self.mem.free(blocks.len() * self.block_bytes());
+        let mut inner = self.inner.lock();
+        inner.in_use -= blocks.len();
+        inner.free.extend(blocks);
+    }
+}
+
+/// Per-sequence paged KV cache: an ordered block table over blocks checked
+/// out of a shared [`KvBlockPool`].
+///
+/// Rows are stored per layer as `[t, d_model]` (head-major within a row),
+/// already rotated. Position `p` lives in the sequence's `p /
+/// block_tokens`-th table entry at slot `p % block_tokens`. All blocks
+/// return to the pool when the cache drops (i.e. when a request retires or
+/// is preempted).
+#[derive(Debug)]
+pub struct KvCache {
+    pool: Arc<KvBlockPool>,
+    blocks: Vec<KvBlock>,
+    len: usize,
+}
+
+impl KvCache {
+    /// An empty cache drawing from `pool`.
+    pub fn new(pool: Arc<KvBlockPool>) -> Self {
+        KvCache {
+            pool,
+            blocks: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Cached sequence length (committed positions).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` before the first token.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Token capacity of the blocks currently held.
+    pub fn capacity(&self) -> usize {
+        self.blocks.len() * self.pool.block_tokens()
+    }
+
+    /// Bytes currently charged to the device pool for this cache.
+    pub fn bytes(&self) -> usize {
+        self.blocks.len() * self.pool.block_bytes()
+    }
+
+    /// The sequence's block table: physical block ids in position order.
+    pub fn block_table(&self) -> Vec<usize> {
+        self.blocks.iter().map(KvBlock::id).collect()
+    }
+
+    /// Ensure capacity for `n_new` more positions, checking out blocks as
+    /// needed. Returns `false` (holding what it already had) if the pool
+    /// cap would be exceeded.
+    pub fn try_reserve(&mut self, n_new: usize) -> bool {
+        let needed_blocks = self.pool.blocks_for(self.len + n_new);
+        if needed_blocks <= self.blocks.len() {
+            return true;
+        }
+        match self.pool.try_take(needed_blocks - self.blocks.len()) {
+            Some(fresh) => {
+                self.blocks.extend(fresh);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Write `n` consecutive K/V rows (width `d_model`) for `layer`
+    /// starting at absolute position `pos0`. Capacity must already be
+    /// reserved; positions become readable immediately and are counted by
+    /// [`KvCache::len`] only after [`KvCache::commit`].
+    pub(crate) fn write_rows(&mut self, layer: usize, pos0: usize, k_rows: &[f32], v_rows: &[f32]) {
+        let d = self.pool.d_model;
+        let bt = self.pool.block_tokens;
+        debug_assert_eq!(k_rows.len(), v_rows.len());
+        debug_assert_eq!(k_rows.len() % d, 0);
+        let n = k_rows.len() / d;
+        assert!(
+            pos0 + n <= self.capacity(),
+            "write past reserved capacity: {} + {n} > {}",
+            pos0,
+            self.capacity()
+        );
+        for i in 0..n {
+            let pos = pos0 + i;
+            let (b, slot) = (pos / bt, pos % bt);
+            let off = (layer * bt + slot) * d;
+            let block = &mut self.blocks[b];
+            block.k[off..off + d].copy_from_slice(&k_rows[i * d..(i + 1) * d]);
+            block.v[off..off + d].copy_from_slice(&v_rows[i * d..(i + 1) * d]);
+        }
+    }
+
+    /// Commit `n` written positions to the sequence length.
+    pub(crate) fn commit(&mut self, n: usize) {
+        self.len += n;
+        debug_assert!(self.len <= self.capacity(), "committed past capacity");
+    }
+
+    /// The K row of `layer` at absolute position `pos` (read through the
+    /// block table).
+    pub fn k_row(&self, layer: usize, pos: usize) -> &[f32] {
+        self.row(layer, pos, false)
+    }
+
+    /// The V row of `layer` at absolute position `pos`.
+    pub fn v_row(&self, layer: usize, pos: usize) -> &[f32] {
+        self.row(layer, pos, true)
+    }
+
+    fn row(&self, layer: usize, pos: usize, v: bool) -> &[f32] {
+        let d = self.pool.d_model;
+        let bt = self.pool.block_tokens;
+        let block = &self.blocks[pos / bt];
+        let off = (layer * bt + pos % bt) * d;
+        let buf = if v { &block.v } else { &block.k };
+        &buf[off..off + d]
+    }
+}
+
+impl Drop for KvCache {
+    fn drop(&mut self) {
+        self.pool.put_back(std::mem::take(&mut self.blocks));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(block_tokens: usize, max_blocks: usize) -> Arc<KvBlockPool> {
+        runtime::reset();
+        KvBlockPool::new(
+            KvBlockConfig {
+                block_tokens,
+                max_blocks,
+            },
+            2,
+            4,
+            Device::Cpu,
+        )
+    }
+
+    #[test]
+    fn blocks_for_rounds_up() {
+        let p = pool(4, 0);
+        assert_eq!(p.blocks_for(0), 0);
+        assert_eq!(p.blocks_for(1), 1);
+        assert_eq!(p.blocks_for(4), 1);
+        assert_eq!(p.blocks_for(5), 2);
+    }
+
+    #[test]
+    fn block_bytes_formula() {
+        let p = pool(4, 0);
+        // 2 (K+V) × 2 layers × 4 tokens × 4 wide × 4 bytes.
+        assert_eq!(p.block_bytes(), 2 * 2 * 4 * 4 * 4);
+    }
+
+    #[test]
+    fn reserve_charges_and_drop_drains() {
+        let p = pool(4, 0);
+        let baseline = runtime::cpu_live_bytes();
+        {
+            let mut c = KvCache::new(Arc::clone(&p));
+            assert!(c.try_reserve(6)); // 2 blocks
+            assert_eq!(c.capacity(), 8);
+            assert_eq!(c.bytes(), 2 * p.block_bytes());
+            assert_eq!(p.blocks_in_use(), 2);
+            assert_eq!(runtime::cpu_live_bytes(), baseline + 2 * p.block_bytes());
+            // Already covered: no extra blocks taken.
+            assert!(c.try_reserve(2));
+            assert_eq!(p.blocks_in_use(), 2);
+        }
+        assert_eq!(p.blocks_in_use(), 0);
+        assert_eq!(runtime::cpu_live_bytes(), baseline, "bytes must drain");
+    }
+
+    #[test]
+    fn cap_is_enforced_and_free_list_recycles_ids() {
+        let p = pool(4, 2);
+        let mut a = KvCache::new(Arc::clone(&p));
+        assert!(a.try_reserve(8));
+        assert_eq!(p.free_blocks(), 0);
+        let mut b = KvCache::new(Arc::clone(&p));
+        assert!(!b.try_reserve(1), "pool is exhausted");
+        assert_eq!(b.bytes(), 0, "failed reserve must take nothing");
+        let ids = a.block_table();
+        drop(a);
+        assert_eq!(p.free_blocks(), 2);
+        assert!(b.try_reserve(5));
+        let mut recycled = b.block_table();
+        recycled.sort_unstable();
+        let mut want = ids.clone();
+        want.sort_unstable();
+        assert_eq!(recycled, want, "freed physical blocks are reused");
+    }
+
+    #[test]
+    fn unbounded_pool_reports_max_free() {
+        let p = pool(4, 0);
+        assert_eq!(p.free_blocks(), usize::MAX);
+        assert_eq!(p.max_blocks(), 0);
+    }
+
+    #[test]
+    fn rows_roundtrip_through_the_block_table() {
+        let p = pool(2, 0); // d_model 4, 2 layers, 2 tokens/block
+        let mut c = KvCache::new(Arc::clone(&p));
+        assert!(c.try_reserve(3)); // spans 2 blocks
+        for layer in 0..2 {
+            let k: Vec<f32> = (0..12).map(|i| (layer * 100 + i) as f32).collect();
+            let v: Vec<f32> = k.iter().map(|x| -x).collect();
+            c.write_rows(layer, 0, &k, &v);
+        }
+        c.commit(3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.k_row(1, 2), &[108.0, 109.0, 110.0, 111.0]);
+        assert_eq!(c.v_row(0, 1), &[-4.0, -5.0, -6.0, -7.0]);
+        assert_eq!(c.block_table().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "past reserved capacity")]
+    fn writing_past_capacity_panics() {
+        let p = pool(2, 0);
+        let mut c = KvCache::new(p);
+        c.write_rows(0, 0, &[0.0; 4], &[0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "block_tokens must be positive")]
+    fn zero_block_tokens_panics() {
+        pool(0, 0);
+    }
+}

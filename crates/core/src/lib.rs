@@ -37,12 +37,15 @@
 //! assert!(palettized.size_bytes() < w.numel() * 2); // smaller than bf16
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ablation;
 pub mod accounting;
 pub mod dkm;
 pub mod entropy;
 pub mod hooks;
 pub mod infer;
+pub mod kv;
 pub mod marshal;
 pub mod palettize;
 pub mod pipeline;
@@ -56,7 +59,11 @@ pub use accounting::AccountedVec;
 pub use dkm::{DkmConfig, DkmInit, DkmLayer, DkmOutput};
 pub use entropy::{index_entropy_bits, EntropyCoded, HuffmanCode};
 pub use hooks::{EdkmConfig, EdkmHooks, HookStatsSnapshot};
-pub use infer::{KvCache, PalettizedLinear, PalettizedModel, ServeError};
+pub use infer::{
+    LutProjection, PalettizedLinear, PalettizedModel, Partition, ServeError, ServeModel,
+    ShardedPalettizedLinear, ShardedPalettizedModel,
+};
+pub use kv::{KvBlockConfig, KvBlockPool, KvCache};
 pub use marshal::{EdkmPacked, MarshalRegistry, StoredEntry};
 pub use palettize::{AffineQuantized, GroupedPalettized, PalettizedTensor};
 pub use pipeline::{

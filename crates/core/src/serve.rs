@@ -15,11 +15,13 @@
 //! exactly the same tokens whether it runs alone or batched with arbitrary
 //! neighbours — the invariant the scheduler test suite pins.
 
-use crate::infer::{KvCache, PalettizedModel};
+use crate::infer::{KvCache, PalettizedModel, ServeModel};
 use edkm_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+
+pub use crate::kv::{KvBlockConfig, KvBlockPool};
 
 /// How to turn a logits row into the next token.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -126,15 +128,31 @@ pub fn sample_token(row: &[f32], sampling: &SamplingConfig, rng: &mut StdRng) ->
     last // rounding fell off the end: return the last viable token
 }
 
-/// KV-cached autoregressive generation over a [`PalettizedModel`].
+/// KV-cached autoregressive generation over any [`ServeModel`]
+/// (a [`PalettizedModel`] or its tensor-parallel sharded counterpart).
+///
+/// ```
+/// use edkm_core::{CompressSpec, Generator, PalettizedModel};
+/// use edkm_nn::{LlamaConfig, LlamaModel};
+/// use edkm_tensor::{runtime, DType, Device};
+///
+/// runtime::reset();
+/// let dense = LlamaModel::new(LlamaConfig::tiny(), DType::Bf16, Device::Cpu, 0);
+/// let mut spec = CompressSpec::with_bits(2);
+/// spec.dkm.iters = 2;
+/// let served = PalettizedModel::from_dense(&dense, &spec).unwrap();
+/// let out = Generator::new(&served).generate_greedy(&[1, 2], 4);
+/// assert_eq!(out.len(), 6); // prompt + 4 generated tokens
+/// assert_eq!(&out[..2], &[1, 2]);
+/// ```
 #[derive(Debug, Clone, Copy)]
-pub struct Generator<'m> {
-    model: &'m PalettizedModel,
+pub struct Generator<'m, M: ServeModel = PalettizedModel> {
+    model: &'m M,
 }
 
-impl<'m> Generator<'m> {
+impl<'m, M: ServeModel> Generator<'m, M> {
     /// Generator over `model`.
-    pub fn new(model: &'m PalettizedModel) -> Self {
+    pub fn new(model: &'m M) -> Self {
         Generator { model }
     }
 
@@ -234,24 +252,63 @@ struct ActiveSeq {
 /// Continuous-batching scheduler: admits/retires sequences of uneven
 /// lengths every step and batches all projection GEMMs across whatever is
 /// in flight.
+///
+/// KV state is paged ([`KvBlockPool`]): admission takes the *actual*
+/// blocks a prompt needs right now (never a worst-case
+/// `prompt + max_new` reservation), so a request is admitted as soon as a
+/// retirement frees enough blocks. If the pool runs dry mid-decode, the
+/// most recently admitted sequence is preempted — its blocks return to
+/// the pool and its request goes back to the head of the queue. Because
+/// sampling is per-request-seeded and logits rows are batch-independent,
+/// a preempted request regenerates exactly the same tokens when it is
+/// re-admitted.
+///
+/// ```
+/// use edkm_core::{
+///     CompressSpec, PalettizedModel, SamplingConfig, Scheduler, ServeRequest,
+/// };
+/// use edkm_nn::{LlamaConfig, LlamaModel};
+/// use edkm_tensor::{runtime, DType, Device};
+///
+/// runtime::reset();
+/// let dense = LlamaModel::new(LlamaConfig::tiny(), DType::Bf16, Device::Cpu, 0);
+/// let mut spec = CompressSpec::with_bits(2);
+/// spec.dkm.iters = 2;
+/// let served = PalettizedModel::from_dense(&dense, &spec).unwrap();
+/// let mut sched = Scheduler::new(&served, 2);
+/// for id in 0..3 {
+///     sched.submit(ServeRequest {
+///         id,
+///         prompt: vec![1 + id as usize],
+///         max_new: 3,
+///         sampling: SamplingConfig::greedy(),
+///     });
+/// }
+/// let responses = sched.run_to_completion();
+/// assert_eq!(responses.len(), 3);
+/// assert!(responses.iter().all(|r| r.generated == 3));
+/// // Every KV block returned to the pool at retirement.
+/// assert_eq!(served.kv_pool().blocks_in_use(), 0);
+/// ```
 #[derive(Debug)]
-pub struct Scheduler<'m> {
-    model: &'m PalettizedModel,
+pub struct Scheduler<'m, M: ServeModel = PalettizedModel> {
+    model: &'m M,
     max_batch: usize,
     queue: VecDeque<ServeRequest>,
     active: Vec<ActiveSeq>,
     decode_steps: u64,
     tokens_generated: u64,
+    preemptions: u64,
 }
 
-impl<'m> Scheduler<'m> {
+impl<'m, M: ServeModel> Scheduler<'m, M> {
     /// Scheduler over `model` admitting at most `max_batch` concurrent
     /// sequences.
     ///
     /// # Panics
     ///
     /// Panics if `max_batch` is 0.
-    pub fn new(model: &'m PalettizedModel, max_batch: usize) -> Self {
+    pub fn new(model: &'m M, max_batch: usize) -> Self {
         assert!(max_batch > 0, "max_batch must be positive");
         Scheduler {
             model,
@@ -260,6 +317,7 @@ impl<'m> Scheduler<'m> {
             active: Vec::new(),
             decode_steps: 0,
             tokens_generated: 0,
+            preemptions: 0,
         }
     }
 
@@ -311,12 +369,69 @@ impl<'m> Scheduler<'m> {
         self.active.iter().map(|s| s.cache.bytes()).sum()
     }
 
+    /// Sequences preempted so far (blocks reclaimed, request requeued).
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// Requeue `seq` at the head of the queue, returning its blocks to the
+    /// pool. The regenerated tokens are identical: sampling restarts from
+    /// the request's own seed and rows never depend on batch composition.
+    fn preempt(&mut self, seq: ActiveSeq) {
+        let prompt_len = seq.tokens.len() - seq.produced;
+        self.queue.push_front(ServeRequest {
+            id: seq.id,
+            prompt: seq.tokens[..prompt_len].to_vec(),
+            max_new: seq.max_new,
+            sampling: seq.sampling,
+        });
+        self.preemptions += 1;
+        // Discarded tokens are re-generated (identically) after
+        // re-admission; keep the counter equal to what callers receive.
+        self.tokens_generated -= seq.produced as u64;
+        drop(seq); // returns the sequence's KV blocks
+    }
+
     /// One scheduling step: admit, run one batched forward, sample, retire.
     /// Returns the requests that finished during this step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the KV pool cannot hold even a single request's working
+    /// set (one sequence running alone still starves) — the pool must be
+    /// sized for at least `blocks_for(prompt + max_new)` of the largest
+    /// request.
     pub fn step(&mut self) -> Vec<ServeResponse> {
         let mut finished = Vec::new();
-        // Admit while there is batch budget. Zero-generation requests
-        // complete immediately without touching the model.
+        // Every in-flight sequence reserves its next chunk *before* any
+        // admission, so a newcomer can never grab the blocks a running
+        // sequence is about to need (which would admit it only to preempt
+        // it in the same step, discarding its prefill). When the pool runs
+        // dry, preempt from the tail (most recently admitted) until the
+        // rest fit.
+        let mut i = 0usize;
+        while i < self.active.len() {
+            let need = self.active[i].next_input.len();
+            if self.active[i].cache.try_reserve(need) {
+                i += 1;
+                continue;
+            }
+            assert!(
+                self.active.len() > 1,
+                "KV pool too small for request {}: {} cached + {need} new tokens, pool caps at {} blocks",
+                self.active[i].id,
+                self.active[i].cache.len(),
+                self.model.kv_pool().max_blocks()
+            );
+            let victim = self.active.pop().expect("non-empty active set");
+            self.preempt(victim);
+        }
+
+        // Admit while there is batch budget *and* the pool has the blocks
+        // each prompt actually needs now (prompt rows + the first decode
+        // slot) — never a worst-case prompt+max_new reservation.
+        // Zero-generation requests complete immediately without touching
+        // the model.
         while self.active.len() < self.max_batch {
             let Some(req) = self.queue.pop_front() else {
                 break;
@@ -329,6 +444,21 @@ impl<'m> Scheduler<'m> {
                 });
                 continue;
             }
+            let mut cache = self.model.new_cache();
+            if !cache.try_reserve(req.prompt.len() + 1) {
+                assert!(
+                    !self.active.is_empty(),
+                    "KV pool too small for request {}: prompt {} + 1 needs {} blocks, pool caps at {}",
+                    req.id,
+                    req.prompt.len(),
+                    self.model.kv_pool().blocks_for(req.prompt.len() + 1),
+                    self.model.kv_pool().max_blocks()
+                );
+                // Not enough free blocks yet: keep FIFO order and retry
+                // once a retirement frees some.
+                self.queue.push_front(req);
+                break;
+            }
             self.active.push(ActiveSeq {
                 id: req.id,
                 tokens: req.prompt.clone(),
@@ -337,7 +467,7 @@ impl<'m> Scheduler<'m> {
                 max_new: req.max_new,
                 sampling: req.sampling,
                 rng: StdRng::seed_from_u64(req.sampling.seed),
-                cache: self.model.new_cache(),
+                cache,
             });
         }
         if self.active.is_empty() {
@@ -376,7 +506,10 @@ impl<'m> Scheduler<'m> {
         let mut i = 0usize;
         while i < self.active.len() {
             if self.active[i].produced == self.active[i].max_new {
-                let seq = self.active.swap_remove(i); // drops the KV cache
+                // `remove`, not `swap_remove`: the active set stays in
+                // admission order, which is what makes tail preemption hit
+                // the most recently admitted sequence.
+                let seq = self.active.remove(i); // drops the KV cache
                 finished.push(ServeResponse {
                     id: seq.id,
                     generated: seq.produced,
@@ -575,6 +708,99 @@ mod tests {
         assert_eq!(out[0].tokens, vec![3, 1]);
         assert_eq!(out[0].generated, 0);
         assert_eq!(sched.decode_steps(), 0);
+    }
+
+    #[test]
+    fn bounded_pool_defers_admission_until_blocks_exist() {
+        runtime::reset();
+        // 4 tokens/block, room for 3 blocks: an 8-token prompt (needs
+        // ceil(9/4) = 3 blocks at admission) fills the pool alone.
+        let model = served(&CompressSpec::with_bits(2)).with_kv_config(KvBlockConfig {
+            block_tokens: 4,
+            max_blocks: 3,
+        });
+        let mut sched = Scheduler::new(&model, 4);
+        for id in 0..2u64 {
+            sched.submit(ServeRequest {
+                id,
+                prompt: vec![1; 8],
+                max_new: 2,
+                sampling: SamplingConfig::greedy(),
+            });
+        }
+        sched.step();
+        assert_eq!(sched.active(), 1, "only the first request fits the pool");
+        assert_eq!(sched.queued(), 1, "the second waits for free blocks");
+        let out = sched.run_to_completion();
+        assert_eq!(out.len(), 2, "deferred admission must still complete");
+        assert_eq!(model.kv_pool().blocks_in_use(), 0);
+    }
+
+    #[test]
+    fn preemption_reclaims_blocks_and_replays_identically() {
+        runtime::reset();
+        let unbounded = served(&CompressSpec::with_bits(3));
+        let reqs: Vec<ServeRequest> = (0..2u64)
+            .map(|id| ServeRequest {
+                id,
+                prompt: vec![1 + id as usize, 5],
+                max_new: 20,
+                sampling: SamplingConfig::with_top_k(0.9, 4, 40 + id),
+            })
+            .collect();
+        let mut free_sched = Scheduler::new(&unbounded, 2);
+        for r in &reqs {
+            free_sched.submit(r.clone());
+        }
+        let mut want = free_sched.run_to_completion();
+        want.sort_by_key(|r| r.id);
+
+        // Two 22-token sequences need 22 blocks total at 2 tokens/block;
+        // 12 blocks can hold either alone but never both — the scheduler
+        // must preempt, and the preempted request must regenerate the
+        // exact same tokens after re-admission.
+        let tight = served(&CompressSpec::with_bits(3)).with_kv_config(KvBlockConfig {
+            block_tokens: 2,
+            max_blocks: 12,
+        });
+        let mut sched = Scheduler::new(&tight, 2);
+        for r in &reqs {
+            sched.submit(r.clone());
+        }
+        let mut got = sched.run_to_completion();
+        got.sort_by_key(|r| r.id);
+        assert!(sched.preemptions() > 0, "the tight pool must preempt");
+        assert_eq!(
+            sched.tokens_generated(),
+            2 * 20,
+            "replayed tokens are not double-counted"
+        );
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(
+                g.tokens, w.tokens,
+                "request {}: preemption must not change generated tokens",
+                g.id
+            );
+        }
+        assert_eq!(tight.kv_pool().blocks_in_use(), 0, "no leaked blocks");
+    }
+
+    #[test]
+    #[should_panic(expected = "KV pool too small")]
+    fn single_request_larger_than_the_pool_panics() {
+        runtime::reset();
+        let model = served(&CompressSpec::with_bits(2)).with_kv_config(KvBlockConfig {
+            block_tokens: 2,
+            max_blocks: 2,
+        });
+        let mut sched = Scheduler::new(&model, 1);
+        sched.submit(ServeRequest {
+            id: 0,
+            prompt: vec![1; 8], // needs ceil(9/2) = 5 blocks, pool caps at 2
+            max_new: 4,
+            sampling: SamplingConfig::greedy(),
+        });
+        sched.step();
     }
 
     #[test]

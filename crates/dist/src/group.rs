@@ -14,6 +14,20 @@ use std::ops::Range;
 /// Copyable and trivially cheap: the group carries no state beyond its size,
 /// because learners are simulated and their memory lives with the payloads
 /// (see `edkm-core`'s `Store`).
+///
+/// ```
+/// use edkm_dist::LearnerGroup;
+/// use edkm_tensor::runtime;
+///
+/// runtime::reset();
+/// let group = LearnerGroup::new(3);
+/// // Shard 7 elements over 3 learners (balanced to one element)...
+/// let shards = group.shard_spec(7).split(&[1u32, 2, 3, 4, 5, 6, 7]);
+/// assert_eq!(shards[0], vec![1, 2, 3]);
+/// // ...and reassemble, paying the ring all-gather on the simulated clock.
+/// assert_eq!(group.all_gather(&shards), vec![1, 2, 3, 4, 5, 6, 7]);
+/// assert!(runtime::sim_seconds() > 0.0);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LearnerGroup {
     n: usize,
@@ -63,6 +77,39 @@ impl LearnerGroup {
         let mut out = Vec::with_capacity(total);
         for s in shards {
             out.extend_from_slice(s);
+        }
+        out
+    }
+
+    /// Element-wise sum of one equal-length buffer per learner (rank
+    /// order), charging the ring all-reduce to the simulated clock — the
+    /// combine step of row-parallel sharded GEMMs, where each learner holds
+    /// a partial product over its input columns.
+    ///
+    /// The modeled cost is that of gathering every learner's full buffer
+    /// (`(L-1)` ring steps); single-learner groups reduce for free. The sum
+    /// runs in ascending rank order, so the result is deterministic for a
+    /// given shard layout (but, like any float all-reduce, not bit-equal to
+    /// an unsharded accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts.len() != n_learners()` or the buffers differ in
+    /// length.
+    pub fn all_reduce_sum(&self, parts: &[Vec<f32>]) -> Vec<f32> {
+        assert_eq!(
+            parts.len(),
+            self.n,
+            "all_reduce_sum expects one buffer per learner"
+        );
+        let len = parts[0].len();
+        runtime::record_all_gather(len * std::mem::size_of::<f32>(), self.n);
+        let mut out = parts[0].clone();
+        for part in &parts[1..] {
+            assert_eq!(part.len(), len, "all_reduce_sum buffers must match");
+            for (o, &p) in out.iter_mut().zip(part) {
+                *o += p;
+            }
         }
         out
     }
@@ -231,6 +278,28 @@ mod tests {
     fn all_gather_wrong_shard_count_panics() {
         runtime::reset();
         LearnerGroup::new(2).all_gather(&[vec![1u8]]);
+    }
+
+    #[test]
+    fn all_reduce_sums_in_rank_order_and_costs_time() {
+        runtime::reset();
+        let g = LearnerGroup::new(3);
+        let t0 = runtime::sim_seconds();
+        let out = g.all_reduce_sum(&[vec![1.0, 2.0], vec![10.0, 20.0], vec![100.0, 200.0]]);
+        assert_eq!(out, vec![111.0, 222.0]);
+        assert!(runtime::sim_seconds() > t0, "all-reduce must cost time");
+        // Single learner: identity, free.
+        runtime::reset();
+        let solo = LearnerGroup::new(1).all_reduce_sum(&[vec![3.5]]);
+        assert_eq!(solo, vec![3.5]);
+        assert_eq!(runtime::sim_seconds(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one buffer per learner")]
+    fn all_reduce_wrong_part_count_panics() {
+        runtime::reset();
+        LearnerGroup::new(2).all_reduce_sum(&[vec![1.0]]);
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! host memory that is *not* charged to this learner's pool — exactly the
 //! accounting Table 2's per-learner memory column needs.
 
+#![warn(missing_docs)]
+
 pub mod group;
 pub mod trainer;
 

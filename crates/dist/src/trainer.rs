@@ -6,7 +6,7 @@
 //! and the learners are *identical by construction*, the canonical learner's
 //! step on the full batch already produces every learner's result bit-exactly
 //! — so [`DataParallelTrainer::step`] computes that one step (losses equal a
-//! single-process [`Trainer`] run to the last bit) and charges the gradient
+//! single-process [`edkm_nn::Trainer`] run to the last bit) and charges the gradient
 //! ring all-reduce to the simulated clock: a reduce-scatter plus an
 //! all-gather, each `(L-1)` ring steps of `1/L` of the gradient bytes.
 

@@ -115,6 +115,96 @@ pub fn causal_mask_offset(n: usize, t_total: usize, offset: usize, device: Devic
     Tensor::from_vec(m, &[n, t_total], DType::F32, device)
 }
 
+/// Position-indexed read access to one layer's cached K/V rows.
+///
+/// Serving caches implement this per layer so attention can read rows
+/// through whatever storage they use — a contiguous buffer or a paged
+/// block table (`edkm-core`'s `KvCache` resolves each position through its
+/// per-sequence block table). Row `pos` must be the already-rotated
+/// `[d_model]`-wide projection row of absolute position `pos`, head-major.
+pub trait KvRowView {
+    /// The cached K row at absolute position `pos`.
+    fn k_row(&self, pos: usize) -> &[f32];
+    /// The cached V row at absolute position `pos`.
+    fn v_row(&self, pos: usize) -> &[f32];
+}
+
+/// Causal multi-head attention of `n` new query rows over cached K/V rows
+/// read through `view` — the serving-side inner loop, shared so the paged
+/// and contiguous cache layouts run the *same* accumulation order and stay
+/// bit-identical to each other.
+///
+/// `q` holds `n` rotated query rows (`[n, h·hd]`, head-major) at absolute
+/// positions `start..start + n`; row `i` attends positions `0..=start + i`.
+/// Context accumulates into `ctx` (same shape as `q`, **caller-zeroed**);
+/// `scores` is scratch of length ≥ `start + n`. Returns the FLOPs of the
+/// score/softmax/context work (`4·t_ctx·d` per query row) for the caller
+/// to charge once.
+///
+/// Accumulation order per element matches the dense path (`bmm` dots in
+/// ascending `j`, `softmax_lastdim` max/exp/sum order, context as an
+/// ascending-`j` sum of `p_j · v_j`).
+///
+/// # Panics
+///
+/// Panics if `q` and `ctx` lengths disagree or are not a multiple of
+/// `h·hd`.
+pub fn attend_cached_rows<V: KvRowView>(
+    q: &[f32],
+    start: usize,
+    h: usize,
+    hd: usize,
+    view: &V,
+    ctx: &mut [f32],
+    scores: &mut [f32],
+) -> f64 {
+    let d = h * hd;
+    assert_eq!(q.len(), ctx.len(), "q and ctx must be the same shape");
+    assert_eq!(q.len() % d, 0, "q must be [n, h*hd]");
+    let n = q.len() / d;
+    let scale = 1.0 / (hd as f32).sqrt();
+    let mut flops = 0.0f64;
+    for i in 0..n {
+        let t_ctx = start + i + 1; // attends positions 0..=start+i
+        let qrow = &q[i * d..(i + 1) * d];
+        let orow = &mut ctx[i * d..(i + 1) * d];
+        for head in 0..h {
+            let hb = head * hd;
+            let qh = &qrow[hb..hb + hd];
+            // Scores (same dot order as the dense bmm).
+            for (j, s) in scores[..t_ctx].iter_mut().enumerate() {
+                let kh = &view.k_row(j)[hb..hb + hd];
+                let mut acc = 0.0f32;
+                for (&a, &b) in qh.iter().zip(kh) {
+                    acc += a * b;
+                }
+                *s = acc * scale;
+            }
+            // Softmax (same order as ops::softmax_lastdim).
+            let mx = scores[..t_ctx]
+                .iter()
+                .cloned()
+                .fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for s in scores[..t_ctx].iter_mut() {
+                *s = (*s - mx).exp();
+                sum += *s;
+            }
+            let inv = 1.0 / sum;
+            // Context: Σ_j p_j · v_j, ascending j per element.
+            for (j, &w) in scores[..t_ctx].iter().enumerate() {
+                let p = w * inv;
+                let vh = &view.v_row(j)[hb..hb + hd];
+                for (o, &vv) in orow[hb..hb + hd].iter_mut().zip(vh) {
+                    *o += p * vv;
+                }
+            }
+        }
+        flops += (4 * t_ctx * d) as f64;
+    }
+    flops
+}
+
 /// Per-layer key/value cache for autoregressive decoding (batch 1).
 ///
 /// Keys are stored *after* RoPE, in `[head][t, hd]` blocks, so a decode
@@ -512,6 +602,160 @@ mod tests {
             rows,
             "token-at-a-time decode must reproduce the full pass bit for bit"
         );
+    }
+
+    /// Rows in one contiguous `[t, d]` buffer (the monolithic layout).
+    struct Flat<'a> {
+        k: &'a [f32],
+        v: &'a [f32],
+        d: usize,
+    }
+
+    impl KvRowView for Flat<'_> {
+        fn k_row(&self, pos: usize) -> &[f32] {
+            &self.k[pos * self.d..(pos + 1) * self.d]
+        }
+        fn v_row(&self, pos: usize) -> &[f32] {
+            &self.v[pos * self.d..(pos + 1) * self.d]
+        }
+    }
+
+    /// Rows scattered across fixed-size blocks (the paged layout).
+    struct Paged {
+        blocks_k: Vec<Vec<f32>>,
+        blocks_v: Vec<Vec<f32>>,
+        table: Vec<usize>,
+        block_tokens: usize,
+        d: usize,
+    }
+
+    impl Paged {
+        fn from_flat(k: &[f32], v: &[f32], d: usize, block_tokens: usize) -> Self {
+            let t = k.len() / d;
+            let n_blocks = t.div_ceil(block_tokens);
+            // Shuffled physical order to prove reads go through the table.
+            let table: Vec<usize> = (0..n_blocks).rev().collect();
+            let bsz = block_tokens * d;
+            let mut blocks_k = vec![vec![0.0f32; bsz]; n_blocks];
+            let mut blocks_v = vec![vec![0.0f32; bsz]; n_blocks];
+            for pos in 0..t {
+                let (b, slot) = (pos / block_tokens, pos % block_tokens);
+                let phys = table[b];
+                blocks_k[phys][slot * d..(slot + 1) * d]
+                    .copy_from_slice(&k[pos * d..(pos + 1) * d]);
+                blocks_v[phys][slot * d..(slot + 1) * d]
+                    .copy_from_slice(&v[pos * d..(pos + 1) * d]);
+            }
+            Paged {
+                blocks_k,
+                blocks_v,
+                table,
+                block_tokens,
+                d,
+            }
+        }
+    }
+
+    impl KvRowView for Paged {
+        fn k_row(&self, pos: usize) -> &[f32] {
+            let phys = self.table[pos / self.block_tokens];
+            let slot = pos % self.block_tokens;
+            &self.blocks_k[phys][slot * self.d..(slot + 1) * self.d]
+        }
+        fn v_row(&self, pos: usize) -> &[f32] {
+            let phys = self.table[pos / self.block_tokens];
+            let slot = pos % self.block_tokens;
+            &self.blocks_v[phys][slot * self.d..(slot + 1) * self.d]
+        }
+    }
+
+    #[test]
+    fn attend_cached_rows_matches_the_bmm_attention_path() {
+        runtime::reset();
+        let (h, hd, t, n) = (2usize, 4usize, 6usize, 2usize);
+        let d = h * hd;
+        let start = t - n;
+        let q_all = Tensor::randn(&[t, d], DType::F32, Device::Cpu, 1).to_vec();
+        let k_all = Tensor::randn(&[t, d], DType::F32, Device::Cpu, 2).to_vec();
+        let v_all = Tensor::randn(&[t, d], DType::F32, Device::Cpu, 3).to_vec();
+
+        // Reference: the dense bmm/softmax route over [h, t, hd] tensors.
+        let to_heads = |rows: &[f32]| -> Var {
+            let mut data = vec![0.0f32; t * d];
+            for head in 0..h {
+                for p in 0..t {
+                    data[(head * t + p) * hd..(head * t + p + 1) * hd]
+                        .copy_from_slice(&rows[p * d + head * hd..p * d + (head + 1) * hd]);
+                }
+            }
+            Var::constant(Tensor::from_vec(data, &[h, t, hd], DType::F32, Device::Cpu))
+        };
+        let q_t = to_heads(&q_all);
+        let k_t = to_heads(&k_all);
+        let v_t = to_heads(&v_all);
+        let scale = 1.0 / (hd as f32).sqrt();
+        let scores = q_t.bmm(&k_t.transpose(1, 2)).mul_scalar(scale);
+        let mask = Var::constant(causal_mask(t, Device::Cpu));
+        let ctx_ref = scores.add(&mask).softmax_lastdim().bmm(&v_t);
+
+        // attend_cached_rows over the last n query rows.
+        let mut ctx = vec![0.0f32; n * d];
+        let mut scratch = vec![0.0f32; t];
+        let flops = attend_cached_rows(
+            &q_all[start * d..],
+            start,
+            h,
+            hd,
+            &Flat {
+                k: &k_all,
+                v: &v_all,
+                d,
+            },
+            &mut ctx,
+            &mut scratch,
+        );
+        assert!(flops > 0.0);
+        let ref_v = ctx_ref.value().to_vec(); // [h, t, hd]
+        for i in 0..n {
+            for head in 0..h {
+                let got = &ctx[i * d + head * hd..i * d + (head + 1) * hd];
+                let want = &ref_v[(head * t + start + i) * hd..(head * t + start + i + 1) * hd];
+                for (g, w) in got.iter().zip(want) {
+                    assert!((g - w).abs() < 1e-5, "row {i} head {head}: {g} vs {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paged_view_is_bit_identical_to_flat_view() {
+        runtime::reset();
+        let (h, hd, t) = (2usize, 4usize, 7usize);
+        let d = h * hd;
+        let q = Tensor::randn(&[t, d], DType::F32, Device::Cpu, 4).to_vec();
+        let k = Tensor::randn(&[t, d], DType::F32, Device::Cpu, 5).to_vec();
+        let v = Tensor::randn(&[t, d], DType::F32, Device::Cpu, 6).to_vec();
+        let mut scratch = vec![0.0f32; t];
+        let mut ctx_flat = vec![0.0f32; t * d];
+        attend_cached_rows(
+            &q,
+            0,
+            h,
+            hd,
+            &Flat { k: &k, v: &v, d },
+            &mut ctx_flat,
+            &mut scratch,
+        );
+        for block_tokens in [1usize, 3, 16] {
+            let paged = Paged::from_flat(&k, &v, d, block_tokens);
+            let mut ctx_paged = vec![0.0f32; t * d];
+            let f = attend_cached_rows(&q, 0, h, hd, &paged, &mut ctx_paged, &mut scratch);
+            assert_eq!(
+                ctx_flat, ctx_paged,
+                "block size {block_tokens} must not change a single bit"
+            );
+            assert!(f > 0.0);
+        }
     }
 
     #[test]

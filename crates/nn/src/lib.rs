@@ -31,7 +31,7 @@ pub mod optim;
 pub mod tap;
 pub mod trainer;
 
-pub use attention::{AttnKvCache, CausalSelfAttention};
+pub use attention::{attend_cached_rows, AttnKvCache, CausalSelfAttention, KvRowView};
 pub use checkpoint::{CheckpointError, TrainCheckpoint};
 pub use decoder::DecoderLayer;
 pub use embedding::Embedding;

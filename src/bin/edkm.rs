@@ -18,8 +18,11 @@
 use edkm::autograd::SavedTensorHooks;
 use edkm::core::{run_table2, AblationSetup};
 use edkm::core::{CompressSpec, CompressedTensor, CompressionPipeline, EdkmConfig, EdkmHooks};
-use edkm::core::{PalettizedModel, SamplingConfig, Scheduler, ServeRequest};
+use edkm::core::{
+    KvBlockConfig, PalettizedModel, SamplingConfig, Scheduler, ServeModel, ServeRequest,
+};
 use edkm::data::{AlpacaSet, Corpus, Grammar};
+use edkm::dist::LearnerGroup;
 use edkm::eval::perplexity;
 use edkm::nn::{AdamWConfig, LlamaConfig, LlamaModel, LmBatch, TrainConfig, Trainer};
 use edkm::tensor::{runtime, DType, Device, Tensor};
@@ -59,9 +62,12 @@ commands:
   ablate     the Table 2 M/U/S ablation at CLI scale
              flags: --d-model N (256)  --learners L (8)
   serve      compress a small pretrained model and serve sampled requests
-             through the continuous-batching scheduler
+             through the continuous-batching scheduler (optionally
+             tensor-parallel over a learner group, paged KV cache)
              flags: --bits N (3)  --batch B (4)  --requests R (6)
                     --new T (16)  --temp F (0.8, 0 = greedy)
+                    --shards S (1)  --kv-block-tokens T (16)
+                    --kv-blocks B (0 = unbounded pool)
   table1     the Table 1 cross-device copy scenario
   help       this text
 
@@ -320,33 +326,15 @@ fn edkm_bench_table(rows: &[edkm::core::AblationRow]) -> String {
     s
 }
 
-fn cmd_serve(args: &[String]) {
-    let bits: u8 = parse_or(args, "--bits", 3);
-    let max_batch: usize = parse_or(args, "--batch", 4);
-    let n_requests: usize = parse_or(args, "--requests", 6);
-    let n_new: usize = parse_or(args, "--new", 16);
-    let temperature: f32 = parse_or(args, "--temp", 0.8);
-    println!(
-        "serving a {bits}-bit compressed model: {n_requests} requests x {n_new} tokens, \
-         continuous batching at batch {max_batch}\n"
-    );
-    let wb = Workbench::build(80);
-    let mut spec = CompressSpec::with_bits(bits);
-    spec.dkm.iters = 4;
-    let model = match PalettizedModel::from_dense(&wb.model, &spec) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("cannot serve this export: {e}");
-            return;
-        }
-    };
-    println!(
-        "palettized {} -> {} bytes ({:.1}x)",
-        wb.model.native_size_bytes(),
-        model.size_bytes(),
-        wb.model.native_size_bytes() as f64 / model.size_bytes() as f64
-    );
-
+/// Drive `sched`-style serving over any [`ServeModel`] (unsharded or
+/// tensor-parallel) and print the responses plus throughput/KV stats.
+fn serve_with_model<M: ServeModel>(
+    model: &M,
+    max_batch: usize,
+    n_requests: usize,
+    n_new: usize,
+    temperature: f32,
+) {
     // Leave room for at least one prompt token (CLI convention: clamp bad
     // flag values instead of crashing).
     let max_seq = model.config().max_seq;
@@ -358,7 +346,7 @@ fn cmd_serve(args: &[String]) {
     }
     let n_new = n_new.min(max_seq - 1);
     let max_prompt = max_seq - n_new;
-    let mut sched = Scheduler::new(&model, max_batch);
+    let mut sched = Scheduler::new(model, max_batch);
     for id in 0..n_requests as u64 {
         let plen = (2 + id as usize % 5).min(max_prompt);
         sched.submit(ServeRequest {
@@ -375,6 +363,7 @@ fn cmd_serve(args: &[String]) {
         });
     }
     let t0 = std::time::Instant::now();
+    let sim0 = runtime::sim_seconds();
     let mut peak_kv = 0usize;
     let mut responses = Vec::new();
     while !sched.is_idle() {
@@ -386,14 +375,86 @@ fn cmd_serve(args: &[String]) {
     for r in &responses {
         println!("  req {}: {:?}", r.id, r.tokens);
     }
+    let pool = model.kv_pool();
     println!(
-        "\n{} tokens in {:.3}s = {:.1} tok/s over {} batched steps; peak KV {} bytes",
+        "\n{} tokens in {:.3}s = {:.1} tok/s over {} batched steps ({:.3} sim s)",
         sched.tokens_generated(),
         secs,
         sched.tokens_generated() as f64 / secs.max(1e-9),
         sched.decode_steps(),
-        peak_kv
+        runtime::sim_seconds() - sim0,
     );
+    println!(
+        "peak KV {} bytes ({}-token blocks, peak {} blocks, {} preemptions)",
+        peak_kv,
+        pool.block_tokens(),
+        peak_kv / pool.block_bytes().max(1),
+        sched.preemptions()
+    );
+}
+
+fn cmd_serve(args: &[String]) {
+    let bits: u8 = parse_or(args, "--bits", 3);
+    let max_batch: usize = parse_or(args, "--batch", 4);
+    let n_requests: usize = parse_or(args, "--requests", 6);
+    let n_new: usize = parse_or(args, "--new", 16);
+    let temperature: f32 = parse_or(args, "--temp", 0.8);
+    let shards: usize = parse_or(args, "--shards", 1).max(1);
+    let kv_block_tokens: usize = parse_or(args, "--kv-block-tokens", 16).max(1);
+    let kv_blocks: usize = parse_or(args, "--kv-blocks", 0);
+    println!(
+        "serving a {bits}-bit compressed model: {n_requests} requests x {n_new} tokens, \
+         continuous batching at batch {max_batch}, {shards} shard(s), \
+         {kv_block_tokens}-token KV blocks\n"
+    );
+    let wb = Workbench::build(80);
+    let mut spec = CompressSpec::with_bits(bits);
+    spec.dkm.iters = 4;
+    // Clamp a bounded pool so the largest request this command submits can
+    // always run alone (CLI convention: clamp bad flag values instead of
+    // crashing — the scheduler panics on a pool it can never drain).
+    let max_seq = wb.model.config().max_seq;
+    let n_new_eff = n_new.min(max_seq - 1);
+    let plen_max = (2 + n_requests.saturating_sub(1).min(4)).min(max_seq - n_new_eff);
+    let min_blocks = (plen_max + n_new_eff).div_ceil(kv_block_tokens);
+    let kv_blocks = if kv_blocks != 0 && kv_blocks < min_blocks {
+        eprintln!(
+            "--kv-blocks {kv_blocks} cannot hold one {}-token request at \
+             {kv_block_tokens} tokens/block; raising to {min_blocks}",
+            plen_max + n_new_eff
+        );
+        min_blocks
+    } else {
+        kv_blocks
+    };
+    let kv = KvBlockConfig {
+        block_tokens: kv_block_tokens,
+        max_blocks: kv_blocks,
+    };
+    let model = match PalettizedModel::from_dense(&wb.model, &spec) {
+        Ok(m) => m.with_kv_config(kv),
+        Err(e) => {
+            eprintln!("cannot serve this export: {e}");
+            return;
+        }
+    };
+    println!(
+        "palettized {} -> {} bytes ({:.1}x)",
+        wb.model.native_size_bytes(),
+        model.size_bytes(),
+        wb.model.native_size_bytes() as f64 / model.size_bytes() as f64
+    );
+    if shards > 1 {
+        let sharded = model.shard(LearnerGroup::new(shards)).with_kv_config(kv);
+        println!(
+            "tensor-parallel over {} learners: {} bytes total (full LUT per shard)",
+            shards,
+            sharded.size_bytes()
+        );
+        serve_with_model(&sharded, max_batch, n_requests, n_new, temperature);
+    } else {
+        serve_with_model(&model, max_batch, n_requests, n_new, temperature);
+    }
 }
 
 fn cmd_table1() {

@@ -1,0 +1,133 @@
+//! Paged KV-pool conservation properties: no interleaving of admission,
+//! generation and retirement may leak a block or leave a byte charged.
+//!
+//! * Any submit/step interleaving (bounded and unbounded pools, several
+//!   paging granularities) drains to `blocks_in_use() == 0` and the device
+//!   ledger back at its baseline, with every request completed at its
+//!   requested length.
+//! * Tokens are identical to solo generation even when the pool is tight
+//!   enough to force deferred admission or preemption.
+
+use edkm::core::{
+    CompressSpec, Generator, KvBlockConfig, PalettizedModel, SamplingConfig, Scheduler,
+    ServeRequest,
+};
+use edkm::nn::{LlamaConfig, LlamaModel};
+use edkm::tensor::{runtime, DType, Device};
+use proptest::prelude::*;
+
+fn served(seed: u64) -> PalettizedModel {
+    let cfg = LlamaConfig {
+        vocab: 16,
+        d_model: 8,
+        n_heads: 2,
+        n_layers: 2,
+        d_ff: 16,
+        max_seq: 24,
+    };
+    let dense = LlamaModel::new(cfg, DType::Bf16, Device::Cpu, seed);
+    let mut spec = CompressSpec::with_bits(2);
+    spec.dkm.iters = 2;
+    PalettizedModel::from_dense(&dense, &spec).expect("servable export")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Zero leaked blocks and a drained ledger for arbitrary interleavings.
+    #[test]
+    fn prop_no_interleaving_leaks_blocks_or_bytes(
+        seed in any::<u64>(),
+        block_tokens in prop::sample::select(vec![2usize, 4, 8]),
+        max_blocks in prop::sample::select(vec![0usize, 8, 10]),
+        max_batch in 1usize..4,
+        n_requests in 1usize..5,
+    ) {
+        runtime::reset();
+        let model = served(3).with_kv_config(KvBlockConfig { block_tokens, max_blocks });
+        let baseline = runtime::cpu_live_bytes();
+        let mix = |i: u64| {
+            seed.wrapping_mul(6364136223846793005)
+                .wrapping_add(i.wrapping_mul(1442695040888963407))
+        };
+        let reqs: Vec<ServeRequest> = (0..n_requests as u64)
+            .map(|id| {
+                let plen = 1 + (mix(id) % 4) as usize;
+                let max_new = (mix(id + 100) % 6) as usize; // 0 allowed
+                ServeRequest {
+                    id,
+                    prompt: (0..plen).map(|i| (mix(id + 200) as usize + i) % 16).collect(),
+                    max_new,
+                    sampling: match mix(id + 300) % 3 {
+                        0 => SamplingConfig::greedy(),
+                        1 => SamplingConfig::with_temperature(0.8, mix(id + 400)),
+                        _ => SamplingConfig::with_top_k(1.1, 3, mix(id + 500)),
+                    },
+                }
+            })
+            .collect();
+        // The pool must at least fit the largest single request running
+        // alone (scheduler contract); 10 tokens max at >= 2 tokens/block
+        // fits 8 blocks, so every sampled config above is legal.
+        let gen = Generator::new(&model);
+        let solo: Vec<Vec<usize>> = reqs
+            .iter()
+            .map(|r| gen.generate(&r.prompt, r.max_new, &r.sampling))
+            .collect();
+        prop_assert_eq!(runtime::cpu_live_bytes(), baseline, "generator drained");
+
+        let mut sched = Scheduler::new(&model, max_batch);
+        // Interleave submits with 0..3 steps each, then drain.
+        let mut out = Vec::new();
+        for (i, r) in reqs.iter().enumerate() {
+            sched.submit(r.clone());
+            for _ in 0..mix(600 + i as u64) % 3 {
+                out.extend(sched.step());
+            }
+        }
+        out.extend(sched.run_to_completion());
+        out.sort_by_key(|r| r.id);
+        prop_assert!(sched.is_idle());
+        prop_assert_eq!(out.len(), reqs.len(), "every request completes");
+        for (resp, want) in out.iter().zip(&solo) {
+            prop_assert_eq!(&resp.tokens, want, "request {} diverged from solo", resp.id);
+        }
+        prop_assert_eq!(model.kv_pool().blocks_in_use(), 0, "leaked KV blocks");
+        prop_assert_eq!(sched.kv_live_bytes(), 0);
+        prop_assert_eq!(
+            runtime::cpu_live_bytes(),
+            baseline,
+            "device ledger must return to baseline"
+        );
+    }
+}
+
+#[test]
+fn block_count_tracks_flight_and_returns_to_zero() {
+    runtime::reset();
+    let model = served(4).with_kv_config(KvBlockConfig {
+        block_tokens: 2,
+        max_blocks: 0,
+    });
+    let baseline = runtime::cpu_live_bytes();
+    let mut sched = Scheduler::new(&model, 4);
+    for id in 0..3u64 {
+        sched.submit(ServeRequest {
+            id,
+            prompt: vec![1, 2, 3],
+            max_new: 4,
+            sampling: SamplingConfig::greedy(),
+        });
+    }
+    sched.step();
+    let pool = model.kv_pool();
+    assert!(pool.blocks_in_use() > 0, "in-flight sequences hold blocks");
+    assert_eq!(
+        sched.kv_live_bytes(),
+        pool.blocks_in_use() * pool.block_bytes(),
+        "scheduler bytes and pool blocks must agree"
+    );
+    sched.run_to_completion();
+    assert_eq!(pool.blocks_in_use(), 0);
+    assert_eq!(runtime::cpu_live_bytes(), baseline);
+}

@@ -8,7 +8,8 @@
 //!   and return to baseline once all of them retire.
 
 use edkm::core::{
-    CompressSpec, Generator, PalettizedModel, SamplingConfig, Scheduler, ServeRequest,
+    CompressSpec, Generator, KvBlockConfig, PalettizedModel, SamplingConfig, Scheduler,
+    ServeRequest,
 };
 use edkm::nn::{LlamaConfig, LlamaModel};
 use edkm::tensor::{runtime, DType, Device};
@@ -175,4 +176,62 @@ fn batched_decode_shares_steps_across_requests() {
         seq_steps,
         "batch 4 must cover the same tokens in a quarter of the steps"
     );
+}
+
+#[test]
+fn admission_happens_the_step_after_a_retirement_frees_blocks() {
+    // Regression: admission must gate on the *actual* free blocks a prompt
+    // needs now — never a worst-case prompt+max_new byte reservation. With
+    // a pool sized so that request A's flight leaves too few blocks for
+    // B's prompt, B must wait — and be admitted on the very next step once
+    // A retires.
+    runtime::reset();
+    let model = served_model(11).with_kv_config(KvBlockConfig {
+        block_tokens: 4,
+        max_blocks: 5,
+    });
+    let gen = Generator::new(&model);
+    let a = ServeRequest {
+        id: 0,
+        prompt: vec![1; 8], // admission takes ceil(9/4) = 3 of 5 blocks
+        max_new: 8,         // grows to ceil(16/4) = 4 blocks in flight
+        sampling: SamplingConfig::greedy(),
+    };
+    let b = ServeRequest {
+        id: 1,
+        prompt: vec![2; 8], // needs 3 blocks; at most 2 free while A runs
+        max_new: 4,
+        sampling: SamplingConfig::with_temperature(0.7, 99),
+    };
+    let solo_b = gen.generate(&b.prompt, b.max_new, &b.sampling);
+
+    let mut sched = Scheduler::new(&model, 4); // batch budget is NOT the gate
+    sched.submit(a.clone());
+    sched.submit(b.clone());
+    let mut a_retired_at = None;
+    let mut step = 0u64;
+    while a_retired_at.is_none() {
+        step += 1;
+        let done = sched.step();
+        assert!(
+            sched.active() <= 1,
+            "B must not be admitted while A holds the pool"
+        );
+        if done.iter().any(|r| r.id == 0) {
+            a_retired_at = Some(step);
+        }
+    }
+    assert_eq!(sched.queued(), 1, "B still waiting when A retires");
+    sched.step(); // first step after the retirement freed A's blocks
+    assert_eq!(sched.active(), 1, "B admitted as soon as blocks freed");
+    assert_eq!(sched.queued(), 0);
+    let mut out = sched.run_to_completion();
+    out.sort_by_key(|r| r.id);
+    assert_eq!(out.len(), 1);
+    assert_eq!(
+        out[0].tokens, solo_b,
+        "deferred B generates its solo tokens"
+    );
+    assert_eq!(model.kv_pool().blocks_in_use(), 0);
+    assert_eq!(sched.preemptions(), 0, "deferral needs no preemption here");
 }
