@@ -1,5 +1,7 @@
-//! Compressed serving throughput: sequential single-request decoding vs
-//! continuous batching at batch 1/4/8 over a whole palettized decoder.
+//! Compressed serving throughput under the streaming engine: sequential
+//! single-request decoding vs the handle-based [`ServeEngine`] at batch
+//! 1/4/8 over a whole palettized decoder, plus TTFT and per-token latency
+//! percentiles measured off the token streams.
 //!
 //! Writes `BENCH_serve.json`. The deployment-shaped full run uses a
 //! 4-layer / d_model 256 model; `--smoke` shrinks everything so CI can
@@ -12,8 +14,8 @@
 //! projection GEMMs fall below the parallel work threshold's win.
 
 use edkm_core::{
-    CompressSpec, Generator, KvBlockConfig, PalettizedModel, SamplingConfig, Scheduler, ServeModel,
-    ServeRequest, ServeResponse,
+    CompressSpec, EngineConfig, Generator, KvBlockConfig, PalettizedModel, SamplingConfig,
+    ServeEngine, ServeModel, ServeResponse, TokenEvent,
 };
 use edkm_dist::LearnerGroup;
 use edkm_nn::{LlamaConfig, LlamaModel};
@@ -63,15 +65,12 @@ impl Workload {
         }
     }
 
-    fn requests(&self) -> Vec<ServeRequest> {
+    fn prompts(&self) -> Vec<Vec<usize>> {
         (0..self.n_requests as u64)
-            .map(|id| ServeRequest {
-                id,
-                prompt: (0..4 + (id as usize % 5))
+            .map(|id| {
+                (0..4 + (id as usize % 5))
                     .map(|i| (i * 7 + id as usize) % self.config.vocab)
-                    .collect(),
-                max_new: self.gen_tokens,
-                sampling: SamplingConfig::greedy(),
+                    .collect()
             })
             .collect()
     }
@@ -81,29 +80,107 @@ fn tok_per_sec(tokens: u64, secs: f64) -> f64 {
     tokens as f64 / secs.max(1e-9)
 }
 
-/// One scheduler run: wall seconds, simulated seconds, decode steps, peak
-/// KV bytes, responses (sorted by id).
-fn run_batched<M: ServeModel>(
-    model: &M,
-    reqs: &[ServeRequest],
-    max_batch: usize,
-) -> (f64, f64, u64, usize, Vec<ServeResponse>) {
-    let mut sched = Scheduler::new(model, max_batch);
-    for r in reqs {
-        sched.submit(r.clone());
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
     }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Wall-clock latency record of one engine run.
+struct Latencies {
+    /// Submission → first token, per request, milliseconds.
+    ttft_ms: Vec<f64>,
+    /// Gap between consecutive tokens of a request, milliseconds.
+    per_token_ms: Vec<f64>,
+}
+
+impl Latencies {
+    fn sorted(mut self) -> Self {
+        self.ttft_ms.sort_by(|a, b| a.total_cmp(b));
+        self.per_token_ms.sort_by(|a, b| a.total_cmp(b));
+        self
+    }
+}
+
+/// One engine run over `prompts`: wall seconds, simulated seconds, the
+/// final stats snapshot, responses (sorted by id) and stream latencies.
+/// Every consumer drains its stream on its own thread so token arrival
+/// times are real, not serialized by the measuring loop.
+fn run_engine<M: ServeModel + 'static>(
+    model: M,
+    prompts: &[Vec<usize>],
+    gen_tokens: usize,
+    max_batch: usize,
+) -> (
+    f64,
+    f64,
+    edkm_core::StatsSnapshot,
+    Vec<ServeResponse>,
+    Latencies,
+) {
+    let engine = ServeEngine::new(
+        model,
+        EngineConfig {
+            max_batch,
+            queue_capacity: prompts.len().max(1),
+        },
+    );
+    let handle = engine.handle();
     let sim0 = runtime::sim_seconds();
     let t0 = Instant::now();
-    let mut peak_kv = 0usize;
-    let mut out = Vec::new();
-    while !sched.is_idle() {
-        out.extend(sched.step());
-        peak_kv = peak_kv.max(sched.kv_live_bytes());
+    let consumers: Vec<_> = prompts
+        .iter()
+        .map(|prompt| {
+            let (_, mut stream) = handle
+                .submit(
+                    edkm_core::Request::new(prompt.clone())
+                        .max_new_tokens(gen_tokens)
+                        .sampling(SamplingConfig::greedy()),
+                )
+                .expect("engine accepts the workload");
+            let submitted = Instant::now();
+            std::thread::spawn(move || {
+                let mut ttft = None;
+                let mut gaps = Vec::new();
+                let mut last = submitted;
+                let mut resp = None;
+                while let Some(ev) = stream.next_event() {
+                    match ev {
+                        TokenEvent::Token { index, .. } => {
+                            let now = Instant::now();
+                            if index == 0 {
+                                ttft = Some(now.duration_since(submitted).as_secs_f64() * 1e3);
+                            } else {
+                                gaps.push(now.duration_since(last).as_secs_f64() * 1e3);
+                            }
+                            last = now;
+                        }
+                        TokenEvent::Finished(r) => resp = Some(r),
+                    }
+                }
+                (resp.expect("terminal event"), ttft, gaps)
+            })
+        })
+        .collect();
+    let mut responses = Vec::new();
+    let mut lat = Latencies {
+        ttft_ms: Vec::new(),
+        per_token_ms: Vec::new(),
+    };
+    for c in consumers {
+        let (resp, ttft, gaps) = c.join().expect("stream consumer");
+        responses.push(resp);
+        lat.ttft_ms.extend(ttft);
+        lat.per_token_ms.extend(gaps);
     }
     let secs = t0.elapsed().as_secs_f64();
     let sim_s = runtime::sim_seconds() - sim0;
-    out.sort_by_key(|r| r.id);
-    (secs, sim_s, sched.decode_steps(), peak_kv, out)
+    let stats = handle.stats();
+    engine.shutdown();
+    responses.sort_by_key(|r| r.id);
+    (secs, sim_s, stats, responses, lat.sorted())
 }
 
 fn main() {
@@ -115,7 +192,7 @@ fn main() {
     };
     runtime::reset();
     let threads = rayon::current_num_threads();
-    println!("== palettized serving: sequential vs continuous batching ==");
+    println!("== palettized serving: sequential vs streaming engine ==");
     println!(
         "d_model {} x {} layers, {}-bit palettes, {} requests x {} tokens, {} threads{}\n",
         wl.config.d_model,
@@ -140,22 +217,24 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
 
-    let reqs = wl.requests();
+    let prompts = wl.prompts();
     let total_tokens = (wl.n_requests * wl.gen_tokens) as u64;
 
     // Sequential baseline: one request at a time, Generator-driven.
     let gen = Generator::new(&model);
     let t0 = Instant::now();
-    let sequential: Vec<Vec<usize>> = reqs
+    let sequential: Vec<Vec<usize>> = prompts
         .iter()
-        .map(|r| gen.generate(&r.prompt, r.max_new, &r.sampling))
+        .map(|p| gen.generate(p, wl.gen_tokens, &SamplingConfig::greedy()))
         .collect();
     let sequential_s = t0.elapsed().as_secs_f64();
 
-    // Continuous batching at increasing caps.
+    // The streaming engine at increasing batch caps.
     let mut batched = Vec::new();
+    let mut batch8_lat = None;
     for &max_batch in &[1usize, 4, 8] {
-        let (secs, _, steps, _, out) = run_batched(&model, &reqs, max_batch);
+        let (secs, _, stats, out, lat) =
+            run_engine(model.clone(), &prompts, wl.gen_tokens, max_batch);
         // Throughput must never change results: greedy tokens are identical
         // to the sequential run at every batch size.
         for (resp, want) in out.iter().zip(&sequential) {
@@ -165,8 +244,12 @@ fn main() {
                 resp.id
             );
         }
-        batched.push((max_batch, secs, steps));
+        batched.push((max_batch, secs, stats.decode_steps));
+        if max_batch == 8 {
+            batch8_lat = Some(lat);
+        }
     }
+    let batch8_lat = batch8_lat.expect("batch 8 ran");
 
     // Tensor-parallel shard sweep (batch 8): every projection partitioned
     // over the learner group, shard GEMMs on worker threads, all-gathers
@@ -174,7 +257,7 @@ fn main() {
     let mut shard_rows = Vec::new();
     for &shards in &[1usize, 2, 4] {
         let sharded = model.shard(LearnerGroup::new(shards));
-        let (secs, sim_s, _, _, out) = run_batched(&sharded, &reqs, 8);
+        let (secs, sim_s, _, out, _) = run_engine(sharded, &prompts, wl.gen_tokens, 8);
         for (resp, want) in out.iter().zip(&sequential) {
             assert_eq!(
                 &resp.tokens, want,
@@ -191,15 +274,16 @@ fn main() {
         block_tokens: 4,
         max_blocks: 0,
     });
-    let (_, _, _, paged_peak, paged_out) = run_batched(&paged_model, &reqs, 8);
+    let (_, _, paged_stats, paged_out, _) = run_engine(paged_model, &prompts, wl.gen_tokens, 8);
     let mono_model = model.clone().with_kv_config(KvBlockConfig {
         block_tokens: wl.config.max_seq,
         max_blocks: 0,
     });
-    let (_, _, _, mono_peak, mono_out) = run_batched(&mono_model, &reqs, 8);
+    let (_, _, mono_stats, mono_out, _) = run_engine(mono_model, &prompts, wl.gen_tokens, 8);
     for (a, b) in paged_out.iter().zip(&mono_out) {
         assert_eq!(a.tokens, b.tokens, "paging granularity changed tokens");
     }
+    let (paged_peak, mono_peak) = (paged_stats.kv_peak_bytes, mono_stats.kv_peak_bytes);
     let kv_saving = mono_peak as f64 / paged_peak.max(1) as f64;
 
     let seq_tps = tok_per_sec(total_tokens, sequential_s);
@@ -213,7 +297,7 @@ fn main() {
     for &(mb, secs, steps) in &batched {
         println!(
             "  {:<24} {:>10.1} {:>12}",
-            format!("continuous batch {mb}"),
+            format!("engine batch {mb}"),
             tok_per_sec(total_tokens, secs),
             steps
         );
@@ -221,6 +305,15 @@ fn main() {
     let batch8_tps = tok_per_sec(total_tokens, batched[2].1);
     let speedup = batch8_tps / seq_tps;
     println!("  batch-8 speedup          {speedup:>10.2}x");
+
+    let ttft_p50 = percentile(&batch8_lat.ttft_ms, 0.50);
+    let ttft_p95 = percentile(&batch8_lat.ttft_ms, 0.95);
+    let tok_p50 = percentile(&batch8_lat.per_token_ms, 0.50);
+    let tok_p95 = percentile(&batch8_lat.per_token_ms, 0.95);
+    println!(
+        "\n  stream latency (batch 8): TTFT p50 {ttft_p50:.2} ms / p95 {ttft_p95:.2} ms, \
+         per-token p50 {tok_p50:.3} ms / p95 {tok_p95:.3} ms"
+    );
 
     println!("\n  {:<24} {:>10} {:>12}", "shards", "tok/s", "sim s");
     for &(shards, secs, sim_s) in &shard_rows {
@@ -243,6 +336,8 @@ fn main() {
          \"sequential_tok_s\": {:.1},\n  \"batch1_tok_s\": {:.1},\n  \
          \"batch4_tok_s\": {:.1},\n  \"batch8_tok_s\": {:.1},\n  \
          \"batch8_speedup\": {:.3},\n  \
+         \"ttft_p50_ms\": {ttft_p50:.3},\n  \"ttft_p95_ms\": {ttft_p95:.3},\n  \
+         \"per_token_p50_ms\": {tok_p50:.4},\n  \"per_token_p95_ms\": {tok_p95:.4},\n  \
          \"shard1_tok_s\": {:.1},\n  \"shard2_tok_s\": {:.1},\n  \
          \"shard4_tok_s\": {:.1},\n  \"shard1_sim_s\": {:.6},\n  \
          \"shard2_sim_s\": {:.6},\n  \"shard4_sim_s\": {:.6},\n  \

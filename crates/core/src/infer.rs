@@ -982,11 +982,16 @@ impl ShardedPalettizedModel {
     }
 }
 
-/// The serving surface [`crate::serve::Generator`] and
-/// [`crate::serve::Scheduler`] drive — implemented by [`PalettizedModel`]
-/// and [`ShardedPalettizedModel`], so single-worker and tensor-parallel
-/// serving share one generation/scheduling stack.
-pub trait ServeModel {
+/// The serving surface [`crate::serve::Generator`],
+/// [`crate::serve::Scheduler`] and [`crate::engine::ServeEngine`] drive —
+/// implemented by [`PalettizedModel`] and [`ShardedPalettizedModel`], so
+/// single-worker and tensor-parallel serving share one
+/// generation/scheduling stack.
+///
+/// `Send + Sync` are explicit supertraits: the engine moves the model onto
+/// its worker thread, and the sharded model fans shard GEMMs out to scoped
+/// worker threads through `&self`.
+pub trait ServeModel: Send + Sync {
     /// Architecture config.
     fn config(&self) -> &LlamaConfig;
     /// The paged KV block pool sequences draw from.

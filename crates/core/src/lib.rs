@@ -42,6 +42,7 @@
 pub mod ablation;
 pub mod accounting;
 pub mod dkm;
+pub mod engine;
 pub mod entropy;
 pub mod hooks;
 pub mod infer;
@@ -57,6 +58,10 @@ pub mod uniquify;
 pub use ablation::{render_table2, run_one, run_table2, AblationRow, AblationSetup};
 pub use accounting::AccountedVec;
 pub use dkm::{DkmConfig, DkmInit, DkmLayer, DkmOutput};
+pub use engine::{
+    EngineConfig, EngineHandle, Request, RequestId, ServeEngine, StatsSnapshot, SubmitError,
+    TokenEvent, TokenStream, TtftHistogram,
+};
 pub use entropy::{index_entropy_bits, EntropyCoded, HuffmanCode};
 pub use hooks::{EdkmConfig, EdkmHooks, HookStatsSnapshot};
 pub use infer::{
@@ -69,6 +74,9 @@ pub use palettize::{AffineQuantized, GroupedPalettized, PalettizedTensor};
 pub use pipeline::{
     CompressResult, CompressSpec, CompressedModel, CompressedTensor, CompressionPipeline,
 };
-pub use serve::{sample_token, Generator, SamplingConfig, Scheduler, ServeRequest, ServeResponse};
+pub use serve::{
+    sample_token, FinishReason, Generator, Priority, SamplingConfig, Scheduler, ServeRequest,
+    ServeResponse, StepEvents, TokenEmission,
+};
 pub use store::Store;
 pub use uniquify::RowKeys;

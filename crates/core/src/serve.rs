@@ -16,7 +16,6 @@
 //! neighbours — the invariant the scheduler test suite pins.
 
 use crate::infer::{KvCache, PalettizedModel, ServeModel};
-use edkm_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -24,6 +23,9 @@ use std::collections::VecDeque;
 pub use crate::kv::{KvBlockConfig, KvBlockPool};
 
 /// How to turn a logits row into the next token.
+///
+/// The `Default` config is greedy argmax decoding (the same config
+/// [`SamplingConfig::greedy`] returns).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SamplingConfig {
     /// Softmax temperature; `0.0` means greedy argmax.
@@ -34,8 +36,16 @@ pub struct SamplingConfig {
     pub seed: u64,
 }
 
+impl Default for SamplingConfig {
+    /// Greedy argmax decoding.
+    fn default() -> Self {
+        SamplingConfig::greedy()
+    }
+}
+
 impl SamplingConfig {
     /// Deterministic argmax decoding.
+    #[must_use]
     pub fn greedy() -> Self {
         SamplingConfig {
             temperature: 0.0,
@@ -45,6 +55,7 @@ impl SamplingConfig {
     }
 
     /// Seeded temperature sampling over the full vocabulary.
+    #[must_use]
     pub fn with_temperature(temperature: f32, seed: u64) -> Self {
         SamplingConfig {
             temperature,
@@ -54,6 +65,7 @@ impl SamplingConfig {
     }
 
     /// Seeded temperature sampling restricted to the `top_k` best tokens.
+    #[must_use]
     pub fn with_top_k(temperature: f32, top_k: usize, seed: u64) -> Self {
         SamplingConfig {
             temperature,
@@ -65,6 +77,52 @@ impl SamplingConfig {
     /// `true` when this config never consumes randomness.
     pub fn is_greedy(&self) -> bool {
         self.temperature <= 0.0
+    }
+}
+
+/// Scheduling class of a request: higher classes are admitted ahead of
+/// lower ones; within a class admission is FIFO by submission age.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Admitted only when nothing at `Normal` or `High` is waiting.
+    Low,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Admitted ahead of everything else.
+    High,
+}
+
+/// Why a request stopped generating — the terminal state of every request
+/// that enters the serving stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FinishReason {
+    /// Generated its full `max_new` budget (also zero-budget requests).
+    MaxTokens,
+    /// Sampled one of its stop tokens (the stop token is included in the
+    /// output; KV blocks are freed on the same step).
+    StopToken,
+    /// Cancelled by the caller before finishing.
+    Cancelled,
+    /// Its step deadline elapsed before it finished.
+    DeadlineExceeded,
+    /// Finished its generation (by budget or stop token) after surviving
+    /// at least one preemption-and-replay.
+    PreemptedThenFinished,
+}
+
+impl FinishReason {
+    /// `true` for reasons that cut a request short ([`Cancelled`]
+    /// / [`DeadlineExceeded`]), `false` when generation ran to its natural
+    /// end.
+    ///
+    /// [`Cancelled`]: FinishReason::Cancelled
+    /// [`DeadlineExceeded`]: FinishReason::DeadlineExceeded
+    pub fn is_aborted(&self) -> bool {
+        matches!(
+            self,
+            FinishReason::Cancelled | FinishReason::DeadlineExceeded
+        )
     }
 }
 
@@ -169,58 +227,62 @@ impl<'m, M: ServeModel> Generator<'m, M> {
         n_new: usize,
         sampling: &SamplingConfig,
     ) -> Vec<usize> {
-        assert!(!prompt.is_empty(), "prompt must be non-empty");
-        assert!(
-            prompt.len() + n_new <= self.model.config().max_seq,
-            "prompt {} + {n_new} new tokens exceed max_seq {}",
-            prompt.len(),
-            self.model.config().max_seq
-        );
-        let mut rng = StdRng::seed_from_u64(sampling.seed);
-        let mut cache = self.model.new_cache();
-        let mut ids = prompt.to_vec();
-        if n_new == 0 {
-            return ids;
-        }
-        let logits = self.model.prefill(prompt, &mut cache);
-        let mut next = Self::last_row_token(&logits, prompt.len(), sampling, &mut rng);
-        ids.push(next);
-        for _ in 1..n_new {
-            let logits = self.model.decode_step(&[next], &mut [&mut cache]);
-            next = Self::last_row_token(&logits, 1, sampling, &mut rng);
-            ids.push(next);
-        }
-        ids
+        // A thin wrapper over a solo scheduler: one request, batch budget 1
+        // — exactly the loop `ServeEngine` drives, run inline. Tokens are
+        // identical either way because sampling is per-request-seeded and
+        // logits rows never depend on batch composition.
+        let mut sched = Scheduler::new(self.model, 1);
+        sched.submit(ServeRequest::new(0, prompt.to_vec(), n_new, *sampling));
+        let mut out = sched.run_to_completion();
+        out.pop().expect("solo request completes").tokens
     }
 
     /// Greedy continuation (sugar for [`SamplingConfig::greedy`]).
     pub fn generate_greedy(&self, prompt: &[usize], n_new: usize) -> Vec<usize> {
         self.generate(prompt, n_new, &SamplingConfig::greedy())
     }
-
-    fn last_row_token(
-        logits: &Tensor,
-        rows: usize,
-        sampling: &SamplingConfig,
-        rng: &mut StdRng,
-    ) -> usize {
-        let vocab = logits.shape()[1];
-        let data = logits.to_vec();
-        sample_token(&data[(rows - 1) * vocab..rows * vocab], sampling, rng)
-    }
 }
 
 /// One generation request submitted to the [`Scheduler`].
+///
+/// [`ServeRequest::new`] fills the policy fields with their defaults (no
+/// stop tokens, [`Priority::Normal`], no deadline); set them directly for
+/// anything fancier.
 #[derive(Debug, Clone)]
 pub struct ServeRequest {
     /// Caller-chosen id, echoed in the response.
     pub id: u64,
     /// Prompt token ids (non-empty).
     pub prompt: Vec<usize>,
-    /// How many tokens to generate.
+    /// How many tokens to generate at most.
     pub max_new: usize,
     /// Per-request sampling configuration.
     pub sampling: SamplingConfig,
+    /// Token ids that end generation early when sampled (the stop token is
+    /// kept in the output and the sequence retires on the same step).
+    pub stop_tokens: Vec<usize>,
+    /// Scheduling class: higher classes are admitted first.
+    pub priority: Priority,
+    /// Give up with [`FinishReason::DeadlineExceeded`] once this many
+    /// scheduler steps have elapsed since submission without finishing.
+    pub deadline_steps: Option<u64>,
+}
+
+impl ServeRequest {
+    /// A request with default policy: no stop tokens, [`Priority::Normal`],
+    /// no deadline.
+    #[must_use]
+    pub fn new(id: u64, prompt: Vec<usize>, max_new: usize, sampling: SamplingConfig) -> Self {
+        ServeRequest {
+            id,
+            prompt,
+            max_new,
+            sampling,
+            stop_tokens: Vec::new(),
+            priority: Priority::Normal,
+            deadline_steps: None,
+        }
+    }
 }
 
 /// A finished request.
@@ -232,6 +294,67 @@ pub struct ServeResponse {
     pub tokens: Vec<usize>,
     /// Number of generated tokens.
     pub generated: usize,
+    /// Why generation stopped.
+    pub finish: FinishReason,
+}
+
+/// One token sampled during a [`Scheduler::step_events`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenEmission {
+    /// The request that produced the token.
+    pub id: u64,
+    /// The sampled token id.
+    pub token: usize,
+    /// 0-based index among the request's generated tokens (`0` is the
+    /// first token, i.e. the TTFT marker).
+    pub index: usize,
+}
+
+/// Everything one scheduling step produced: freshly sampled tokens (replays
+/// after a preemption are suppressed — each generated token is emitted
+/// exactly once) plus the requests that reached a terminal state.
+#[derive(Debug, Clone, Default)]
+pub struct StepEvents {
+    /// Tokens sampled this step, one per in-flight sequence that advanced
+    /// past its previously emitted high-water mark.
+    pub tokens: Vec<TokenEmission>,
+    /// Requests that finished (any [`FinishReason`]) during this step.
+    pub finished: Vec<ServeResponse>,
+}
+
+/// A queued request plus the scheduler-side bookkeeping that survives
+/// preemption: its admission rank, its absolute deadline, and the tokens
+/// already emitted to the caller.
+#[derive(Debug)]
+struct QueuedReq {
+    req: ServeRequest,
+    /// Monotone submission rank; FIFO tiebreak within a priority class.
+    arrival: u64,
+    /// Absolute `decode_steps` value at which the request expires.
+    expire_at: Option<u64>,
+    /// Generated tokens already emitted before a preemption (empty for a
+    /// fresh submission). Replays below this mark are not re-emitted, and
+    /// a terminal response produced while requeued (cancel, deadline) must
+    /// still carry these tokens — the caller already received them.
+    emitted: Vec<usize>,
+    /// `true` once the request has been preempted at least once.
+    preempted: bool,
+}
+
+impl QueuedReq {
+    /// Terminal response for a request that ends while waiting in the
+    /// queue: the prompt plus whatever was emitted before a preemption.
+    fn into_response(self, finish: FinishReason) -> ServeResponse {
+        let generated = self.emitted.len();
+        let mut tokens = self.req.prompt;
+        tokens.extend(self.emitted);
+        ServeResponse {
+            id: self.req.id,
+            tokens,
+            generated,
+            finish,
+        }
+    }
 }
 
 /// An in-flight sequence.
@@ -245,8 +368,49 @@ struct ActiveSeq {
     produced: usize,
     max_new: usize,
     sampling: SamplingConfig,
+    stop_tokens: Vec<usize>,
+    priority: Priority,
+    arrival: u64,
+    expire_at: Option<u64>,
+    /// Tokens already emitted to the caller; `len()` is the emit-once
+    /// high-water mark. During a replay after preemption `produced` can
+    /// trail `emitted.len()` — the tail is what the caller already holds.
+    emitted: Vec<usize>,
+    preempted: bool,
+    stop_hit: bool,
     rng: StdRng,
     cache: KvCache,
+}
+
+impl ActiveSeq {
+    /// The terminal reason for a sequence that completed its generation.
+    fn natural_finish(&self) -> FinishReason {
+        if self.preempted {
+            FinishReason::PreemptedThenFinished
+        } else if self.stop_hit {
+            FinishReason::StopToken
+        } else {
+            FinishReason::MaxTokens
+        }
+    }
+
+    /// Terminal response for a sequence cut short mid-flight (cancel,
+    /// deadline). Mid-replay, `produced` may trail the emitted high-water
+    /// mark; the response must still carry every token the caller already
+    /// received (the replay would have regenerated them identically).
+    fn into_response(self, finish: FinishReason) -> ServeResponse {
+        let mut tokens = self.tokens;
+        let generated = self.produced.max(self.emitted.len());
+        if self.emitted.len() > self.produced {
+            tokens.extend_from_slice(&self.emitted[self.produced..]);
+        }
+        ServeResponse {
+            id: self.id,
+            tokens,
+            generated,
+            finish,
+        }
+    }
 }
 
 /// Continuous-batching scheduler: admits/retires sequences of uneven
@@ -277,12 +441,12 @@ struct ActiveSeq {
 /// let served = PalettizedModel::from_dense(&dense, &spec).unwrap();
 /// let mut sched = Scheduler::new(&served, 2);
 /// for id in 0..3 {
-///     sched.submit(ServeRequest {
+///     sched.submit(ServeRequest::new(
 ///         id,
-///         prompt: vec![1 + id as usize],
-///         max_new: 3,
-///         sampling: SamplingConfig::greedy(),
-///     });
+///         vec![1 + id as usize],
+///         3,
+///         SamplingConfig::greedy(),
+///     ));
 /// }
 /// let responses = sched.run_to_completion();
 /// assert_eq!(responses.len(), 3);
@@ -294,8 +458,9 @@ struct ActiveSeq {
 pub struct Scheduler<'m, M: ServeModel = PalettizedModel> {
     model: &'m M,
     max_batch: usize,
-    queue: VecDeque<ServeRequest>,
+    queue: VecDeque<QueuedReq>,
     active: Vec<ActiveSeq>,
+    arrivals: u64,
     decode_steps: u64,
     tokens_generated: u64,
     preemptions: u64,
@@ -315,13 +480,16 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
             max_batch,
             queue: VecDeque::new(),
             active: Vec::new(),
+            arrivals: 0,
             decode_steps: 0,
             tokens_generated: 0,
             preemptions: 0,
         }
     }
 
-    /// Enqueue a request.
+    /// Enqueue a request. Admission during [`Scheduler::step`] picks the
+    /// highest [`Priority`] class first and is FIFO by submission age
+    /// within a class; a `deadline_steps` budget starts counting now.
     ///
     /// # Panics
     ///
@@ -336,7 +504,35 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
             req.max_new,
             self.model.config().max_seq
         );
-        self.queue.push_back(req);
+        let arrival = self.arrivals;
+        self.arrivals += 1;
+        let expire_at = req.deadline_steps.map(|d| self.decode_steps + d);
+        self.queue.push_back(QueuedReq {
+            req,
+            arrival,
+            expire_at,
+            emitted: Vec::new(),
+            preempted: false,
+        });
+    }
+
+    /// Remove a request from the scheduler, wherever it is: still queued
+    /// (the response carries the bare prompt) or mid-flight (its KV blocks
+    /// return to the pool immediately, before any further decode step).
+    /// Returns `None` if no such request is queued or active — it already
+    /// finished, or was never submitted.
+    ///
+    /// Tokens the request generated before cancellation stay counted in
+    /// [`Scheduler::tokens_generated`]: they were delivered.
+    pub fn cancel(&mut self, id: u64) -> Option<ServeResponse> {
+        if let Some(i) = self.queue.iter().position(|q| q.req.id == id) {
+            let q = self.queue.remove(i).expect("position is in range");
+            return Some(q.into_response(FinishReason::Cancelled));
+        }
+        let i = self.active.iter().position(|s| s.id == id)?;
+        // Removing the sequence drops its cache: blocks are freed now, not
+        // on some later step.
+        Some(self.active.remove(i).into_response(FinishReason::Cancelled))
     }
 
     /// Requests waiting for admission.
@@ -374,16 +570,28 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
         self.preemptions
     }
 
-    /// Requeue `seq` at the head of the queue, returning its blocks to the
-    /// pool. The regenerated tokens are identical: sampling restarts from
-    /// the request's own seed and rows never depend on batch composition.
-    fn preempt(&mut self, seq: ActiveSeq) {
+    /// Requeue `seq`, returning its blocks to the pool. The regenerated
+    /// tokens are identical: sampling restarts from the request's own seed
+    /// and rows never depend on batch composition. The request keeps its
+    /// original arrival rank (so it sorts ahead of everything that was
+    /// still queued behind it) and its absolute deadline.
+    fn preempt(&mut self, mut seq: ActiveSeq) {
         let prompt_len = seq.tokens.len() - seq.produced;
-        self.queue.push_front(ServeRequest {
-            id: seq.id,
-            prompt: seq.tokens[..prompt_len].to_vec(),
-            max_new: seq.max_new,
-            sampling: seq.sampling,
+        let prompt = seq.tokens[..prompt_len].to_vec();
+        self.queue.push_front(QueuedReq {
+            req: ServeRequest {
+                id: seq.id,
+                prompt,
+                max_new: seq.max_new,
+                sampling: seq.sampling,
+                stop_tokens: std::mem::take(&mut seq.stop_tokens),
+                priority: seq.priority,
+                deadline_steps: None, // expire_at already absolute
+            },
+            arrival: seq.arrival,
+            expire_at: seq.expire_at,
+            emitted: std::mem::take(&mut seq.emitted),
+            preempted: true,
         });
         self.preemptions += 1;
         // Discarded tokens are re-generated (identically) after
@@ -392,8 +600,48 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
         drop(seq); // returns the sequence's KV blocks
     }
 
+    /// Index of the next queue entry to admit: highest priority class
+    /// first, earliest arrival within a class.
+    fn next_admission(&self) -> Option<usize> {
+        self.queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, q)| (std::cmp::Reverse(q.req.priority), q.arrival))
+            .map(|(i, _)| i)
+    }
+
+    /// Expire every queued or active request whose step deadline has
+    /// passed, appending their terminal responses to `finished`. An active
+    /// sequence's KV blocks return to the pool immediately.
+    fn expire_deadlines(&mut self, finished: &mut Vec<ServeResponse>) {
+        let now = self.decode_steps;
+        let mut i = 0usize;
+        while i < self.queue.len() {
+            if self.queue[i].expire_at.is_some_and(|e| now >= e) {
+                let q = self.queue.remove(i).expect("position is in range");
+                finished.push(q.into_response(FinishReason::DeadlineExceeded));
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0usize;
+        while i < self.active.len() {
+            if self.active[i].expire_at.is_some_and(|e| now >= e) {
+                // Dropping the sequence returns its KV blocks.
+                finished.push(
+                    self.active
+                        .remove(i)
+                        .into_response(FinishReason::DeadlineExceeded),
+                );
+            } else {
+                i += 1;
+            }
+        }
+    }
+
     /// One scheduling step: admit, run one batched forward, sample, retire.
-    /// Returns the requests that finished during this step.
+    /// Returns the requests that finished during this step; the per-token
+    /// emissions are discarded (use [`Scheduler::step_events`] to stream).
     ///
     /// # Panics
     ///
@@ -402,7 +650,25 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
     /// sized for at least `blocks_for(prompt + max_new)` of the largest
     /// request.
     pub fn step(&mut self) -> Vec<ServeResponse> {
-        let mut finished = Vec::new();
+        self.step_events().finished
+    }
+
+    /// One scheduling step with per-token reporting — the streaming core
+    /// [`crate::engine::ServeEngine`] drives. Expires deadlines, admits by
+    /// priority, runs one batched forward, samples one token per in-flight
+    /// sequence (emitting every token exactly once, replays excluded), and
+    /// retires sequences that hit their budget or a stop token.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same pool-starvation condition as
+    /// [`Scheduler::step`].
+    pub fn step_events(&mut self) -> StepEvents {
+        let mut events = StepEvents::default();
+        // Deadlines expire before any admission or compute: a request past
+        // its budget must not consume another forward pass.
+        self.expire_deadlines(&mut events.finished);
+
         // Every in-flight sequence reserves its next chunk *before* any
         // admission, so a newcomer can never grab the blocks a running
         // sequence is about to need (which would admit it only to preempt
@@ -429,49 +695,61 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
 
         // Admit while there is batch budget *and* the pool has the blocks
         // each prompt actually needs now (prompt rows + the first decode
-        // slot) — never a worst-case prompt+max_new reservation.
+        // slot) — never a worst-case prompt+max_new reservation. Admission
+        // picks the highest priority class, FIFO within it; when the best
+        // candidate does not fit, admission stops entirely (no skip-ahead:
+        // a stream of small requests must not starve a large one).
         // Zero-generation requests complete immediately without touching
         // the model.
         while self.active.len() < self.max_batch {
-            let Some(req) = self.queue.pop_front() else {
+            let Some(i) = self.next_admission() else {
                 break;
             };
-            if req.max_new == 0 {
-                finished.push(ServeResponse {
-                    id: req.id,
-                    tokens: req.prompt,
+            let q = self.queue.remove(i).expect("position is in range");
+            if q.req.max_new == 0 {
+                events.finished.push(ServeResponse {
+                    id: q.req.id,
+                    tokens: q.req.prompt,
                     generated: 0,
+                    finish: FinishReason::MaxTokens,
                 });
                 continue;
             }
             let mut cache = self.model.new_cache();
-            if !cache.try_reserve(req.prompt.len() + 1) {
+            if !cache.try_reserve(q.req.prompt.len() + 1) {
                 assert!(
                     !self.active.is_empty(),
                     "KV pool too small for request {}: prompt {} + 1 needs {} blocks, pool caps at {}",
-                    req.id,
-                    req.prompt.len(),
-                    self.model.kv_pool().blocks_for(req.prompt.len() + 1),
+                    q.req.id,
+                    q.req.prompt.len(),
+                    self.model.kv_pool().blocks_for(q.req.prompt.len() + 1),
                     self.model.kv_pool().max_blocks()
                 );
-                // Not enough free blocks yet: keep FIFO order and retry
+                // Not enough free blocks yet: keep queue order and retry
                 // once a retirement frees some.
-                self.queue.push_front(req);
+                self.queue.insert(i.min(self.queue.len()), q);
                 break;
             }
             self.active.push(ActiveSeq {
-                id: req.id,
-                tokens: req.prompt.clone(),
-                next_input: req.prompt,
+                id: q.req.id,
+                tokens: q.req.prompt.clone(),
+                next_input: q.req.prompt,
                 produced: 0,
-                max_new: req.max_new,
-                sampling: req.sampling,
-                rng: StdRng::seed_from_u64(req.sampling.seed),
+                max_new: q.req.max_new,
+                sampling: q.req.sampling,
+                stop_tokens: q.req.stop_tokens,
+                priority: q.req.priority,
+                arrival: q.arrival,
+                expire_at: q.expire_at,
+                emitted: q.emitted,
+                preempted: q.preempted,
+                stop_hit: false,
+                rng: StdRng::seed_from_u64(q.req.sampling.seed),
                 cache,
             });
         }
         if self.active.is_empty() {
-            return finished;
+            return events;
         }
 
         // One batched forward over every in-flight sequence's new tokens.
@@ -493,6 +771,8 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
 
         // Sample one token per sequence (rows map by this step's order),
         // then retire in a second pass so the row mapping stays intact.
+        // A token is emitted only past the sequence's high-water mark, so
+        // preemption replays never duplicate a stream.
         let vocab = self.model.config().vocab;
         let data = logits.to_vec();
         for (seq, &end) in self.active.iter_mut().zip(&row_ends) {
@@ -502,32 +782,51 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
             seq.next_input = vec![next];
             seq.produced += 1;
             self.tokens_generated += 1;
+            if seq.produced > seq.emitted.len() {
+                events.tokens.push(TokenEmission {
+                    id: seq.id,
+                    token: next,
+                    index: seq.produced - 1,
+                });
+                seq.emitted.push(next);
+            }
+            if seq.stop_tokens.contains(&next) {
+                seq.stop_hit = true;
+            }
         }
         let mut i = 0usize;
         while i < self.active.len() {
-            if self.active[i].produced == self.active[i].max_new {
+            let seq = &self.active[i];
+            if seq.produced == seq.max_new || seq.stop_hit {
                 // `remove`, not `swap_remove`: the active set stays in
                 // admission order, which is what makes tail preemption hit
-                // the most recently admitted sequence.
+                // the most recently admitted sequence. A stop token retires
+                // the sequence on the very step that sampled it, so its KV
+                // blocks go back to the pool before the next forward.
                 let seq = self.active.remove(i); // drops the KV cache
-                finished.push(ServeResponse {
+                events.finished.push(ServeResponse {
                     id: seq.id,
                     generated: seq.produced,
+                    finish: seq.natural_finish(),
                     tokens: seq.tokens,
                 });
             } else {
                 i += 1;
             }
         }
-        finished
+        events
     }
 
     /// Drive [`Scheduler::step`] until every submitted request finished.
+    ///
+    /// The responses are **sorted by request id** — a documented contract
+    /// (pinned by test), not an accident of scheduling order.
     pub fn run_to_completion(&mut self) -> Vec<ServeResponse> {
         let mut all = Vec::new();
         while !self.is_idle() {
             all.extend(self.step());
         }
+        all.sort_by_key(|r| r.id);
         all
     }
 }
@@ -625,24 +924,9 @@ mod tests {
         let gen = Generator::new(&model);
         // Uneven prompts, mixed greedy and seeded sampling.
         let reqs = vec![
-            ServeRequest {
-                id: 1,
-                prompt: vec![1, 2, 3, 4, 5],
-                max_new: 9,
-                sampling: SamplingConfig::greedy(),
-            },
-            ServeRequest {
-                id: 2,
-                prompt: vec![7],
-                max_new: 4,
-                sampling: SamplingConfig::with_temperature(0.9, 77),
-            },
-            ServeRequest {
-                id: 3,
-                prompt: vec![9, 8],
-                max_new: 12,
-                sampling: SamplingConfig::with_top_k(1.1, 3, 5),
-            },
+            ServeRequest::new(1, vec![1, 2, 3, 4, 5], 9, SamplingConfig::greedy()),
+            ServeRequest::new(2, vec![7], 4, SamplingConfig::with_temperature(0.9, 77)),
+            ServeRequest::new(3, vec![9, 8], 12, SamplingConfig::with_top_k(1.1, 3, 5)),
         ];
         let solo: Vec<Vec<usize>> = reqs
             .iter()
@@ -652,8 +936,7 @@ mod tests {
         for r in &reqs {
             sched.submit(r.clone());
         }
-        let mut out = sched.run_to_completion();
-        out.sort_by_key(|r| r.id);
+        let out = sched.run_to_completion();
         assert_eq!(out.len(), 3);
         for (resp, want) in out.iter().zip(&solo) {
             assert_eq!(
@@ -661,6 +944,7 @@ mod tests {
                 "request {} must not depend on batch composition",
                 resp.id
             );
+            assert_eq!(resp.finish, FinishReason::MaxTokens);
         }
         assert!(sched.is_idle());
         assert_eq!(sched.tokens_generated(), 9 + 4 + 12);
@@ -673,12 +957,12 @@ mod tests {
         let baseline = runtime::cpu_live_bytes();
         let mut sched = Scheduler::new(&model, 8);
         for id in 0..5u64 {
-            sched.submit(ServeRequest {
+            sched.submit(ServeRequest::new(
                 id,
-                prompt: vec![1 + id as usize],
-                max_new: 3 + id as usize,
-                sampling: SamplingConfig::greedy(),
-            });
+                vec![1 + id as usize],
+                3 + id as usize,
+                SamplingConfig::greedy(),
+            ));
         }
         sched.step();
         assert!(sched.kv_live_bytes() > 0, "in-flight caches are charged");
@@ -697,16 +981,17 @@ mod tests {
         runtime::reset();
         let model = served(&CompressSpec::with_bits(2));
         let mut sched = Scheduler::new(&model, 4);
-        sched.submit(ServeRequest {
-            id: 9,
-            prompt: vec![3, 1],
-            max_new: 0,
-            sampling: SamplingConfig::greedy(),
-        });
+        sched.submit(ServeRequest::new(
+            9,
+            vec![3, 1],
+            0,
+            SamplingConfig::greedy(),
+        ));
         let out = sched.step();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].tokens, vec![3, 1]);
         assert_eq!(out[0].generated, 0);
+        assert_eq!(out[0].finish, FinishReason::MaxTokens);
         assert_eq!(sched.decode_steps(), 0);
     }
 
@@ -721,12 +1006,12 @@ mod tests {
         });
         let mut sched = Scheduler::new(&model, 4);
         for id in 0..2u64 {
-            sched.submit(ServeRequest {
+            sched.submit(ServeRequest::new(
                 id,
-                prompt: vec![1; 8],
-                max_new: 2,
-                sampling: SamplingConfig::greedy(),
-            });
+                vec![1; 8],
+                2,
+                SamplingConfig::greedy(),
+            ));
         }
         sched.step();
         assert_eq!(sched.active(), 1, "only the first request fits the pool");
@@ -741,19 +1026,20 @@ mod tests {
         runtime::reset();
         let unbounded = served(&CompressSpec::with_bits(3));
         let reqs: Vec<ServeRequest> = (0..2u64)
-            .map(|id| ServeRequest {
-                id,
-                prompt: vec![1 + id as usize, 5],
-                max_new: 20,
-                sampling: SamplingConfig::with_top_k(0.9, 4, 40 + id),
+            .map(|id| {
+                ServeRequest::new(
+                    id,
+                    vec![1 + id as usize, 5],
+                    20,
+                    SamplingConfig::with_top_k(0.9, 4, 40 + id),
+                )
             })
             .collect();
         let mut free_sched = Scheduler::new(&unbounded, 2);
         for r in &reqs {
             free_sched.submit(r.clone());
         }
-        let mut want = free_sched.run_to_completion();
-        want.sort_by_key(|r| r.id);
+        let want = free_sched.run_to_completion();
 
         // Two 22-token sequences need 22 blocks total at 2 tokens/block;
         // 12 blocks can hold either alone but never both — the scheduler
@@ -767,9 +1053,13 @@ mod tests {
         for r in &reqs {
             sched.submit(r.clone());
         }
-        let mut got = sched.run_to_completion();
-        got.sort_by_key(|r| r.id);
+        let got = sched.run_to_completion();
         assert!(sched.preemptions() > 0, "the tight pool must preempt");
+        assert!(
+            got.iter()
+                .any(|r| r.finish == FinishReason::PreemptedThenFinished),
+            "the preempted request must report PreemptedThenFinished"
+        );
         assert_eq!(
             sched.tokens_generated(),
             2 * 20,
@@ -794,12 +1084,12 @@ mod tests {
             max_blocks: 2,
         });
         let mut sched = Scheduler::new(&model, 1);
-        sched.submit(ServeRequest {
-            id: 0,
-            prompt: vec![1; 8], // needs ceil(9/2) = 5 blocks, pool caps at 2
-            max_new: 4,
-            sampling: SamplingConfig::greedy(),
-        });
+        sched.submit(ServeRequest::new(
+            0,
+            vec![1; 8], // needs ceil(9/2) = 5 blocks, pool caps at 2
+            4,
+            SamplingConfig::greedy(),
+        ));
         sched.step();
     }
 
@@ -808,11 +1098,11 @@ mod tests {
     fn oversized_request_is_rejected_at_submit() {
         let model = served(&CompressSpec::with_bits(2));
         let mut sched = Scheduler::new(&model, 1);
-        sched.submit(ServeRequest {
-            id: 0,
-            prompt: vec![1; 30],
-            max_new: 30,
-            sampling: SamplingConfig::greedy(),
-        });
+        sched.submit(ServeRequest::new(
+            0,
+            vec![1; 30],
+            30,
+            SamplingConfig::greedy(),
+        ));
     }
 }

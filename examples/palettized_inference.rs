@@ -1,15 +1,20 @@
 //! Ship and serve a compressed model: export with the pipeline, serialize
-//! to disk ("the 2.5 GB file"), load it back, and run a projection straight
-//! from the palette with [`edkm::core::PalettizedLinear`] — the LUT-GEMM
-//! path the paper's target accelerators use.
+//! to disk ("the 2.5 GB file"), load it back, rebuild a whole palettized
+//! decoder from the container, and serve generation requests through the
+//! streaming [`ServeEngine`] handle API — tokens arrive incrementally over
+//! a [`TokenStream`], exactly how a serving front-end consumes them.
 //!
 //! Run with `cargo run --release --example palettized_inference`.
+//!
+//! [`ServeEngine`]: edkm::core::ServeEngine
+//! [`TokenStream`]: edkm::core::TokenStream
 
 use edkm::core::{
-    CompressSpec, CompressedModel, CompressedTensor, CompressionPipeline, PalettizedLinear,
+    CompressSpec, CompressedModel, CompressionPipeline, EngineConfig, PalettizedModel, Request,
+    SamplingConfig, ServeEngine, TokenEvent,
 };
 use edkm::nn::{LlamaConfig, LlamaModel};
-use edkm::tensor::{ops as t, DType, Device, Tensor};
+use edkm::tensor::{DType, Device};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A (pretend-pretrained) model, compressed at 3 bits.
@@ -22,9 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_seq: 32,
     };
     let model = LlamaModel::new(cfg, DType::Bf16, Device::Cpu, 0);
-    let mut spec = CompressSpec::with_bits(3);
-    // Mixed precision: keep the LM head at 4 bits (it is accuracy-critical).
-    spec.per_layer_bits = vec![("lm_head".into(), 4)];
+    let spec = CompressSpec::with_bits(3);
     let compressed = CompressionPipeline::new(spec).export(&model);
     println!(
         "exported {} entries, {} bytes logical",
@@ -40,35 +43,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let loaded = CompressedModel::from_bytes(&std::fs::read(&path)?)?;
     println!("loaded back: {} entries", loaded.entries().len());
 
-    // 3. Serve a projection directly from the palette (no dense decode).
-    let (name, q_proj) = loaded
-        .entries()
-        .iter()
-        .find_map(|(n, e)| match e {
-            CompressedTensor::Palettized(p) if n.contains("q_proj") => Some((n.clone(), p.clone())),
-            _ => None,
-        })
-        .expect("model has a palettized q_proj");
-    let lin = PalettizedLinear::new(q_proj);
+    // 3. Rebuild the served decoder from the shipped artifact: every
+    //    projection runs straight from its palette (LUT-GEMM), nothing is
+    //    decompressed to dense weights.
+    let served = PalettizedModel::from_compressed(&loaded, cfg)?;
     println!(
-        "\nserving {name}: [{} -> {}], {} LUT entries, {} bytes",
-        lin.in_features(),
-        lin.out_features(),
-        lin.weights().k(),
-        lin.size_bytes()
+        "\nserving {} bytes of palettized decoder (bf16 was {})",
+        served.size_bytes(),
+        model.native_size_bytes()
     );
 
-    let x = Tensor::randn(&[4, lin.in_features()], DType::F32, Device::Cpu, 1);
-    let y = lin.forward(&x);
-
-    // Cross-check against a dense matmul on the decoded weights.
-    let dense = lin.weights().decode();
-    let reference = t::matmul(&x, &dense.t());
+    // 4. Hand the model to a streaming engine and consume tokens as they
+    //    are produced — the handle is the whole client API.
+    let engine = ServeEngine::new(served, EngineConfig::default());
+    let handle = engine.handle();
+    let (id, mut stream) = handle
+        .submit(
+            Request::new(vec![1, 5, 2, 9])
+                .max_new_tokens(12)
+                .sampling(SamplingConfig::with_top_k(0.8, 8, 42)),
+        )
+        .expect("engine accepts the request");
+    print!("{id} tokens:");
+    let mut response = None;
+    while let Some(ev) = stream.next_event() {
+        match ev {
+            TokenEvent::Token { token, .. } => print!(" {token}"),
+            TokenEvent::Finished(r) => response = Some(r),
+        }
+    }
+    let response = response.expect("terminal event");
     println!(
-        "LUT-GEMM output [4, {}], max deviation from dense decode: {:.2e}",
-        lin.out_features(),
-        t::max_abs_diff(&y, &reference)
+        "\nfinished: {:?}, {} generated, full sequence {:?}",
+        response.finish, response.generated, response.tokens
     );
+    engine.shutdown();
 
     std::fs::remove_file(&path).ok();
     Ok(())

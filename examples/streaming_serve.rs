@@ -1,0 +1,136 @@
+//! Streaming generation through the [`ServeEngine`] handle API: token
+//! streams, priorities, backpressure, cancellation, deadlines and the
+//! stats snapshot — the full request lifecycle a serving front-end builds
+//! on.
+//!
+//! Run with `cargo run --release --example streaming_serve`.
+//!
+//! [`ServeEngine`]: edkm::core::ServeEngine
+
+use edkm::core::{
+    CompressSpec, EngineConfig, PalettizedModel, Priority, Request, SamplingConfig, ServeEngine,
+    SubmitError, TokenEvent,
+};
+use edkm::nn::{LlamaConfig, LlamaModel};
+use edkm::tensor::{runtime, DType, Device};
+
+fn main() {
+    runtime::reset();
+    // A small compressed decoder to serve from.
+    let cfg = LlamaConfig {
+        vocab: 64,
+        d_model: 64,
+        n_heads: 4,
+        n_layers: 2,
+        d_ff: 128,
+        max_seq: 64,
+    };
+    let dense = LlamaModel::new(cfg, DType::Bf16, Device::Cpu, 7);
+    let mut spec = CompressSpec::with_bits(3);
+    spec.dkm.iters = 3;
+    let served = PalettizedModel::from_dense(&dense, &spec).expect("servable export");
+
+    // The engine owns the scheduler loop on a worker thread; handles are
+    // cheap clones that any client thread can hold.
+    let engine = ServeEngine::new(
+        served,
+        EngineConfig {
+            max_batch: 4,
+            queue_capacity: 8,
+        },
+    );
+    let handle = engine.handle();
+
+    // 1. A normal streaming request: consume tokens as they decode.
+    let (id, stream) = handle
+        .submit(
+            Request::new(vec![1, 2, 3])
+                .max_new_tokens(10)
+                .sampling(SamplingConfig::with_top_k(0.9, 8, 11)),
+        )
+        .expect("submit");
+    print!("{id} streams:");
+    let mut finish = None;
+    for ev in stream {
+        match ev {
+            TokenEvent::Token { token, .. } => print!(" {token}"),
+            TokenEvent::Finished(r) => finish = Some(r.finish),
+        }
+    }
+    println!("  -> {:?}", finish.expect("terminal"));
+
+    // 2. A high-priority request jumps the admission queue; a stop token
+    //    ends generation early and frees its KV blocks the same step.
+    let (vip, mut vip_stream) = handle
+        .submit(
+            Request::new(vec![9, 9])
+                .max_new_tokens(30)
+                .priority(Priority::High)
+                .stop_token(0),
+        )
+        .expect("submit");
+    let vip_resp = vip_stream.wait().expect("terminal");
+    println!(
+        "{vip} (high priority, stop token 0): {:?} after {} tokens",
+        vip_resp.finish, vip_resp.generated
+    );
+
+    // 3. Cancellation: once `cancel` returns, the request never emits
+    //    another token and its KV blocks are already back in the pool.
+    let (doomed, mut doomed_stream) = handle
+        .submit(Request::new(vec![4, 4, 4]).max_new_tokens(40))
+        .expect("submit");
+    assert!(handle.cancel(doomed));
+    let resp = doomed_stream.wait().expect("terminal");
+    println!(
+        "{doomed} cancelled: {:?} ({} tokens)",
+        resp.finish, resp.generated
+    );
+
+    // 4. A deadline in scheduler steps: the engine gives up on its own.
+    let (hasty, mut hasty_stream) = handle
+        .submit(
+            Request::new(vec![5, 6])
+                .max_new_tokens(50)
+                .deadline_steps(3),
+        )
+        .expect("submit");
+    let resp = hasty_stream.wait().expect("terminal");
+    println!(
+        "{hasty} deadline 3 steps: {:?} after {} tokens",
+        resp.finish, resp.generated
+    );
+
+    // 5. Backpressure: try_submit refuses instead of queueing without
+    //    bound once the engine holds queue_capacity requests.
+    let mut held = Vec::new();
+    let overflow = loop {
+        match handle.try_submit(Request::new(vec![1]).max_new_tokens(30)) {
+            Ok(sub) => held.push(sub),
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(overflow, SubmitError::Full);
+    println!(
+        "backpressure: try_submit refused at {} in-flight requests",
+        handle.in_flight()
+    );
+    for (_, mut s) in held {
+        s.wait();
+    }
+
+    // 6. The stats snapshot aggregates the whole run.
+    let stats = handle.stats();
+    println!(
+        "stats: {} tokens over {} steps, {} finished / {} cancelled / {} expired, \
+         peak KV {} bytes, TTFT buckets {:?}",
+        stats.tokens_generated,
+        stats.decode_steps,
+        stats.finished,
+        stats.cancelled,
+        stats.expired,
+        stats.kv_peak_bytes,
+        stats.ttft_steps.counts()
+    );
+    engine.shutdown();
+}

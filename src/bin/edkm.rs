@@ -19,7 +19,8 @@ use edkm::autograd::SavedTensorHooks;
 use edkm::core::{run_table2, AblationSetup};
 use edkm::core::{CompressSpec, CompressedTensor, CompressionPipeline, EdkmConfig, EdkmHooks};
 use edkm::core::{
-    KvBlockConfig, PalettizedModel, SamplingConfig, Scheduler, ServeModel, ServeRequest,
+    EngineConfig, KvBlockConfig, PalettizedModel, Priority, Request, SamplingConfig, ServeEngine,
+    ServeModel,
 };
 use edkm::data::{AlpacaSet, Corpus, Grammar};
 use edkm::dist::LearnerGroup;
@@ -62,8 +63,9 @@ commands:
   ablate     the Table 2 M/U/S ablation at CLI scale
              flags: --d-model N (256)  --learners L (8)
   serve      compress a small pretrained model and serve sampled requests
-             through the continuous-batching scheduler (optionally
-             tensor-parallel over a learner group, paged KV cache)
+             through the streaming engine (handle-based token streams over
+             the continuous-batching scheduler; optionally tensor-parallel
+             over a learner group, paged KV cache)
              flags: --bits N (3)  --batch B (4)  --requests R (6)
                     --new T (16)  --temp F (0.8, 0 = greedy)
                     --shards S (1)  --kv-block-tokens T (16)
@@ -326,10 +328,12 @@ fn edkm_bench_table(rows: &[edkm::core::AblationRow]) -> String {
     s
 }
 
-/// Drive `sched`-style serving over any [`ServeModel`] (unsharded or
-/// tensor-parallel) and print the responses plus throughput/KV stats.
-fn serve_with_model<M: ServeModel>(
-    model: &M,
+/// Drive handle-based serving over any [`ServeModel`] (unsharded or
+/// tensor-parallel): the engine owns the scheduler loop on its worker
+/// thread, the CLI consumes each request's token stream and prints the
+/// responses plus throughput/KV/TTFT stats.
+fn serve_with_model<M: ServeModel + 'static>(
+    model: M,
     max_batch: usize,
     n_requests: usize,
     n_new: usize,
@@ -346,51 +350,79 @@ fn serve_with_model<M: ServeModel>(
     }
     let n_new = n_new.min(max_seq - 1);
     let max_prompt = max_seq - n_new;
-    let mut sched = Scheduler::new(model, max_batch);
+    let vocab = model.config().vocab;
+    let (block_tokens, block_bytes) = {
+        let pool = model.kv_pool();
+        (pool.block_tokens(), pool.block_bytes())
+    };
+
+    let engine = ServeEngine::new(
+        model,
+        EngineConfig {
+            max_batch,
+            queue_capacity: n_requests.max(1),
+        },
+    );
+    let handle = engine.handle();
+    let t0 = std::time::Instant::now();
+    let sim0 = runtime::sim_seconds();
+    let mut streams = Vec::new();
     for id in 0..n_requests as u64 {
         let plen = (2 + id as usize % 5).min(max_prompt);
-        sched.submit(ServeRequest {
-            id,
-            prompt: (0..plen)
-                .map(|i| (3 + i * 11 + id as usize * 7) % model.config().vocab)
-                .collect(),
-            max_new: n_new,
-            sampling: if temperature > 0.0 {
+        let prompt: Vec<usize> = (0..plen)
+            .map(|i| (3 + i * 11 + id as usize * 7) % vocab)
+            .collect();
+        let request = Request::new(prompt)
+            .max_new_tokens(n_new)
+            .sampling(if temperature > 0.0 {
                 SamplingConfig::with_top_k(temperature, 8, 100 + id)
             } else {
                 SamplingConfig::greedy()
-            },
-        });
+            })
+            // Every 4th request jumps the FIFO queue — tokens are identical
+            // either way (batch-independent sampling), only admission order
+            // moves.
+            .priority(if id % 4 == 3 {
+                Priority::High
+            } else {
+                Priority::Normal
+            });
+        let (rid, stream) = handle.submit(request).expect("engine accepts submissions");
+        streams.push((rid, stream));
     }
-    let t0 = std::time::Instant::now();
-    let sim0 = runtime::sim_seconds();
-    let mut peak_kv = 0usize;
+    // Consume the streams; tokens buffered in each channel while we drain
+    // an earlier one are not lost.
     let mut responses = Vec::new();
-    while !sched.is_idle() {
-        responses.extend(sched.step());
-        peak_kv = peak_kv.max(sched.kv_live_bytes());
+    for (rid, mut stream) in streams {
+        let resp = stream.wait().expect("engine finishes every request");
+        responses.push((rid, resp));
     }
     let secs = t0.elapsed().as_secs_f64();
-    responses.sort_by_key(|r| r.id);
-    for r in &responses {
-        println!("  req {}: {:?}", r.id, r.tokens);
+    let stats = handle.stats();
+    for (rid, r) in &responses {
+        println!("  {rid} ({:?}): {:?}", r.finish, r.tokens);
     }
-    let pool = model.kv_pool();
     println!(
         "\n{} tokens in {:.3}s = {:.1} tok/s over {} batched steps ({:.3} sim s)",
-        sched.tokens_generated(),
+        stats.tokens_generated,
         secs,
-        sched.tokens_generated() as f64 / secs.max(1e-9),
-        sched.decode_steps(),
+        stats.tokens_generated as f64 / secs.max(1e-9),
+        stats.decode_steps,
         runtime::sim_seconds() - sim0,
     );
     println!(
         "peak KV {} bytes ({}-token blocks, peak {} blocks, {} preemptions)",
-        peak_kv,
-        pool.block_tokens(),
-        peak_kv / pool.block_bytes().max(1),
-        sched.preemptions()
+        stats.kv_peak_bytes,
+        block_tokens,
+        stats.kv_peak_bytes / block_bytes.max(1),
+        stats.preemptions
     );
+    println!(
+        "TTFT (steps ≤ bound): {:?} over bounds {:?} (+overflow)",
+        stats.ttft_steps.counts(),
+        edkm::core::engine::TTFT_BUCKET_BOUNDS
+    );
+    engine.shutdown();
 }
 
 fn cmd_serve(args: &[String]) {
@@ -451,9 +483,9 @@ fn cmd_serve(args: &[String]) {
             shards,
             sharded.size_bytes()
         );
-        serve_with_model(&sharded, max_batch, n_requests, n_new, temperature);
+        serve_with_model(sharded, max_batch, n_requests, n_new, temperature);
     } else {
-        serve_with_model(&model, max_batch, n_requests, n_new, temperature);
+        serve_with_model(model, max_batch, n_requests, n_new, temperature);
     }
 }
 

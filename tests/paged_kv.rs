@@ -7,10 +7,14 @@
 //!   requested length.
 //! * Tokens are identical to solo generation even when the pool is tight
 //!   enough to force deferred admission or preemption.
+//! * Arbitrary submit/cancel/step interleavings (with deadlines mixed in)
+//!   leak zero blocks, return the ledger to baseline, and give every
+//!   request exactly one terminal outcome; `cancel` frees an in-flight
+//!   sequence's blocks before the next decode step.
 
 use edkm::core::{
-    CompressSpec, Generator, KvBlockConfig, PalettizedModel, SamplingConfig, Scheduler,
-    ServeRequest,
+    CompressSpec, FinishReason, Generator, KvBlockConfig, PalettizedModel, SamplingConfig,
+    Scheduler, ServeRequest,
 };
 use edkm::nn::{LlamaConfig, LlamaModel};
 use edkm::tensor::{runtime, DType, Device};
@@ -54,16 +58,16 @@ proptest! {
             .map(|id| {
                 let plen = 1 + (mix(id) % 4) as usize;
                 let max_new = (mix(id + 100) % 6) as usize; // 0 allowed
-                ServeRequest {
+                ServeRequest::new(
                     id,
-                    prompt: (0..plen).map(|i| (mix(id + 200) as usize + i) % 16).collect(),
+                    (0..plen).map(|i| (mix(id + 200) as usize + i) % 16).collect(),
                     max_new,
-                    sampling: match mix(id + 300) % 3 {
+                    match mix(id + 300) % 3 {
                         0 => SamplingConfig::greedy(),
                         1 => SamplingConfig::with_temperature(0.8, mix(id + 400)),
                         _ => SamplingConfig::with_top_k(1.1, 3, mix(id + 500)),
                     },
-                }
+                )
             })
             .collect();
         // The pool must at least fit the largest single request running
@@ -112,12 +116,12 @@ fn block_count_tracks_flight_and_returns_to_zero() {
     let baseline = runtime::cpu_live_bytes();
     let mut sched = Scheduler::new(&model, 4);
     for id in 0..3u64 {
-        sched.submit(ServeRequest {
+        sched.submit(ServeRequest::new(
             id,
-            prompt: vec![1, 2, 3],
-            max_new: 4,
-            sampling: SamplingConfig::greedy(),
-        });
+            vec![1, 2, 3],
+            4,
+            SamplingConfig::greedy(),
+        ));
     }
     sched.step();
     let pool = model.kv_pool();
@@ -130,4 +134,130 @@ fn block_count_tracks_flight_and_returns_to_zero() {
     sched.run_to_completion();
     assert_eq!(pool.blocks_in_use(), 0);
     assert_eq!(runtime::cpu_live_bytes(), baseline);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any interleaving of submit / cancel / step — with step deadlines in
+    /// the mix — leaks zero KV blocks, returns the device ledger to its
+    /// baseline, and resolves every request to exactly one terminal
+    /// outcome.
+    #[test]
+    fn prop_submit_cancel_step_interleavings_leak_nothing(
+        seed in any::<u64>(),
+        block_tokens in prop::sample::select(vec![2usize, 4, 8]),
+        max_blocks in prop::sample::select(vec![0usize, 8, 10]),
+        max_batch in 1usize..4,
+        n_requests in 1usize..6,
+    ) {
+        runtime::reset();
+        let model = served(5).with_kv_config(KvBlockConfig { block_tokens, max_blocks });
+        let baseline = runtime::cpu_live_bytes();
+        let mix = |i: u64| {
+            seed.wrapping_mul(6364136223846793005)
+                .wrapping_add(i.wrapping_mul(1442695040888963407))
+        };
+        let mut sched = Scheduler::new(&model, max_batch);
+        let mut terminals = 0usize;
+        for id in 0..n_requests as u64 {
+            let plen = 1 + (mix(id) % 4) as usize;
+            let mut req = ServeRequest::new(
+                id,
+                (0..plen).map(|i| (mix(id + 200) as usize + i) % 16).collect(),
+                (mix(id + 100) % 6) as usize, // 0 allowed
+                SamplingConfig::with_temperature(0.8, mix(id + 400)),
+            );
+            if mix(id + 700) % 3 == 0 {
+                req.deadline_steps = Some(mix(id + 800) % 5);
+            }
+            sched.submit(req);
+            for _ in 0..mix(600 + id) % 3 {
+                terminals += sched.step().len();
+            }
+            // Cancel an arbitrary id (possibly unknown, queued, active or
+            // already finished) after roughly every other submission.
+            if mix(id + 900) % 2 == 0 {
+                let victim = mix(id + 1000) % n_requests as u64;
+                if let Some(resp) = sched.cancel(victim) {
+                    prop_assert_eq!(resp.finish, FinishReason::Cancelled);
+                    terminals += 1;
+                }
+            }
+        }
+        terminals += sched.run_to_completion().len();
+        prop_assert!(sched.is_idle());
+        prop_assert_eq!(terminals, n_requests, "every request resolves exactly once");
+        prop_assert_eq!(model.kv_pool().blocks_in_use(), 0, "leaked KV blocks");
+        prop_assert_eq!(sched.kv_live_bytes(), 0);
+        prop_assert_eq!(
+            runtime::cpu_live_bytes(),
+            baseline,
+            "device ledger must return to baseline"
+        );
+    }
+}
+
+#[test]
+fn cancel_frees_an_active_sequences_blocks_before_the_next_step() {
+    runtime::reset();
+    let model = served(6).with_kv_config(KvBlockConfig {
+        block_tokens: 2,
+        max_blocks: 0,
+    });
+    let baseline = runtime::cpu_live_bytes();
+    let mut sched = Scheduler::new(&model, 4);
+    for id in 0..2u64 {
+        sched.submit(ServeRequest::new(
+            id,
+            vec![1 + id as usize, 3, 5],
+            8,
+            SamplingConfig::greedy(),
+        ));
+    }
+    sched.step();
+    let pool = model.kv_pool();
+    let both = pool.blocks_in_use();
+    assert!(both > 0, "two sequences hold blocks");
+    let resp = sched.cancel(0).expect("request 0 is active");
+    assert_eq!(resp.finish, FinishReason::Cancelled);
+    assert!(resp.generated >= 1, "it had produced tokens already");
+    assert!(
+        pool.blocks_in_use() < both,
+        "cancel returns the blocks immediately — no step needed"
+    );
+    assert_eq!(sched.active(), 1);
+    // The other request is unaffected and still drains cleanly.
+    let out = sched.run_to_completion();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].id, 1);
+    assert_eq!(pool.blocks_in_use(), 0);
+    assert_eq!(runtime::cpu_live_bytes(), baseline);
+}
+
+#[test]
+fn cancelling_a_queued_request_returns_the_bare_prompt() {
+    runtime::reset();
+    let model = served(7);
+    let mut sched = Scheduler::new(&model, 1);
+    sched.submit(ServeRequest::new(
+        0,
+        vec![1, 2],
+        4,
+        SamplingConfig::greedy(),
+    ));
+    sched.submit(ServeRequest::new(
+        1,
+        vec![3, 4],
+        4,
+        SamplingConfig::greedy(),
+    ));
+    sched.step(); // only id 0 admitted (batch 1); id 1 still queued
+    let resp = sched.cancel(1).expect("queued request found");
+    assert_eq!(resp.tokens, vec![3, 4]);
+    assert_eq!(resp.generated, 0);
+    assert_eq!(resp.finish, FinishReason::Cancelled);
+    assert!(sched.cancel(1).is_none(), "gone after the first cancel");
+    sched.run_to_completion();
+    assert_eq!(model.kv_pool().blocks_in_use(), 0);
 }

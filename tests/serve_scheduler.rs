@@ -8,8 +8,8 @@
 //!   and return to baseline once all of them retire.
 
 use edkm::core::{
-    CompressSpec, Generator, KvBlockConfig, PalettizedModel, SamplingConfig, Scheduler,
-    ServeRequest,
+    CompressSpec, FinishReason, Generator, KvBlockConfig, PalettizedModel, Priority,
+    SamplingConfig, Scheduler, ServeRequest,
 };
 use edkm::nn::{LlamaConfig, LlamaModel};
 use edkm::tensor::{runtime, DType, Device};
@@ -40,12 +40,7 @@ fn request_mix() -> Vec<ServeRequest> {
                 1 => SamplingConfig::with_temperature(0.8, 1000 + id),
                 _ => SamplingConfig::with_top_k(1.2, 5, 2000 + id),
             };
-            ServeRequest {
-                id,
-                prompt,
-                max_new: 2 + (id as usize * 7) % 11,
-                sampling,
-            }
+            ServeRequest::new(id, prompt, 2 + (id as usize * 7) % 11, sampling)
         })
         .collect()
 }
@@ -86,18 +81,13 @@ fn late_submissions_join_the_running_batch_without_disturbing_it() {
     runtime::reset();
     let model = served_model(8);
     let gen = Generator::new(&model);
-    let first = ServeRequest {
-        id: 0,
-        prompt: vec![1, 2, 3, 4],
-        max_new: 12,
-        sampling: SamplingConfig::with_temperature(0.9, 55),
-    };
-    let late = ServeRequest {
-        id: 1,
-        prompt: vec![9],
-        max_new: 5,
-        sampling: SamplingConfig::with_top_k(0.7, 3, 66),
-    };
+    let first = ServeRequest::new(
+        0,
+        vec![1, 2, 3, 4],
+        12,
+        SamplingConfig::with_temperature(0.9, 55),
+    );
+    let late = ServeRequest::new(1, vec![9], 5, SamplingConfig::with_top_k(0.7, 3, 66));
     let solo_first = gen.generate(&first.prompt, first.max_new, &first.sampling);
     let solo_late = gen.generate(&late.prompt, late.max_new, &late.sampling);
 
@@ -148,12 +138,7 @@ fn batched_decode_shares_steps_across_requests() {
     runtime::reset();
     let model = served_model(10);
     let reqs: Vec<ServeRequest> = (0..4u64)
-        .map(|id| ServeRequest {
-            id,
-            prompt: vec![1 + id as usize],
-            max_new: 10,
-            sampling: SamplingConfig::greedy(),
-        })
+        .map(|id| ServeRequest::new(id, vec![1 + id as usize], 10, SamplingConfig::greedy()))
         .collect();
 
     // Sequential: every request decodes alone.
@@ -191,18 +176,11 @@ fn admission_happens_the_step_after_a_retirement_frees_blocks() {
         max_blocks: 5,
     });
     let gen = Generator::new(&model);
-    let a = ServeRequest {
-        id: 0,
-        prompt: vec![1; 8], // admission takes ceil(9/4) = 3 of 5 blocks
-        max_new: 8,         // grows to ceil(16/4) = 4 blocks in flight
-        sampling: SamplingConfig::greedy(),
-    };
-    let b = ServeRequest {
-        id: 1,
-        prompt: vec![2; 8], // needs 3 blocks; at most 2 free while A runs
-        max_new: 4,
-        sampling: SamplingConfig::with_temperature(0.7, 99),
-    };
+    // A's admission takes ceil(9/4) = 3 of 5 blocks and grows to
+    // ceil(16/4) = 4 blocks in flight; B's 8-token prompt needs 3 blocks
+    // but at most 2 are free while A runs.
+    let a = ServeRequest::new(0, vec![1; 8], 8, SamplingConfig::greedy());
+    let b = ServeRequest::new(1, vec![2; 8], 4, SamplingConfig::with_temperature(0.7, 99));
     let solo_b = gen.generate(&b.prompt, b.max_new, &b.sampling);
 
     let mut sched = Scheduler::new(&model, 4); // batch budget is NOT the gate
@@ -234,4 +212,90 @@ fn admission_happens_the_step_after_a_retirement_frees_blocks() {
     );
     assert_eq!(model.kv_pool().blocks_in_use(), 0);
     assert_eq!(sched.preemptions(), 0, "deferral needs no preemption here");
+}
+
+#[test]
+fn stop_token_retires_the_request_and_frees_kv_on_the_same_step() {
+    // Regression for stop-token support: the step that samples the stop
+    // token must also retire the sequence — its KV blocks are back in the
+    // pool before any further forward pass.
+    runtime::reset();
+    let model = served_model(12);
+    let gen = Generator::new(&model);
+    let solo = gen.generate_greedy(&[1, 2, 3], 12);
+    let stop = solo[5]; // third generated token
+    let first_hit = solo[3..].iter().position(|&t| t == stop).unwrap();
+
+    let mut sched = Scheduler::new(&model, 2);
+    let mut req = ServeRequest::new(0, vec![1, 2, 3], 12, SamplingConfig::greedy());
+    req.stop_tokens = vec![stop];
+    sched.submit(req);
+    let pool = model.kv_pool();
+    let mut finished = Vec::new();
+    while finished.is_empty() {
+        finished = sched.step();
+    }
+    let resp = &finished[0];
+    assert_eq!(resp.finish, FinishReason::StopToken);
+    assert_eq!(resp.generated, first_hit + 1, "cut at the first stop hit");
+    assert_eq!(*resp.tokens.last().unwrap(), stop, "stop token is kept");
+    assert_eq!(
+        &resp.tokens[..resp.tokens.len() - 1],
+        &solo[..3 + first_hit],
+        "tokens before the stop match the unstopped run"
+    );
+    assert_eq!(
+        pool.blocks_in_use(),
+        0,
+        "the finishing step must free the KV blocks, not a later one"
+    );
+    assert_eq!(
+        sched.kv_live_bytes(),
+        0,
+        "no KV bytes linger in the scheduler"
+    );
+}
+
+#[test]
+fn run_to_completion_returns_responses_sorted_by_id() {
+    // The ordering contract is documented and pinned: responses come back
+    // sorted by request id regardless of submission or completion order.
+    runtime::reset();
+    let model = served_model(13);
+    let mut sched = Scheduler::new(&model, 2);
+    for (id, max_new) in [(5u64, 9usize), (1, 2), (3, 6)] {
+        sched.submit(ServeRequest::new(
+            id,
+            vec![1 + id as usize],
+            max_new,
+            SamplingConfig::greedy(),
+        ));
+    }
+    let out = sched.run_to_completion();
+    let ids: Vec<u64> = out.iter().map(|r| r.id).collect();
+    assert_eq!(ids, vec![1, 3, 5], "sorted by id, not completion order");
+}
+
+#[test]
+fn high_priority_requests_are_admitted_ahead_of_fifo_age() {
+    runtime::reset();
+    let model = served_model(14);
+    let mut sched = Scheduler::new(&model, 1); // one slot: admission order is visible
+    for (id, priority) in [
+        (0u64, Priority::Low),
+        (1, Priority::Normal),
+        (2, Priority::High),
+        (3, Priority::Normal),
+    ] {
+        let mut req = ServeRequest::new(id, vec![1 + id as usize], 3, SamplingConfig::greedy());
+        req.priority = priority;
+        sched.submit(req);
+    }
+    // With equal budgets and one slot, completion order == admission order:
+    // High first, then the two Normals FIFO, then Low.
+    let mut completion = Vec::new();
+    while !sched.is_idle() {
+        completion.extend(sched.step().into_iter().map(|r| r.id));
+    }
+    assert_eq!(completion, vec![2, 1, 3, 0]);
 }

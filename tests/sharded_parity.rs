@@ -65,15 +65,17 @@ fn sharded_scheduler_generates_token_identical_responses() {
     runtime::reset();
     let base = served(8);
     let reqs: Vec<ServeRequest> = (0..3u64)
-        .map(|id| ServeRequest {
-            id,
-            prompt: (0..2 + id as usize).map(|i| 1 + i * 3).collect(),
-            max_new: 6 + id as usize,
-            sampling: if id == 0 {
-                SamplingConfig::greedy()
-            } else {
-                SamplingConfig::with_top_k(0.9, 5, 70 + id)
-            },
+        .map(|id| {
+            ServeRequest::new(
+                id,
+                (0..2 + id as usize).map(|i| 1 + i * 3).collect(),
+                6 + id as usize,
+                if id == 0 {
+                    SamplingConfig::greedy()
+                } else {
+                    SamplingConfig::with_top_k(0.9, 5, 70 + id)
+                },
+            )
         })
         .collect();
     let mut plain = Scheduler::new(&base, 2);
