@@ -1,11 +1,18 @@
-//! Serial vs threaded palettized inference (`PalettizedLinear::forward_serial`
-//! vs `forward_batch`) on the deployment-scale case the runtime refactor
+//! Serial vs tiled palettized inference (`PalettizedLinear::forward_serial`
+//! vs `forward_batch`) on the deployment-scale case the kernel rewrite
 //! targets: a `[2048 × 2048]` 3-bit palette at batch 32.
 //!
 //! Prints a comparison table and writes a `BENCH_infer.json` perf record so
 //! later PRs have a trajectory to compare against.
 //!
-//! Run with `cargo run --release -p edkm-bench --bin infer`.
+//! Flags:
+//! * `--smoke` — a seconds-scale shape for CI (records `"smoke": true`);
+//! * `--min-speedup <x>` — exit non-zero if `forward_batch` does not reach
+//!   `x`× the serial reference (CI passes `--min-speedup 1.0` on
+//!   multi-core runners, so a `speedup < 1.0` regression can never ship
+//!   silently again).
+//!
+//! Run with `cargo run --release -p edkm-bench --bin infer [-- --smoke]`.
 
 use edkm_core::palettize::PalettizedTensor;
 use edkm_core::PalettizedLinear;
@@ -13,11 +20,34 @@ use edkm_tensor::{runtime, DType, Device, Tensor};
 use std::hint::black_box;
 use std::time::Instant;
 
-const OUT_FEATURES: usize = 2048;
-const IN_FEATURES: usize = 2048;
 const BITS: u8 = 3;
-const BATCH: usize = 32;
-const REPS: usize = 5;
+
+struct Shape {
+    out_features: usize,
+    in_features: usize,
+    batch: usize,
+    reps: usize,
+}
+
+impl Shape {
+    fn full() -> Self {
+        Shape {
+            out_features: 2048,
+            in_features: 2048,
+            batch: 32,
+            reps: 5,
+        }
+    }
+
+    fn smoke() -> Self {
+        Shape {
+            out_features: 512,
+            in_features: 512,
+            batch: 8,
+            reps: 3,
+        }
+    }
+}
 
 fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     let mut best = f64::INFINITY;
@@ -29,17 +59,40 @@ fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     best
 }
 
+fn parse_args() -> (bool, Option<f64>) {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let min_speedup = args.iter().position(|a| a == "--min-speedup").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--min-speedup needs a numeric argument");
+                std::process::exit(2);
+            })
+    });
+    (smoke, min_speedup)
+}
+
 fn main() {
+    let (smoke, min_speedup) = parse_args();
+    let shape = if smoke { Shape::smoke() } else { Shape::full() };
+    let (out_features, in_features, batch, reps) = (
+        shape.out_features,
+        shape.in_features,
+        shape.batch,
+        shape.reps,
+    );
     runtime::reset();
     let threads = rayon::current_num_threads();
-    println!("== palettized inference: serial loop vs forward_batch ==");
+    println!("== palettized inference: serial loop vs tiled forward_batch ==");
     println!(
-        "[{OUT_FEATURES} x {IN_FEATURES}] {BITS}-bit palette, batch {BATCH}, {threads} threads, best of {REPS}\n"
+        "[{out_features} x {in_features}] {BITS}-bit palette, batch {batch}, {threads} threads, best of {reps}{}\n",
+        if smoke { " (smoke)" } else { "" }
     );
 
     // Deployment-shaped weight: 8 centroids (3 bits), nearest assignment.
     let w =
-        Tensor::randn(&[OUT_FEATURES, IN_FEATURES], DType::F32, Device::Cpu, 0).map(|v| v * 0.02);
+        Tensor::randn(&[out_features, in_features], DType::F32, Device::Cpu, 0).map(|v| v * 0.02);
     let centroids = Tensor::from_vec(
         (0..1 << BITS)
             .map(|i| (i as f32 - 3.5) * 0.01)
@@ -49,7 +102,7 @@ fn main() {
         Device::Cpu,
     );
     let lin = PalettizedLinear::new(PalettizedTensor::from_nearest(&w, &centroids, BITS, 1));
-    let x = Tensor::randn(&[BATCH, IN_FEATURES], DType::F32, Device::Cpu, 1);
+    let x = Tensor::randn(&[batch, in_features], DType::F32, Device::Cpu, 1);
 
     let identical = lin.forward_serial(&x).to_vec() == lin.forward_batch(&x).to_vec();
     assert!(
@@ -57,12 +110,12 @@ fn main() {
         "forward_batch must match forward_serial bit for bit"
     );
 
-    // `forward` now delegates to the batch path, so the serial baseline is
+    // `forward` delegates to the batch path, so the serial baseline is
     // the explicit single-threaded reference.
-    let serial_s = best_of(REPS, || {
+    let serial_s = best_of(reps, || {
         black_box(lin.forward_serial(black_box(&x)));
     });
-    let batch_s = best_of(REPS, || {
+    let batch_s = best_of(reps, || {
         black_box(lin.forward_batch(black_box(&x)));
     });
     let speedup = serial_s / batch_s;
@@ -73,9 +126,10 @@ fn main() {
     println!("  bit-identical        {identical}");
 
     let record = format!(
-        "{{\n  \"bench\": \"palettized_infer\",\n  \"out_features\": {OUT_FEATURES},\n  \
-         \"in_features\": {IN_FEATURES},\n  \"bits\": {BITS},\n  \"batch\": {BATCH},\n  \
-         \"threads\": {threads},\n  \"reps\": {REPS},\n  \"serial_ms\": {:.3},\n  \
+        "{{\n  \"bench\": \"palettized_infer\",\n  \"smoke\": {smoke},\n  \
+         \"out_features\": {out_features},\n  \
+         \"in_features\": {in_features},\n  \"bits\": {BITS},\n  \"batch\": {batch},\n  \
+         \"threads\": {threads},\n  \"reps\": {reps},\n  \"serial_ms\": {:.3},\n  \
          \"forward_batch_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"bit_identical\": {identical}\n}}\n",
         serial_s * 1e3,
         batch_s * 1e3,
@@ -85,5 +139,18 @@ fn main() {
     println!("\nwrote BENCH_infer.json");
     if threads >= 4 && speedup < 2.0 {
         eprintln!("WARNING: expected >= 2x speedup with {threads} threads, got {speedup:.2}x");
+    }
+    if speedup < 1.0 {
+        eprintln!(
+            "WARNING: forward_batch is SLOWER than the serial reference ({speedup:.3}x) — \
+             a regression if this machine has multiple cores"
+        );
+    }
+    if let Some(min) = min_speedup {
+        if speedup < min {
+            eprintln!("FAIL: speedup {speedup:.3}x below the --min-speedup {min} gate");
+            std::process::exit(1);
+        }
+        println!("min-speedup gate {min}x: ok");
     }
 }

@@ -232,6 +232,7 @@ fn main() {
     // The streaming engine at increasing batch caps.
     let mut batched = Vec::new();
     let mut batch8_lat = None;
+    let mut batch8_scratch = (0u64, 0u64);
     for &max_batch in &[1usize, 4, 8] {
         let (secs, _, stats, out, lat) =
             run_engine(model.clone(), &prompts, wl.gen_tokens, max_batch);
@@ -247,6 +248,7 @@ fn main() {
         batched.push((max_batch, secs, stats.decode_steps));
         if max_batch == 8 {
             batch8_lat = Some(lat);
+            batch8_scratch = (stats.scratch_checkouts, stats.scratch_grows);
         }
     }
     let batch8_lat = batch8_lat.expect("batch 8 ran");
@@ -328,6 +330,12 @@ fn main() {
         "\n  peak KV: paged (4-token blocks) {} B vs monolithic {} B = {:.2}x saved",
         paged_peak, mono_peak, kv_saving
     );
+    println!(
+        "  forward scratch (batch 8): {} checkouts, {} allocations ({:.2}% cold)",
+        batch8_scratch.0,
+        batch8_scratch.1,
+        100.0 * batch8_scratch.1 as f64 / (batch8_scratch.0.max(1)) as f64
+    );
 
     let record = format!(
         "{{\n  \"bench\": \"palettized_serve\",\n  \"smoke\": {smoke},\n  \
@@ -344,6 +352,7 @@ fn main() {
          \"kv_paged_peak_bytes\": {paged_peak},\n  \
          \"kv_monolithic_peak_bytes\": {mono_peak},\n  \
          \"kv_paged_saving\": {kv_saving:.3},\n  \
+         \"scratch_checkouts\": {},\n  \"scratch_grows\": {},\n  \
          \"tokens_identical\": true\n}}\n",
         wl.config.d_model,
         wl.config.n_layers,
@@ -361,6 +370,8 @@ fn main() {
         shard_rows[0].2,
         shard_rows[1].2,
         shard_rows[2].2,
+        batch8_scratch.0,
+        batch8_scratch.1,
     );
     std::fs::write("BENCH_serve.json", &record).expect("write BENCH_serve.json");
     println!("\nwrote BENCH_serve.json");

@@ -324,6 +324,11 @@ pub struct StatsSnapshot {
     pub kv_live_bytes: usize,
     /// High-water mark of `kv_live_bytes` over the engine's lifetime.
     pub kv_peak_bytes: usize,
+    /// Forward-scratch checkouts served by the scheduler's arena.
+    pub scratch_checkouts: u64,
+    /// Forward-scratch checkouts that had to allocate. Flat across
+    /// steady-state decode — the allocation-free decode contract.
+    pub scratch_grows: u64,
     /// Time-to-first-token histogram, in scheduler steps.
     pub ttft_steps: TtftHistogram,
 }
@@ -662,6 +667,8 @@ fn publish_stats<M: ServeModel>(
         expired: tallies.expired,
         kv_live_bytes: sched.kv_live_bytes(),
         kv_peak_bytes: tallies.kv_peak,
+        scratch_checkouts: sched.scratch().checkouts(),
+        scratch_grows: sched.scratch().grows(),
         ttft_steps: tallies.ttft.clone(),
     };
 }

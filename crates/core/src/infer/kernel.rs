@@ -1,0 +1,550 @@
+//! Cache-blocked, register-tiled LUT-GEMM kernel.
+//!
+//! [`TiledLutKernel`] is the single inner loop behind every palettized
+//! projection. It rewrites the naive "unpack an index, look up a centroid,
+//! multiply" GEMM as three mechanical transformations, in the spirit of
+//! LUT-GEMM-style sub-4-bit kernels that amortize palette lookups through
+//! precomputed partial products:
+//!
+//! 1. **Tile repack.** At construction, the palette's bit-packed indices
+//!    are unpacked once and re-laid-out into contiguous row-major *tiles*:
+//!    [`TILE_OUT`] output rows × [`IN_CHUNK`] input columns per block,
+//!    stored at the narrowest width that holds the palette (`u8` for
+//!    k ≤ 256, `u16` above). The hot loop streams a `(tile, chunk)` block
+//!    sequentially — no per-element bit extraction, and 4× (or 2×) less
+//!    index bandwidth than the `u32` cache the previous kernel kept.
+//!
+//! 2. **Activation-side LUT precompute.** For each batch row, the products
+//!    `prod[c][j] = lut[c] · x[j]` are materialized once per input chunk
+//!    (`k · in` multiplies, amortized over all `out` output rows). The
+//!    GEMM inner loop then *gathers by index and adds*: every multiply
+//!    becomes an add. Because `prod[c][j]` is exactly the f32 the naive
+//!    kernel would have computed inline, the gather path is bit-identical
+//!    to the multiply path — which is also why palettes too rich for a
+//!    table ([`PROD_K_MAX`], e.g. the lossless 2¹⁶ palette) can fall back
+//!    to the inline multiply without changing a single output bit.
+//!
+//! 3. **Deterministic tile parallelism.** Worker threads split the *output
+//!    tiles*, never the reduction: each output element is accumulated by
+//!    exactly one thread, left to right over the input (a single
+//!    accumulator carried across chunks in ascending-`j` order). Results
+//!    are therefore bit-identical to [`TiledLutKernel::forward_serial_into`]
+//!    at every thread count — the determinism argument in DESIGN.md §11.
+//!
+//! The accumulation order (`acc += lut[idx[r, j]] · x[j]` for ascending
+//! `j`, one accumulator per output element) is the same order a dense
+//! row-times-matrixᵀ dot product uses, so the kernel agrees with a dense
+//! matmul over the decoded weights to rounding, and with itself exactly.
+
+use crate::palettize::PalettizedTensor;
+use crate::scratch::ScratchArena;
+use rayon::prelude::*;
+
+/// Output rows per tile — the unit of parallel work ownership.
+pub const TILE_OUT: usize = 16;
+
+/// Input columns per chunk: sized so one activation-LUT slab
+/// (`k · IN_CHUNK` floats) stays L1/L2-resident for sub-4-bit palettes.
+pub const IN_CHUNK: usize = 512;
+
+/// Largest palette for which the activation-side product table pays for
+/// itself. Richer palettes (up to the lossless 2¹⁶ entries) use the
+/// bit-identical inline-multiply fallback.
+pub const PROD_K_MAX: usize = 64;
+
+/// Cap on the activation-LUT table size (`n · k · in` floats ≈ 16 MB).
+/// The table grows with the batch, so an unbounded large prefill would
+/// pin an arbitrarily large arena buffer; past the cap the kernel falls
+/// back to the inline multiply, which is bit-identical.
+pub const PROD_TABLE_MAX_FLOATS: usize = 1 << 22;
+
+/// Tile-repacked index storage at the narrowest sufficient width.
+#[derive(Debug, Clone)]
+enum TileIdx {
+    /// Palettes with k ≤ 256 entries.
+    U8(Vec<u8>),
+    /// Palettes up to the lossless 2¹⁶ entries.
+    U16(Vec<u16>),
+}
+
+/// The tiled LUT-GEMM kernel for one scalar-clustered `[out, in]` palette.
+///
+/// Construction performs the one-time tile repack; [`forward_into`] and
+/// [`forward_serial_into`] run the GEMM with bit-identical results (the
+/// serial entry point exists so benchmarks can pin the single-threaded
+/// reference).
+///
+/// [`forward_into`]: TiledLutKernel::forward_into
+/// [`forward_serial_into`]: TiledLutKernel::forward_serial_into
+#[derive(Debug, Clone)]
+pub struct TiledLutKernel {
+    lut: Vec<f32>,
+    k: usize,
+    out_features: usize,
+    in_features: usize,
+    idx: TileIdx,
+}
+
+/// Rows in tile `t` (the last tile may be short).
+#[inline]
+fn tile_rows(out_features: usize, t: usize) -> usize {
+    TILE_OUT.min(out_features - t * TILE_OUT)
+}
+
+/// Columns in chunk `c` (the last chunk may be short).
+#[inline]
+fn chunk_cols(in_features: usize, c: usize) -> usize {
+    IN_CHUNK.min(in_features - c * IN_CHUNK)
+}
+
+/// Offset of the `(t, c)` index block inside the repacked stream: all of
+/// tile `t`'s earlier rows-times-full-width, plus this tile's rows times
+/// the columns of earlier chunks.
+#[inline]
+fn block_base(out_features: usize, in_features: usize, t: usize, c: usize) -> usize {
+    t * TILE_OUT * in_features + tile_rows(out_features, t) * c * IN_CHUNK
+}
+
+impl TiledLutKernel {
+    /// Repack `weights` (scalar-clustered, `[out, in]`) into tiled form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the palette is not a 2-D scalar palette.
+    pub fn from_palette(weights: &PalettizedTensor) -> Self {
+        assert_eq!(weights.shape().len(), 2, "kernel expects [out, in]");
+        assert_eq!(weights.cluster_dim(), 1, "kernel is scalar-clustered");
+        let (out_features, in_features) = (weights.shape()[0], weights.shape()[1]);
+        let flat = weights.indices();
+        let k = weights.k();
+        let n_tiles = out_features.div_ceil(TILE_OUT);
+        let n_chunks = in_features.div_ceil(IN_CHUNK);
+        // Permute row-major [out, in] into (tile, chunk, row, col) blocks.
+        let mut order = Vec::with_capacity(flat.len());
+        for t in 0..n_tiles {
+            for c in 0..n_chunks {
+                let cols = chunk_cols(in_features, c);
+                for r in 0..tile_rows(out_features, t) {
+                    let row = t * TILE_OUT + r;
+                    let start = row * in_features + c * IN_CHUNK;
+                    order.extend_from_slice(&flat[start..start + cols]);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), flat.len());
+        let idx = if k <= 1 << 8 {
+            TileIdx::U8(order.iter().map(|&v| v as u8).collect())
+        } else {
+            TileIdx::U16(order.iter().map(|&v| v as u16).collect())
+        };
+        TiledLutKernel {
+            lut: weights.lut().to_vec(),
+            k,
+            out_features,
+            in_features,
+            idx,
+        }
+    }
+
+    /// Output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Palette entries.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Bytes of the repacked index stream plus the LUT — the kernel's
+    /// resident footprint.
+    pub fn resident_bytes(&self) -> usize {
+        let idx = match &self.idx {
+            TileIdx::U8(v) => v.len(),
+            TileIdx::U16(v) => v.len() * 2,
+        };
+        idx + self.lut.len() * 4
+    }
+
+    /// Reconstruct the row-major `[out, in]` index stream (undoes the tile
+    /// permutation; for tests and export).
+    pub fn row_major_indices(&self) -> Vec<u32> {
+        let mut out = vec![0u32; self.out_features * self.in_features];
+        let n_tiles = self.out_features.div_ceil(TILE_OUT);
+        let n_chunks = self.in_features.div_ceil(IN_CHUNK);
+        let mut src = 0usize;
+        for t in 0..n_tiles {
+            for c in 0..n_chunks {
+                let cols = chunk_cols(self.in_features, c);
+                for r in 0..tile_rows(self.out_features, t) {
+                    let row = t * TILE_OUT + r;
+                    let dst = row * self.in_features + c * IN_CHUNK;
+                    for j in 0..cols {
+                        out[dst + j] = match &self.idx {
+                            TileIdx::U8(v) => u32::from(v[src + j]),
+                            TileIdx::U16(v) => u32::from(v[src + j]),
+                        };
+                    }
+                    src += cols;
+                }
+            }
+        }
+        out
+    }
+
+    /// Single-threaded reference GEMM: `out[i, r] = Σ_j lut[idx[r, j]] ·
+    /// x[i, j]`, ascending `j`, one accumulator per element. The tiled path
+    /// is bit-identical to this loop at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `n · in` long or `out` is not `n · out` long.
+    pub fn forward_serial_into(&self, x: &[f32], n: usize, out: &mut [f32]) {
+        self.check_shapes(x, n, out);
+        let n_tiles = self.out_features.div_ceil(TILE_OUT);
+        let n_chunks = self.in_features.div_ceil(IN_CHUNK);
+        match &self.idx {
+            TileIdx::U8(idx) => self.serial_rows(idx, x, n, out, n_tiles, n_chunks),
+            TileIdx::U16(idx) => self.serial_rows(idx, x, n, out, n_tiles, n_chunks),
+        }
+    }
+
+    fn serial_rows<I: Copy + Into<usize>>(
+        &self,
+        idx: &[I],
+        x: &[f32],
+        n: usize,
+        out: &mut [f32],
+        n_tiles: usize,
+        n_chunks: usize,
+    ) {
+        for i in 0..n {
+            let xrow = &x[i * self.in_features..(i + 1) * self.in_features];
+            let orow = &mut out[i * self.out_features..(i + 1) * self.out_features];
+            for t in 0..n_tiles {
+                let rows = tile_rows(self.out_features, t);
+                for r in 0..rows {
+                    let mut acc = 0.0f32;
+                    for c in 0..n_chunks {
+                        let cols = chunk_cols(self.in_features, c);
+                        let base = block_base(self.out_features, self.in_features, t, c) + r * cols;
+                        let blk = &idx[base..base + cols];
+                        let xc = &xrow[c * IN_CHUNK..c * IN_CHUNK + cols];
+                        for (&ci, &xv) in blk.iter().zip(xc) {
+                            acc += self.lut[ci.into()] * xv;
+                        }
+                    }
+                    orow[t * TILE_OUT + r] = acc;
+                }
+            }
+        }
+    }
+
+    /// The tiled GEMM: activation-LUT tables per `(batch row, chunk)`,
+    /// index-gather accumulation, worker threads over output tiles.
+    /// Scratch (the product tables and the tile-major staging buffer) comes
+    /// from `arena`; steady-state calls of one shape allocate nothing.
+    ///
+    /// Bit-identical to [`TiledLutKernel::forward_serial_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `n · in` long or `out` is not `n · out` long.
+    pub fn forward_into(&self, x: &[f32], n: usize, out: &mut [f32], arena: &mut ScratchArena) {
+        self.check_shapes(x, n, out);
+        if n == 0 || self.out_features == 0 {
+            return;
+        }
+        let n_tiles = self.out_features.div_ceil(TILE_OUT);
+        let n_chunks = self.in_features.div_ceil(IN_CHUNK);
+
+        // Activation-side LUT precompute: prod[i][c][j][cent] = lut[cent] ·
+        // x[i, c·IN_CHUNK + j], contiguous per (i, c) slab, j-major so one
+        // column's k candidates share a cache line. Only worth the k·in
+        // multiplies for palettes small enough that the table stays
+        // cache-resident, and only up to a whole-table size cap (the table
+        // scales with the batch); the inline fallback computes the
+        // identical f32s either way.
+        let use_prod = self.k <= PROD_K_MAX
+            && self.in_features > 0
+            && n * self.k * self.in_features <= PROD_TABLE_MAX_FLOATS;
+        let prod = if use_prod {
+            let mut prod = arena.take(n * self.k * self.in_features);
+            for i in 0..n {
+                let xrow = &x[i * self.in_features..(i + 1) * self.in_features];
+                let slab_row = &mut prod[i * self.k * self.in_features..];
+                for c in 0..n_chunks {
+                    let cols = chunk_cols(self.in_features, c);
+                    let slab = &mut slab_row[c * IN_CHUNK * self.k..];
+                    let xc = &xrow[c * IN_CHUNK..c * IN_CHUNK + cols];
+                    // j-major [cols][k]: all k candidate products of one
+                    // input column share a cache line, so the gather loop
+                    // walks the slab linearly.
+                    for (j, &xv) in xc.iter().enumerate() {
+                        for (p, &l) in slab[j * self.k..(j + 1) * self.k].iter_mut().zip(&self.lut)
+                        {
+                            *p = l * xv;
+                        }
+                    }
+                }
+            }
+            prod
+        } else {
+            Vec::new() // inline path: no table, and no arena checkout
+        };
+
+        // Tile-major staging: one `n × TILE_OUT` slab per tile (fixed
+        // stride so each par chunk is exactly one tile), scattered back to
+        // row-major afterwards. Workers own whole tiles — fixed ownership,
+        // so the result cannot depend on the thread count.
+        let mut tmp = arena.take(n_tiles * n * TILE_OUT);
+        {
+            let prod_ref: &[f32] = &prod;
+            tmp.par_chunks_mut(n * TILE_OUT)
+                .enumerate()
+                .for_each(|(t, tile_out)| match &self.idx {
+                    TileIdx::U8(idx) => {
+                        self.tile_gemm(idx, x, n, prod_ref, use_prod, t, n_chunks, tile_out)
+                    }
+                    TileIdx::U16(idx) => {
+                        self.tile_gemm(idx, x, n, prod_ref, use_prod, t, n_chunks, tile_out)
+                    }
+                });
+        }
+        for t in 0..n_tiles {
+            let rows = tile_rows(self.out_features, t);
+            for i in 0..n {
+                let src = &tmp[t * n * TILE_OUT + i * TILE_OUT..][..rows];
+                out[i * self.out_features + t * TILE_OUT..][..rows].copy_from_slice(src);
+            }
+        }
+        arena.put(prod); // zero-capacity inline-path Vec is dropped, not pooled
+        arena.put(tmp);
+    }
+
+    /// One tile's GEMM: for every batch row, stream the `(t, c)` index
+    /// blocks chunk by chunk, carrying `TILE_OUT` register accumulators
+    /// across chunks (ascending `j`, matching the serial reference).
+    ///
+    /// Output rows are processed **four at a time**: each row keeps its own
+    /// accumulator (so its summation order is untouched), but the four
+    /// chains are independent, hiding the add latency the one-row-at-a-time
+    /// reference loop is bound by — the register-tiling half of the kernel.
+    #[allow(clippy::too_many_arguments)] // internal hot loop, not API
+    fn tile_gemm<I: Copy + Into<usize>>(
+        &self,
+        idx: &[I],
+        x: &[f32],
+        n: usize,
+        prod: &[f32],
+        use_prod: bool,
+        t: usize,
+        n_chunks: usize,
+        tile_out: &mut [f32],
+    ) {
+        let rows = tile_rows(self.out_features, t);
+        for i in 0..n {
+            let mut acc = [0.0f32; TILE_OUT];
+            for c in 0..n_chunks {
+                let cols = chunk_cols(self.in_features, c);
+                let base = block_base(self.out_features, self.in_features, t, c);
+                let blk = &idx[base..base + rows * cols];
+                if use_prod {
+                    let slab = &prod[i * self.k * self.in_features + c * IN_CHUNK * self.k
+                        ..i * self.k * self.in_features + c * IN_CHUNK * self.k + self.k * cols];
+                    let mut r = 0usize;
+                    while r + 4 <= rows {
+                        let (i0, i1, i2, i3) = (
+                            &blk[r * cols..(r + 1) * cols],
+                            &blk[(r + 1) * cols..(r + 2) * cols],
+                            &blk[(r + 2) * cols..(r + 3) * cols],
+                            &blk[(r + 3) * cols..(r + 4) * cols],
+                        );
+                        let (mut a0, mut a1, mut a2, mut a3) =
+                            (acc[r], acc[r + 1], acc[r + 2], acc[r + 3]);
+                        for (j, line) in slab.chunks_exact(self.k).enumerate() {
+                            a0 += line[i0[j].into()];
+                            a1 += line[i1[j].into()];
+                            a2 += line[i2[j].into()];
+                            a3 += line[i3[j].into()];
+                        }
+                        acc[r] = a0;
+                        acc[r + 1] = a1;
+                        acc[r + 2] = a2;
+                        acc[r + 3] = a3;
+                        r += 4;
+                    }
+                    for (a, irow) in acc[r..rows].iter_mut().zip(blk[r * cols..].chunks(cols)) {
+                        let mut s = *a;
+                        for (&ci, line) in irow.iter().zip(slab.chunks_exact(self.k)) {
+                            s += line[ci.into()];
+                        }
+                        *a = s;
+                    }
+                } else {
+                    let xc = &x[i * self.in_features + c * IN_CHUNK..][..cols];
+                    let lut = &self.lut[..self.k];
+                    let mut r = 0usize;
+                    while r + 4 <= rows {
+                        let (i0, i1, i2, i3) = (
+                            &blk[r * cols..(r + 1) * cols],
+                            &blk[(r + 1) * cols..(r + 2) * cols],
+                            &blk[(r + 2) * cols..(r + 3) * cols],
+                            &blk[(r + 3) * cols..(r + 4) * cols],
+                        );
+                        let (mut a0, mut a1, mut a2, mut a3) =
+                            (acc[r], acc[r + 1], acc[r + 2], acc[r + 3]);
+                        for (j, &xv) in xc.iter().enumerate() {
+                            a0 += lut[i0[j].into()] * xv;
+                            a1 += lut[i1[j].into()] * xv;
+                            a2 += lut[i2[j].into()] * xv;
+                            a3 += lut[i3[j].into()] * xv;
+                        }
+                        acc[r] = a0;
+                        acc[r + 1] = a1;
+                        acc[r + 2] = a2;
+                        acc[r + 3] = a3;
+                        r += 4;
+                    }
+                    for (a, irow) in acc[r..rows].iter_mut().zip(blk[r * cols..].chunks(cols)) {
+                        let mut s = *a;
+                        for (&ci, &xv) in irow.iter().zip(xc) {
+                            s += lut[ci.into()] * xv;
+                        }
+                        *a = s;
+                    }
+                }
+            }
+            tile_out[i * TILE_OUT..][..rows].copy_from_slice(&acc[..rows]);
+        }
+    }
+
+    fn check_shapes(&self, x: &[f32], n: usize, out: &[f32]) {
+        assert_eq!(x.len(), n * self.in_features, "x must be [n, in]");
+        assert_eq!(out.len(), n * self.out_features, "out must be [n, out]");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edkm_tensor::{runtime, DType, Device, Tensor};
+
+    fn kernel(out: usize, inp: usize, k: usize, seed: u64) -> (PalettizedTensor, TiledLutKernel) {
+        runtime::reset();
+        let bits = (usize::BITS - (k - 1).max(1).leading_zeros()).max(1) as u8;
+        let w = Tensor::randn(&[out, inp], DType::F32, Device::Cpu, seed);
+        let lut: Vec<f32> = (0..k).map(|i| (i as f32 - k as f32 / 2.0) * 0.03).collect();
+        let c = Tensor::from_vec(lut, &[k, 1], DType::F32, Device::Cpu);
+        let p = PalettizedTensor::from_nearest(&w, &c, bits, 1);
+        let kern = TiledLutKernel::from_palette(&p);
+        (p, kern)
+    }
+
+    fn xbuf(n: usize, inp: usize, seed: u64) -> Vec<f32> {
+        Tensor::randn(&[n.max(1), inp.max(1)], DType::F32, Device::Cpu, seed).to_vec()[..n * inp]
+            .to_vec()
+    }
+
+    /// Independent reference: ascending-j single-accumulator gather.
+    fn reference(p: &PalettizedTensor, x: &[f32], n: usize) -> Vec<f32> {
+        let (out, inp) = (p.shape()[0], p.shape()[1]);
+        let idx = p.indices();
+        let lut = p.lut();
+        let mut y = vec![0.0f32; n * out];
+        for i in 0..n {
+            for r in 0..out {
+                let mut acc = 0.0f32;
+                for j in 0..inp {
+                    acc += lut[idx[r * inp + j] as usize] * x[i * inp + j];
+                }
+                y[i * out + r] = acc;
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn repack_round_trips_the_index_stream() {
+        for (out, inp) in [(1, 1), (16, 512), (17, 513), (40, 100), (100, 7)] {
+            let (p, kern) = kernel(out, inp, 8, out as u64);
+            assert_eq!(kern.row_major_indices(), p.indices(), "[{out}, {inp}]");
+        }
+    }
+
+    #[test]
+    fn tiled_matches_serial_and_reference_bit_for_bit() {
+        for (out, inp, n) in [
+            (16, 512, 4),   // exact tile/chunk multiples
+            (17, 513, 3),   // one past the boundary on both axes
+            (5, 33, 1),     // batch 1, sub-tile geometry
+            (130, 1030, 2), // several tiles and chunks with tails
+        ] {
+            let (p, kern) = kernel(out, inp, 8, (out + inp) as u64);
+            let x = xbuf(n, inp, 9);
+            let want = reference(&p, &x, n);
+            let mut serial = vec![0.0f32; n * out];
+            kern.forward_serial_into(&x, n, &mut serial);
+            assert_eq!(serial, want, "serial [{out}, {inp}] batch {n}");
+            let mut arena = ScratchArena::new();
+            let mut tiled = vec![0.0f32; n * out];
+            kern.forward_into(&x, n, &mut tiled, &mut arena);
+            assert_eq!(tiled, want, "tiled [{out}, {inp}] batch {n}");
+        }
+    }
+
+    #[test]
+    fn rich_palette_takes_the_inline_path_and_still_matches() {
+        // k > PROD_K_MAX forces the inline-multiply fallback and u16
+        // storage past 256 entries.
+        for k in [PROD_K_MAX + 1, 300] {
+            let (p, kern) = kernel(24, 70, k, 5);
+            assert!(kern.resident_bytes() > 0);
+            let x = xbuf(3, 70, 6);
+            let want = reference(&p, &x, 3);
+            let mut arena = ScratchArena::new();
+            let mut tiled = vec![0.0f32; 3 * 24];
+            kern.forward_into(&x, 3, &mut tiled, &mut arena);
+            assert_eq!(tiled, want, "k={k}");
+        }
+    }
+
+    #[test]
+    fn one_entry_palette_is_rank_one() {
+        let (p, kern) = kernel(10, 20, 1, 7);
+        let x = xbuf(2, 20, 8);
+        let mut arena = ScratchArena::new();
+        let mut y = vec![0.0f32; 2 * 10];
+        kern.forward_into(&x, 2, &mut y, &mut arena);
+        assert_eq!(y, reference(&p, &x, 2));
+        assert_eq!(kern.k(), 1);
+    }
+
+    #[test]
+    fn steady_state_calls_do_not_grow_the_arena() {
+        let (_p, kern) = kernel(64, 600, 8, 11);
+        let mut arena = ScratchArena::new();
+        let x = xbuf(4, 600, 12);
+        let mut y = vec![0.0f32; 4 * 64];
+        kern.forward_into(&x, 4, &mut y, &mut arena);
+        let grows = arena.grows();
+        for _ in 0..5 {
+            kern.forward_into(&x, 4, &mut y, &mut arena);
+        }
+        assert_eq!(arena.grows(), grows, "warm calls must not allocate");
+        assert_eq!(kern.out_features(), 64);
+        assert_eq!(kern.in_features(), 600);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let (_p, kern) = kernel(8, 8, 4, 13);
+        let mut arena = ScratchArena::new();
+        kern.forward_into(&[], 0, &mut [], &mut arena);
+    }
+}

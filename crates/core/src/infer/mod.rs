@@ -5,21 +5,25 @@
 //! accelerators").
 //!
 //! For scalar clustering the matvec `y = x Wᵀ` factors through the palette:
-//! for each output row, accumulate `Σ_j x_j · lut[idx[row, j]]` — but since
-//! `lut` has only `k ≤ 256` values, we can instead accumulate *per-centroid
-//! partial sums* `b[c] = Σ_{j: idx=c} x_j` and finish with `Σ_c lut[c]·b[c]`
-//! (k multiplies per row instead of `in` multiplies). This is the classic
-//! LUT-GEMM trick.
+//! each output element is `Σ_j lut[idx[row, j]] · x_j`, and because the
+//! LUT has only `k` distinct values the products `lut[c] · x_j` can be
+//! materialized **once per input chunk** and re-read by index — every
+//! multiply in the GEMM becomes an add. The cache-blocked, register-tiled
+//! implementation of that trick lives in [`kernel::TiledLutKernel`]; this
+//! module wires it into whole-model serving.
+
+pub mod kernel;
 
 pub use crate::kv::KvCache;
 use crate::kv::{KvBlockConfig, KvBlockPool};
 use crate::palettize::{AffineQuantized, PalettizedTensor};
 use crate::pipeline::{CompressSpec, CompressedModel, CompressedTensor, CompressionPipeline};
-use edkm_dist::LearnerGroup;
+use crate::scratch::{self, ScratchArena};
+use edkm_dist::{LearnerGroup, ShardWorkers};
 use edkm_nn::attention::{attend_cached_rows, rope_tables, KvRowView};
 use edkm_nn::{LlamaConfig, LlamaModel};
-use edkm_tensor::{ops as t, runtime, DType, Device, Tensor};
-use rayon::prelude::*;
+use edkm_tensor::{runtime, DType, Device, Tensor};
+use kernel::TiledLutKernel;
 use std::sync::Arc;
 
 /// Multiply-accumulate count below which [`PalettizedLinear::forward_batch`]
@@ -29,13 +33,17 @@ use std::sync::Arc;
 const PAR_WORK_THRESHOLD: usize = 1 << 17;
 
 /// A linear layer evaluated straight from its palettized weights.
+///
+/// Construction performs the kernel's one-time tile repack; every forward
+/// entry point then runs the same ascending-`j` single-accumulator math,
+/// so serial, tiled and whole-model paths agree bit for bit.
 #[derive(Debug, Clone)]
 pub struct PalettizedLinear {
     weights: PalettizedTensor,
     out_features: usize,
     in_features: usize,
-    /// Unpacked indices, row-major `[out, in]` (cached for speed).
-    indices: Vec<u32>,
+    /// Tile-repacked indices + activation-LUT GEMM (cached for speed).
+    kernel: TiledLutKernel,
 }
 
 impl PalettizedLinear {
@@ -50,18 +58,18 @@ impl PalettizedLinear {
             2,
             "palettized linear expects [out, in]"
         );
-        let (out_features, in_features) = (weights.shape()[0], weights.shape()[1]);
-        let indices = weights.indices();
         assert_eq!(
-            indices.len(),
-            out_features * in_features,
+            weights.cluster_dim(),
+            1,
             "palette must be scalar-clustered (cluster_dim = 1)"
         );
+        let (out_features, in_features) = (weights.shape()[0], weights.shape()[1]);
+        let kernel = TiledLutKernel::from_palette(&weights);
         PalettizedLinear {
             weights,
             out_features,
             in_features,
-            indices,
+            kernel,
         }
     }
 
@@ -80,13 +88,40 @@ impl PalettizedLinear {
         &self.weights
     }
 
+    /// The tile-repacked GEMM kernel.
+    pub fn kernel(&self) -> &TiledLutKernel {
+        &self.kernel
+    }
+
     /// Serialized parameter bytes of this layer.
     pub fn size_bytes(&self) -> usize {
         self.weights.size_bytes()
     }
 
-    /// `y = x Wᵀ` for `x: [n, in]`, computed via per-centroid accumulation
-    /// (k multiplies per output instead of `in`). Delegates to
+    /// The LUT-GEMM cost model charged by every forward entry point: `|W|`
+    /// index-gathered adds plus the `k·in` activation-table multiplies,
+    /// identical across serial/tiled/batch so the simulated clock cannot
+    /// tell the paths apart. Tensor entry points charge the input's
+    /// device; the slice-level [`PalettizedLinear::forward_rows`] path is
+    /// the CPU serving decoder's and charges the CPU ledger.
+    fn charge(&self, n: usize, device: Device) {
+        runtime::record_compute(
+            (n * self.out_features * (self.in_features + self.weights.k())) as f64,
+            device,
+        );
+    }
+
+    /// Run the kernel without charging (shared by every entry point).
+    fn run_rows(&self, x: &[f32], n: usize, out: &mut [f32], arena: &mut ScratchArena) {
+        let work = n * self.out_features * (self.in_features + self.weights.k());
+        if work < PAR_WORK_THRESHOLD {
+            self.kernel.forward_serial_into(x, n, out);
+        } else {
+            self.kernel.forward_into(x, n, out, arena);
+        }
+    }
+
+    /// `y = x Wᵀ` for `x: [n, in]` via the tiled LUT-GEMM. Delegates to
     /// [`PalettizedLinear::forward_batch`] — there is exactly one LUT-GEMM
     /// inner loop in this type, and both entry points charge the ledger
     /// identically.
@@ -98,10 +133,10 @@ impl PalettizedLinear {
         self.forward_batch(x)
     }
 
-    /// Reference single-threaded LUT-GEMM (the loop `forward_batch` runs on
-    /// every row when the work is below the parallel threshold). Public so
-    /// benchmarks can pin the serial baseline; charges the ledger exactly
-    /// like `forward_batch`.
+    /// Reference single-threaded LUT-GEMM. Public so benchmarks can pin
+    /// the serial baseline; charges the ledger exactly like
+    /// [`PalettizedLinear::forward_batch`] and produces bit-identical
+    /// results.
     ///
     /// # Panics
     ///
@@ -110,50 +145,32 @@ impl PalettizedLinear {
         assert_eq!(x.rank(), 2, "input must be [n, in]");
         assert_eq!(x.shape()[1], self.in_features, "input width mismatch");
         let n = x.shape()[0];
-        let k = self.weights.k();
-        let lut = self.weights.lut();
         let xd = x.to_vec();
         let mut out = vec![0.0f32; n * self.out_features];
-        let mut bins = vec![0.0f32; k];
-        if self.out_features > 0 {
-            for (i, orow) in out.chunks_mut(self.out_features).enumerate() {
-                let xrow = &xd[i * self.in_features..(i + 1) * self.in_features];
-                self.forward_row(xrow, orow, lut, &mut bins);
-            }
-        }
-        // The LUT trick costs |W| adds + k·out multiplies instead of 2|W|.
-        runtime::record_compute(
-            (n * self.out_features * (self.in_features + k)) as f64,
-            x.device(),
-        );
+        self.kernel.forward_serial_into(&xd, n, &mut out);
+        self.charge(n, x.device());
         Tensor::from_vec(out, &[n, self.out_features], DType::F32, x.device())
     }
 
-    /// One batch row of the LUT-GEMM: per-centroid partial sums, then the
-    /// `k`-wide dot with the palette. The single inner loop shared by the
-    /// serial and threaded paths, so results match bit for bit.
-    fn forward_row(&self, xrow: &[f32], orow: &mut [f32], lut: &[f32], bins: &mut [f32]) {
-        for (r, o) in orow.iter_mut().enumerate() {
-            bins.iter_mut().for_each(|b| *b = 0.0);
-            let idx_row = &self.indices[r * self.in_features..(r + 1) * self.in_features];
-            for (&xv, &c) in xrow.iter().zip(idx_row) {
-                bins[c as usize] += xv;
-            }
-            let mut acc = 0.0f32;
-            for (b, &l) in bins.iter().zip(lut) {
-                acc += b * l;
-            }
-            *o = acc;
-        }
+    /// Slice-level forward: `out[i, :] = x[i, :] Wᵀ`, scratch drawn from
+    /// `arena` — the allocation-free entry point the serving decoder
+    /// drives. Work below the parallel threshold runs the serial loop;
+    /// either way the result is bit-identical and the ledger charge the
+    /// same.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `n · in` long or `out` is not `n · out` long.
+    pub fn forward_rows(&self, x: &[f32], n: usize, out: &mut [f32], arena: &mut ScratchArena) {
+        self.run_rows(x, n, out, arena);
+        self.charge(n, Device::Cpu);
     }
 
-    /// Batched `y = x Wᵀ` for `x: [n, in]`, with the per-row LUT-GEMM
-    /// partial sums computed across worker threads once the work clears
-    /// the parallel work threshold (serial below it).
-    ///
-    /// Bit-identical to [`PalettizedLinear::forward_serial`]; every FLOP is
-    /// charged once to the caller's runtime (workers do pure slice math).
-    /// Rows are independent, so the split is by batch row.
+    /// Batched `y = x Wᵀ` for `x: [n, in]` through the cache-blocked tiled
+    /// kernel (worker threads over output tiles past the work threshold,
+    /// serial below it). Bit-identical to
+    /// [`PalettizedLinear::forward_serial`] at every thread count; every
+    /// FLOP is charged once to the caller's runtime.
     ///
     /// # Panics
     ///
@@ -162,26 +179,10 @@ impl PalettizedLinear {
         assert_eq!(x.rank(), 2, "input must be [n, in]");
         assert_eq!(x.shape()[1], self.in_features, "input width mismatch");
         let n = x.shape()[0];
-        let k = self.weights.k();
-        if self.out_features == 0
-            || n * self.out_features * (self.in_features + k) < PAR_WORK_THRESHOLD
-        {
-            return self.forward_serial(x);
-        }
-        let lut = self.weights.lut();
         let xd = x.to_vec();
         let mut out = vec![0.0f32; n * self.out_features];
-        out.par_chunks_mut(self.out_features)
-            .enumerate()
-            .for_each(|(i, orow)| {
-                let xrow = &xd[i * self.in_features..(i + 1) * self.in_features];
-                let mut bins = vec![0.0f32; k];
-                self.forward_row(xrow, orow, lut, &mut bins);
-            });
-        runtime::record_compute(
-            (n * self.out_features * (self.in_features + k)) as f64,
-            x.device(),
-        );
+        scratch::with_thread_scratch(|arena| self.run_rows(&xd, n, &mut out, arena));
+        self.charge(n, x.device());
         Tensor::from_vec(out, &[n, self.out_features], DType::F32, x.device())
     }
 }
@@ -202,6 +203,9 @@ pub trait LutProjection {
     fn size_bytes(&self) -> usize;
     /// Batched `y = x Wᵀ` for `x: [n, in]`.
     fn forward_batch(&self, x: &Tensor) -> Tensor;
+    /// Slice-level batched forward with scratch from `arena` — the
+    /// allocation-free path the serving decoder drives.
+    fn forward_rows(&self, x: &[f32], n: usize, out: &mut [f32], arena: &mut ScratchArena);
 }
 
 impl LutProjection for PalettizedLinear {
@@ -216,6 +220,9 @@ impl LutProjection for PalettizedLinear {
     }
     fn forward_batch(&self, x: &Tensor) -> Tensor {
         PalettizedLinear::forward_batch(self, x)
+    }
+    fn forward_rows(&self, x: &[f32], n: usize, out: &mut [f32], arena: &mut ScratchArena) {
+        PalettizedLinear::forward_rows(self, x, n, out, arena)
     }
 }
 
@@ -236,16 +243,25 @@ pub enum Partition {
 }
 
 /// A palettized projection partitioned over an [`edkm_dist::LearnerGroup`]:
-/// each learner keeps the full LUT plus the packed indices of its own
-/// shard, runs its shard GEMM on a worker thread, and the combine pays the
-/// collective through [`runtime::record_all_gather`].
+/// each learner keeps the full LUT plus the tile-repacked indices of its
+/// own shard (shards repack their local tiles at construction), shard
+/// GEMMs run on worker threads, and the combine pays the collective
+/// through [`runtime::record_all_gather`].
+///
+/// Shard execution reuses a persistent [`ShardWorkers`] pool when one is
+/// attached ([`ShardedPalettizedLinear::with_pool`] — what
+/// [`PalettizedModel::shard`] does for every projection of a model), so
+/// serving does not re-spawn worker threads on every projection call.
+/// Small GEMMs, single-learner groups and single-core hosts run the shards
+/// inline; results are bit-identical on every path.
 #[derive(Debug, Clone)]
 pub struct ShardedPalettizedLinear {
-    shards: Vec<PalettizedLinear>,
+    shards: Arc<Vec<PalettizedLinear>>,
     group: LearnerGroup,
     partition: Partition,
     out_features: usize,
     in_features: usize,
+    pool: Option<Arc<ShardWorkers>>,
 }
 
 impl ShardedPalettizedLinear {
@@ -267,6 +283,15 @@ impl ShardedPalettizedLinear {
     /// Panics if the palette is not 2-D scalar-clustered.
     pub fn row(weights: &PalettizedTensor, group: LearnerGroup) -> Self {
         Self::build(weights, group, Partition::Row)
+    }
+
+    /// Run shard GEMMs on `pool`'s persistent worker threads instead of
+    /// spawning scoped threads per call. Results are unchanged; only the
+    /// dispatch cost differs.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<ShardWorkers>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     fn build(weights: &PalettizedTensor, group: LearnerGroup, partition: Partition) -> Self {
@@ -316,11 +341,12 @@ impl ShardedPalettizedLinear {
             }
         };
         ShardedPalettizedLinear {
-            shards,
+            shards: Arc::new(shards),
             group,
             partition,
             out_features: out,
             in_features: inp,
+            pool: None,
         }
     }
 
@@ -339,26 +365,39 @@ impl ShardedPalettizedLinear {
         self.group
     }
 
-    /// Run `f(rank)` for every shard on its own worker thread (bound to
-    /// the caller's runtime, so every shard's FLOPs and allocations land in
-    /// the shared ledgers), collecting results in rank order.
+    /// Run `f(rank)` for every shard, collecting results in rank order.
     ///
-    /// Single-learner groups, and projections whose total multiply-
-    /// accumulate `work` sits below the kernel parallel threshold, run the
-    /// shards inline instead — spawning a thread per shard costs more than
-    /// a small GEMM saves (on a decode step a model would otherwise spawn
-    /// `shards × projections × layers` threads for microseconds of math).
-    /// Ledger charges are identical either way.
+    /// Three execution modes, all producing identical bits:
+    /// * **inline** — single-learner groups, GEMMs below the parallel work
+    ///   threshold, or single-core hosts (parallel shards cannot win
+    ///   wall-clock there, and per-call thread churn was the measured
+    ///   shard-sweep slowdown; see EXPERIMENTS.md);
+    /// * **persistent pool** — a [`ShardWorkers`] attached via
+    ///   [`ShardedPalettizedLinear::with_pool`]: jobs are dispatched to
+    ///   long-lived workers, no spawns;
+    /// * **scoped spawn** — the fallback for pool-less multi-core callers.
+    ///
+    /// Every mode binds the caller's runtime, so shard FLOPs and
+    /// allocations land in the shared ledgers exactly once.
     fn run_shards<F>(&self, work: usize, f: F) -> Vec<Vec<f32>>
     where
-        F: Fn(usize) -> Vec<f32> + Sync,
+        F: Fn(usize) -> Vec<f32> + Send + Sync + 'static,
     {
-        if self.group.n_learners() == 1 || work < PAR_WORK_THRESHOLD {
-            return (0..self.group.n_learners()).map(f).collect();
+        let n = self.group.n_learners();
+        if n == 1 || work < PAR_WORK_THRESHOLD {
+            return (0..n).map(f).collect();
+        }
+        if let Some(pool) = &self.pool {
+            return pool.run(n, f);
+        }
+        if rayon::current_num_threads() == 1 {
+            // No pool and no spare cores: scoped spawns would be pure
+            // overhead (the measured shard-sweep slowdown; EXPERIMENTS.md).
+            return (0..n).map(f).collect();
         }
         let rt = runtime::current();
         std::thread::scope(|s| {
-            let handles: Vec<_> = (0..self.group.n_learners())
+            let handles: Vec<_> = (0..n)
                 .map(|r| {
                     let rt = rt.clone();
                     let f = &f;
@@ -375,18 +414,18 @@ impl ShardedPalettizedLinear {
         })
     }
 
-    /// Sharded `y = x Wᵀ` for `x: [n, in]`: shard GEMMs run in parallel
-    /// threads, then the group combine (feature all-gather for
-    /// [`Partition::Column`], rank-ordered all-reduce for
-    /// [`Partition::Row`]) pays simulated network time.
+    /// Slice-level sharded forward; see
+    /// [`ShardedPalettizedLinear::forward_batch`]. The collectives
+    /// allocate their gather buffers (a property of the simulated network,
+    /// not the kernel), so unlike the unsharded path this one is not
+    /// allocation-free; `arena` is accepted for interface uniformity.
     ///
     /// # Panics
     ///
-    /// Panics if `x` is not `[n, in]`.
-    pub fn forward_batch(&self, x: &Tensor) -> Tensor {
-        assert_eq!(x.rank(), 2, "input must be [n, in]");
-        assert_eq!(x.shape()[1], self.in_features, "input width mismatch");
-        let n = x.shape()[0];
+    /// Panics if `x` is not `n · in` long or `out` is not `n · out` long.
+    pub fn forward_rows(&self, x: &[f32], n: usize, out: &mut [f32], _arena: &mut ScratchArena) {
+        assert_eq!(x.len(), n * self.in_features, "x must be [n, in]");
+        assert_eq!(out.len(), n * self.out_features, "out must be [n, out]");
         let k = self
             .shards
             .iter()
@@ -396,15 +435,21 @@ impl ShardedPalettizedLinear {
         let work = n * self.out_features * (self.in_features + k);
         match self.partition {
             Partition::Column => {
-                let outs = self.run_shards(work, |r| self.shards[r].forward_batch(x).to_vec());
+                let shards = Arc::clone(&self.shards);
+                let xs: Arc<Vec<f32>> = Arc::new(x.to_vec());
+                let outs = self.run_shards(work, move |r| {
+                    let shard = &shards[r];
+                    let mut y = vec![0.0f32; n * shard.out_features()];
+                    scratch::with_thread_scratch(|a| shard.forward_rows(&xs, n, &mut y, a));
+                    y
+                });
                 // Pay the ring all-gather, then splice each learner's
                 // feature slice back into full-width rows.
                 let gathered = self.group.all_gather(&outs);
-                let mut out = vec![0.0f32; n * self.out_features];
                 let mut col0 = 0usize;
                 let mut base = 0usize;
-                for shard in &self.shards {
-                    let w = LutProjection::out_features(shard);
+                for shard in self.shards.iter() {
+                    let w = shard.out_features();
                     for i in 0..n {
                         out[i * self.out_features + col0..i * self.out_features + col0 + w]
                             .copy_from_slice(&gathered[base + i * w..base + (i + 1) * w]);
@@ -412,27 +457,47 @@ impl ShardedPalettizedLinear {
                     col0 += w;
                     base += n * w;
                 }
-                Tensor::from_vec(out, &[n, self.out_features], DType::F32, x.device())
             }
             Partition::Row => {
                 let spec = self.group.shard_spec(self.in_features);
-                let xd = x.to_vec();
-                let parts = self.run_shards(work, |r| {
+                let shards = Arc::clone(&self.shards);
+                let xs: Arc<Vec<f32>> = Arc::new(x.to_vec());
+                let in_features = self.in_features;
+                let parts = self.run_shards(work, move |r| {
                     let cols = spec.shard_range(r);
                     let w = cols.len();
                     let mut slab = Vec::with_capacity(n * w);
                     for i in 0..n {
                         slab.extend_from_slice(
-                            &xd[i * self.in_features + cols.start..i * self.in_features + cols.end],
+                            &xs[i * in_features + cols.start..i * in_features + cols.end],
                         );
                     }
-                    let xr = Tensor::from_vec(slab, &[n, w], DType::F32, x.device());
-                    self.shards[r].forward_batch(&xr).to_vec()
+                    let shard = &shards[r];
+                    let mut y = vec![0.0f32; n * shard.out_features()];
+                    scratch::with_thread_scratch(|a| shard.forward_rows(&slab, n, &mut y, a));
+                    y
                 });
-                let reduced = self.group.all_reduce_sum(&parts);
-                Tensor::from_vec(reduced, &[n, self.out_features], DType::F32, x.device())
+                out.copy_from_slice(&self.group.all_reduce_sum(&parts));
             }
         }
+    }
+
+    /// Sharded `y = x Wᵀ` for `x: [n, in]`: shard GEMMs run on worker
+    /// threads (persistent pool when attached), then the group combine
+    /// (feature all-gather for [`Partition::Column`], rank-ordered
+    /// all-reduce for [`Partition::Row`]) pays simulated network time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[n, in]`.
+    pub fn forward_batch(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 2, "input must be [n, in]");
+        assert_eq!(x.shape()[1], self.in_features, "input width mismatch");
+        let n = x.shape()[0];
+        let xd = x.to_vec();
+        let mut out = vec![0.0f32; n * self.out_features];
+        scratch::with_thread_scratch(|arena| self.forward_rows(&xd, n, &mut out, arena));
+        Tensor::from_vec(out, &[n, self.out_features], DType::F32, x.device())
     }
 }
 
@@ -448,6 +513,9 @@ impl LutProjection for ShardedPalettizedLinear {
     }
     fn forward_batch(&self, x: &Tensor) -> Tensor {
         ShardedPalettizedLinear::forward_batch(self, x)
+    }
+    fn forward_rows(&self, x: &[f32], n: usize, out: &mut [f32], arena: &mut ScratchArena) {
+        ShardedPalettizedLinear::forward_rows(self, x, n, out, arena)
     }
 }
 
@@ -485,8 +553,11 @@ impl std::fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 /// Read view of one layer of a paged [`KvCache`] — what the shared
-/// attention kernel ([`attend_cached_rows`]) reads rows through, resolving
-/// positions via the sequence's block table.
+/// attention kernel ([`attend_cached_rows`]) reads rows through. Runs of
+/// consecutive positions inside one KV block surface as a single
+/// contiguous slice ([`KvRowView::k_rows`]), so the attention inner loop
+/// walks the cache block-at-a-time instead of resolving the block table
+/// per row.
 struct LayerView<'a> {
     cache: &'a KvCache,
     layer: usize,
@@ -498,6 +569,12 @@ impl KvRowView for LayerView<'_> {
     }
     fn v_row(&self, pos: usize) -> &[f32] {
         self.cache.v_row(self.layer, pos)
+    }
+    fn k_rows(&self, pos: usize) -> &[f32] {
+        self.cache.k_rows_from(self.layer, pos)
+    }
+    fn v_rows(&self, pos: usize) -> &[f32] {
+        self.cache.v_rows_from(self.layer, pos)
     }
 }
 
@@ -512,7 +589,7 @@ enum EmbedStore {
 impl EmbedStore {
     fn write_row(&self, id: usize, out: &mut [f32]) {
         match self {
-            EmbedStore::Affine(a) => out.copy_from_slice(&a.decode_row(id)),
+            EmbedStore::Affine(a) => a.decode_row_into(id, out),
             EmbedStore::Dense { values } => {
                 let d = out.len();
                 out.copy_from_slice(&values[id * d..(id + 1) * d]);
@@ -581,7 +658,7 @@ struct DecoderParts<P> {
 }
 
 /// A whole LLaMA-style decoder whose every projection runs straight from
-/// `PalettizedTensor` storage via the LUT-GEMM kernels — the model an
+/// `PalettizedTensor` storage via the tiled LUT-GEMM kernel — the model an
 /// accelerator would execute from the shipped artifact. Weights never
 /// decompress to dense matrices; only the norm gains and (optionally) the
 /// embedding table live as raw 16-bit-equivalent values, exactly the split
@@ -593,12 +670,13 @@ pub struct PalettizedModel {
 
 /// A [`PalettizedModel`] partitioned over an [`edkm_dist::LearnerGroup`]
 /// for tensor-parallel serving: every projection is column-sharded
-/// ([`Partition::Column`] — LUT + packed indices per learner), shard GEMMs
-/// run in parallel threads, and each projection's feature all-gather is
-/// charged through [`runtime::record_all_gather`] so the cost model covers
-/// serving collectives. Column partitioning keeps every output element on
-/// exactly one learner, so logits are **bit-identical** to the unsharded
-/// model at any shard count (`tests/sharded_parity.rs`).
+/// ([`Partition::Column`] — LUT + tile-repacked indices per learner),
+/// shard GEMMs run on a persistent worker pool shared by the whole model,
+/// and each projection's feature all-gather is charged through
+/// [`runtime::record_all_gather`] so the cost model covers serving
+/// collectives. Column partitioning keeps every output element on exactly
+/// one learner, so logits are **bit-identical** to the unsharded model at
+/// any shard count (`tests/sharded_parity.rs`).
 ///
 /// ```
 /// use edkm_core::{CompressSpec, PalettizedModel};
@@ -629,21 +707,20 @@ fn sigmoid(v: f32) -> f32 {
     1.0 / (1.0 + (-v).exp())
 }
 
-/// RMS-normalize each `gain.len()`-wide row (identical accumulation order
-/// to `Var::rmsnorm`, so serving matches training-side numerics).
-fn rmsnorm_rows(x: &Tensor, gain: &[f32]) -> Tensor {
+/// RMS-normalize each `gain.len()`-wide row of `x` into `out` (identical
+/// accumulation order to `Var::rmsnorm`, so serving matches training-side
+/// numerics). Charges 4 FLOPs per element like the tensor op it replaced.
+fn rmsnorm_rows_into(x: &[f32], gain: &[f32], out: &mut [f32], device: Device) {
     let d = gain.len();
-    let xd = x.to_vec();
-    let mut out = vec![0.0f32; xd.len()];
-    for (row, orow) in xd.chunks(d).zip(out.chunks_mut(d)) {
+    debug_assert_eq!(x.len(), out.len());
+    for (row, orow) in x.chunks(d).zip(out.chunks_mut(d)) {
         let ms = row.iter().map(|v| v * v).sum::<f32>() / d as f32;
         let r = 1.0 / (ms + RMS_EPS).sqrt();
         for ((o, &xv), &wv) in orow.iter_mut().zip(row).zip(gain) {
             *o = xv * r * wv;
         }
     }
-    runtime::record_compute(4.0 * xd.len() as f64, x.device());
-    Tensor::from_vec(out, x.shape(), DType::F32, x.device())
+    runtime::record_compute(4.0 * x.len() as f64, device);
 }
 
 /// Rotate one `[h·hd]` projection row at absolute position `p` (GPT-NeoX
@@ -830,13 +907,19 @@ impl PalettizedModel {
 
     /// Partition every projection of this model over `group` for
     /// tensor-parallel serving (column shards; see
-    /// [`ShardedPalettizedModel`]). The sharded model draws from its own
-    /// fresh default KV pool.
+    /// [`ShardedPalettizedModel`]). All projections share one persistent
+    /// [`ShardWorkers`] pool, so serving never re-spawns shard threads per
+    /// call. The sharded model draws from its own fresh default KV pool.
     pub fn shard(&self, group: LearnerGroup) -> ShardedPalettizedModel {
+        let pool = (group.n_learners() > 1).then(|| ShardWorkers::new(group.n_learners()));
         ShardedPalettizedModel {
-            parts: self
-                .parts
-                .map_projections(|p| ShardedPalettizedLinear::column(p.weights(), group)),
+            parts: self.parts.map_projections(|p| {
+                let sharded = ShardedPalettizedLinear::column(p.weights(), group);
+                match &pool {
+                    Some(pool) => sharded.with_pool(Arc::clone(pool)),
+                    None => sharded,
+                }
+            }),
             group,
         }
     }
@@ -989,8 +1072,8 @@ impl ShardedPalettizedModel {
 /// generation/scheduling stack.
 ///
 /// `Send + Sync` are explicit supertraits: the engine moves the model onto
-/// its worker thread, and the sharded model fans shard GEMMs out to scoped
-/// worker threads through `&self`.
+/// its worker thread, and the sharded model fans shard GEMMs out to worker
+/// threads through `&self`.
 pub trait ServeModel: Send + Sync {
     /// Architecture config.
     fn config(&self) -> &LlamaConfig;
@@ -1001,6 +1084,21 @@ pub trait ServeModel: Send + Sync {
     /// Batched forward over per-sequence chunks; see
     /// [`PalettizedModel::forward_chunks`].
     fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [&mut KvCache]) -> Tensor;
+
+    /// Batched forward returning the raw logits buffer (`[Σ chunk lens ·
+    /// vocab]`, rows grouped chunk by chunk), with every temporary drawn
+    /// from `arena` — the allocation-free path [`crate::serve::Scheduler`]
+    /// drives every step. The caller should hand the returned buffer back
+    /// via [`ScratchArena::put`] once consumed.
+    fn forward_chunks_into(
+        &self,
+        chunks: &[&[usize]],
+        caches: &mut [&mut KvCache],
+        arena: &mut ScratchArena,
+    ) -> Vec<f32> {
+        let _ = arena; // default goes through the Tensor path
+        self.forward_chunks(chunks, caches).to_vec()
+    }
 
     /// Prefill one sequence's prompt, returning logits `[len, vocab]`.
     fn prefill(&self, ids: &[usize], cache: &mut KvCache) -> Tensor {
@@ -1027,6 +1125,14 @@ impl ServeModel for PalettizedModel {
     fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [&mut KvCache]) -> Tensor {
         PalettizedModel::forward_chunks(self, chunks, caches)
     }
+    fn forward_chunks_into(
+        &self,
+        chunks: &[&[usize]],
+        caches: &mut [&mut KvCache],
+        arena: &mut ScratchArena,
+    ) -> Vec<f32> {
+        self.parts.forward_chunks_into(chunks, caches, arena)
+    }
 }
 
 impl ServeModel for ShardedPalettizedModel {
@@ -1041,6 +1147,14 @@ impl ServeModel for ShardedPalettizedModel {
     }
     fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [&mut KvCache]) -> Tensor {
         ShardedPalettizedModel::forward_chunks(self, chunks, caches)
+    }
+    fn forward_chunks_into(
+        &self,
+        chunks: &[&[usize]],
+        caches: &mut [&mut KvCache],
+        arena: &mut ScratchArena,
+    ) -> Vec<f32> {
+        self.parts.forward_chunks_into(chunks, caches, arena)
     }
 }
 
@@ -1077,6 +1191,63 @@ impl<P> DecoderParts<P> {
     }
 }
 
+/// The per-step scratch set of the decoder forward, all checked out of one
+/// [`ScratchArena`] and returned on drop of the call — named so the
+/// checkout/return pairing is auditable in one place.
+struct ForwardScratch {
+    /// Residual stream, `[n, d]`.
+    x: Vec<f32>,
+    /// Norm output feeding the projections, `[n, d]`.
+    h: Vec<f32>,
+    /// Q/K/V projection outputs, `[n, d]` each.
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    /// Attention context, `[n, d]`.
+    ctx: Vec<f32>,
+    /// Projection output folded into the residual, `[n, d]`.
+    proj: Vec<f32>,
+    /// MLP gate/up activations, `[n, d_ff]` each.
+    gate: Vec<f32>,
+    up: Vec<f32>,
+    /// Attention score scratch, `[max_seq]`.
+    scores: Vec<f32>,
+}
+
+impl ForwardScratch {
+    fn take(arena: &mut ScratchArena, n: usize, d: usize, d_ff: usize, max_seq: usize) -> Self {
+        ForwardScratch {
+            x: arena.take(n * d),
+            h: arena.take(n * d),
+            q: arena.take(n * d),
+            k: arena.take(n * d),
+            v: arena.take(n * d),
+            ctx: arena.take(n * d),
+            proj: arena.take(n * d),
+            gate: arena.take(n * d_ff),
+            up: arena.take(n * d_ff),
+            scores: arena.take(max_seq),
+        }
+    }
+
+    fn put(self, arena: &mut ScratchArena) {
+        for buf in [
+            self.x,
+            self.h,
+            self.q,
+            self.k,
+            self.v,
+            self.ctx,
+            self.proj,
+            self.gate,
+            self.up,
+            self.scores,
+        ] {
+            arena.put(buf);
+        }
+    }
+}
+
 impl<P: LutProjection> DecoderParts<P> {
     fn size_bytes(&self) -> usize {
         let norms = crate::palettize::native16_size_bytes(
@@ -1102,7 +1273,31 @@ impl<P: LutProjection> DecoderParts<P> {
                 .sum::<usize>()
     }
 
+    /// `Tensor`-returning wrapper over the arena path, for callers outside
+    /// the scheduler loop (parity tests, examples, one-shot prefills).
     fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [&mut KvCache]) -> Tensor {
+        let n_total: usize = chunks.iter().map(|c| c.len()).sum();
+        let logits =
+            scratch::with_thread_scratch(|arena| self.forward_chunks_into(chunks, caches, arena));
+        Tensor::from_vec(
+            logits,
+            &[n_total, self.config.vocab],
+            DType::F32,
+            self.device,
+        )
+    }
+
+    /// The batched decoder forward over raw slices: every temporary comes
+    /// from `arena`, so a steady-state decode step (same flight shape as
+    /// the previous step) performs zero heap allocations in this path. The
+    /// returned logits buffer belongs to the arena; hand it back with
+    /// [`ScratchArena::put`].
+    fn forward_chunks_into(
+        &self,
+        chunks: &[&[usize]],
+        caches: &mut [&mut KvCache],
+        arena: &mut ScratchArena,
+    ) -> Vec<f32> {
         assert_eq!(chunks.len(), caches.len(), "one cache per chunk");
         assert!(!chunks.is_empty(), "at least one chunk");
         let d = self.config.d_model;
@@ -1133,48 +1328,34 @@ impl<P: LutProjection> DecoderParts<P> {
             pos.extend((0..chunk.len()).map(|i| starts[g] + i));
         }
 
+        let mut s = ForwardScratch::take(arena, n_total, d, self.config.d_ff, self.config.max_seq);
+
         // Embed all new tokens: [n_total, d].
-        let mut xd = vec![0.0f32; n_total * d];
         let mut row = 0usize;
         for chunk in chunks {
             for &id in *chunk {
                 assert!(id < self.config.vocab, "id {id} out of vocabulary");
-                self.embed.write_row(id, &mut xd[row * d..(row + 1) * d]);
+                self.embed.write_row(id, &mut s.x[row * d..(row + 1) * d]);
                 row += 1;
             }
         }
-        let mut x = Tensor::from_vec(xd, &[n_total, d], DType::F32, self.device);
 
-        let mut scores = vec![0.0f32; self.config.max_seq];
         for (li, layer) in self.layers.iter().enumerate() {
-            let h1 = rmsnorm_rows(&x, &layer.input_norm);
-            let mut qd = layer.q.forward_batch(&h1).to_vec();
-            let mut kd = layer.k.forward_batch(&h1).to_vec();
-            let vd = layer.v.forward_batch(&h1).to_vec();
-            for r in 0..n_total {
-                rope_row(
-                    &mut qd[r * d..(r + 1) * d],
-                    h,
-                    hd,
-                    &self.cos,
-                    &self.sin,
-                    pos[r],
-                );
-                rope_row(
-                    &mut kd[r * d..(r + 1) * d],
-                    h,
-                    hd,
-                    &self.cos,
-                    &self.sin,
-                    pos[r],
-                );
+            rmsnorm_rows_into(&s.x, &layer.input_norm, &mut s.h, self.device);
+            layer.q.forward_rows(&s.h, n_total, &mut s.q, arena);
+            layer.k.forward_rows(&s.h, n_total, &mut s.k, arena);
+            layer.v.forward_rows(&s.h, n_total, &mut s.v, arena);
+            for (r, &p) in pos.iter().enumerate() {
+                rope_row(&mut s.q[r * d..(r + 1) * d], h, hd, &self.cos, &self.sin, p);
+                rope_row(&mut s.k[r * d..(r + 1) * d], h, hd, &self.cos, &self.sin, p);
             }
 
             // Attention: per sequence against its own cache, rows read
-            // through the block table (same accumulation order as the
-            // monolithic layout — `attend_cached_rows` is bit-stable in
-            // the storage geometry).
-            let mut ctx = vec![0.0f32; n_total * d];
+            // through the block table a whole block at a time
+            // (`attend_cached_rows` walks [`KvRowView::k_rows`] runs; the
+            // accumulation order matches the monolithic layout, so the
+            // kernel is bit-stable in the storage geometry).
+            s.ctx.fill(0.0);
             let mut flops = 0.0f64;
             let mut base = 0usize;
             for (g, chunk) in chunks.iter().enumerate() {
@@ -1182,39 +1363,58 @@ impl<P: LutProjection> DecoderParts<P> {
                 caches[g].write_rows(
                     li,
                     starts[g],
-                    &kd[base * d..(base + n) * d],
-                    &vd[base * d..(base + n) * d],
+                    &s.k[base * d..(base + n) * d],
+                    &s.v[base * d..(base + n) * d],
                 );
                 let view = LayerView {
                     cache: &*caches[g],
                     layer: li,
                 };
                 flops += attend_cached_rows(
-                    &qd[base * d..(base + n) * d],
+                    &s.q[base * d..(base + n) * d],
                     starts[g],
                     h,
                     hd,
                     &view,
-                    &mut ctx[base * d..(base + n) * d],
-                    &mut scores,
+                    &mut s.ctx[base * d..(base + n) * d],
+                    &mut s.scores,
                 );
                 base += n;
             }
             runtime::record_compute(flops, self.device);
 
-            let ctx_t = Tensor::from_vec(ctx, &[n_total, d], DType::F32, self.device);
-            x = t::add(&x, &layer.o.forward_batch(&ctx_t));
-            let h2 = rmsnorm_rows(&x, &layer.post_norm);
-            let gate = layer.gate.forward_batch(&h2).map(|v| v * sigmoid(v));
-            let up = layer.up.forward_batch(&h2);
-            x = t::add(&x, &layer.down.forward_batch(&t::mul(&gate, &up)));
+            layer.o.forward_rows(&s.ctx, n_total, &mut s.proj, arena);
+            for (xv, &pv) in s.x.iter_mut().zip(&s.proj) {
+                *xv += pv;
+            }
+            runtime::record_compute(s.x.len() as f64, self.device);
+
+            rmsnorm_rows_into(&s.x, &layer.post_norm, &mut s.h, self.device);
+            layer.gate.forward_rows(&s.h, n_total, &mut s.gate, arena);
+            layer.up.forward_rows(&s.h, n_total, &mut s.up, arena);
+            // SwiGLU: gate · silu, then the elementwise product with up
+            // (same per-element order as the tensor ops it replaced).
+            for (g, &u) in s.gate.iter_mut().zip(&s.up) {
+                *g = (*g * sigmoid(*g)) * u;
+            }
+            runtime::record_compute(2.0 * s.gate.len() as f64, self.device);
+            layer
+                .down
+                .forward_rows(&s.gate, n_total, &mut s.proj, arena);
+            for (xv, &pv) in s.x.iter_mut().zip(&s.proj) {
+                *xv += pv;
+            }
+            runtime::record_compute(s.x.len() as f64, self.device);
         }
         for (g, chunk) in chunks.iter().enumerate() {
             caches[g].commit(chunk.len());
         }
 
-        let xf = rmsnorm_rows(&x, &self.final_norm);
-        self.lm_head.forward_batch(&xf)
+        rmsnorm_rows_into(&s.x, &self.final_norm, &mut s.h, self.device);
+        let mut logits = arena.take(n_total * self.config.vocab);
+        self.lm_head.forward_rows(&s.h, n_total, &mut logits, arena);
+        s.put(arena);
+        logits
     }
 
     fn decode_step(&self, tokens: &[usize], caches: &mut [&mut KvCache]) -> Tensor {
@@ -1222,7 +1422,6 @@ impl<P: LutProjection> DecoderParts<P> {
         self.forward_chunks(&chunks, caches)
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1630,6 +1829,36 @@ mod tests {
             "shard GEMM FLOPs plus the all-gather must exceed the \
              unsharded cost: {sharded_cost} vs {unsharded_cost}"
         );
+    }
+
+    #[test]
+    fn pool_backed_shards_are_bit_identical_to_unsharded() {
+        runtime::reset();
+        // A GEMM big enough to clear the parallel threshold, forced onto a
+        // persistent ShardWorkers pool: the pool dispatch path must change
+        // nothing — not one bit — relative to the unsharded kernel, and
+        // the shard FLOPs must land on the caller's clock.
+        let w = Tensor::randn(&[256, 256], DType::Bf16, Device::Cpu, 50).map(|v| v * 0.05);
+        let dkm = crate::dkm::DkmLayer::new(DkmConfig::with_bits(3));
+        let lin = PalettizedLinear::new(dkm.palettize(&w));
+        let x = Tensor::randn(&[8, 256], DType::F32, Device::Cpu, 51);
+        let want = lin.forward_batch(&x).to_vec();
+        for learners in [2usize, 4] {
+            let pooled =
+                ShardedPalettizedLinear::column(lin.weights(), LearnerGroup::new(learners))
+                    .with_pool(edkm_dist::ShardWorkers::new(learners));
+            let t0 = runtime::sim_seconds();
+            let got = pooled.forward_batch(&x);
+            assert!(
+                runtime::sim_seconds() > t0,
+                "pool jobs must charge the caller's runtime"
+            );
+            assert_eq!(
+                got.to_vec(),
+                want,
+                "{learners} pool-backed shards must not change a single bit"
+            );
+        }
     }
 
     #[test]

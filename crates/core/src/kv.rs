@@ -306,13 +306,34 @@ impl KvCache {
         self.row(layer, pos, true)
     }
 
+    /// The contiguous K rows of `layer` from `pos` to the end of its
+    /// block — positions inside one block are stored back to back per
+    /// layer, so attention can stream a whole block per table lookup
+    /// instead of resolving every row. Rows past the written range hold
+    /// recycled data; callers clamp to their context length.
+    pub fn k_rows_from(&self, layer: usize, pos: usize) -> &[f32] {
+        self.rows_from(layer, pos, false)
+    }
+
+    /// The contiguous V rows of `layer` from `pos` to the end of its
+    /// block; see [`KvCache::k_rows_from`].
+    pub fn v_rows_from(&self, layer: usize, pos: usize) -> &[f32] {
+        self.rows_from(layer, pos, true)
+    }
+
     fn row(&self, layer: usize, pos: usize, v: bool) -> &[f32] {
+        let d = self.pool.d_model;
+        &self.rows_from(layer, pos, v)[..d]
+    }
+
+    fn rows_from(&self, layer: usize, pos: usize, v: bool) -> &[f32] {
         let d = self.pool.d_model;
         let bt = self.pool.block_tokens;
         let block = &self.blocks[pos / bt];
         let off = (layer * bt + pos % bt) * d;
+        let end = (layer * bt + bt) * d;
         let buf = if v { &block.v } else { &block.k };
-        &buf[off..off + d]
+        &buf[off..end]
     }
 }
 
@@ -416,6 +437,34 @@ mod tests {
         assert_eq!(c.k_row(1, 2), &[108.0, 109.0, 110.0, 111.0]);
         assert_eq!(c.v_row(0, 1), &[-4.0, -5.0, -6.0, -7.0]);
         assert_eq!(c.block_table().len(), 2);
+    }
+
+    #[test]
+    fn block_runs_cover_rows_contiguously() {
+        let p = pool(2, 0); // d_model 4, 2 layers, 2 tokens/block
+        let mut c = KvCache::new(Arc::clone(&p));
+        assert!(c.try_reserve(4));
+        for layer in 0..2 {
+            let k: Vec<f32> = (0..16).map(|i| (layer * 100 + i) as f32).collect();
+            let v: Vec<f32> = k.iter().map(|x| -x).collect();
+            c.write_rows(layer, 0, &k, &v);
+        }
+        c.commit(4);
+        // A run starting at a block boundary covers the whole block…
+        assert_eq!(c.k_rows_from(0, 0).len(), 2 * 4);
+        assert_eq!(&c.k_rows_from(1, 2)[..4], c.k_row(1, 2));
+        // …and a mid-block start covers the remainder only.
+        assert_eq!(c.v_rows_from(0, 1).len(), 4);
+        assert_eq!(c.v_rows_from(0, 1), c.v_row(0, 1));
+        // Run contents equal the row-at-a-time reads, position by position.
+        for pos in 0..4 {
+            let run = c.k_rows_from(0, pos);
+            for (r, chunk) in run.chunks(4).enumerate() {
+                if pos + r < 4 {
+                    assert_eq!(chunk, c.k_row(0, pos + r), "pos {pos} + {r}");
+                }
+            }
+        }
     }
 
     #[test]

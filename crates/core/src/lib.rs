@@ -50,6 +50,7 @@ pub mod kv;
 pub mod marshal;
 pub mod palettize;
 pub mod pipeline;
+pub mod scratch;
 pub mod serialize;
 pub mod serve;
 pub mod store;
@@ -74,6 +75,7 @@ pub use palettize::{AffineQuantized, GroupedPalettized, PalettizedTensor};
 pub use pipeline::{
     CompressResult, CompressSpec, CompressedModel, CompressedTensor, CompressionPipeline,
 };
+pub use scratch::ScratchArena;
 pub use serve::{
     sample_token, FinishReason, Generator, Priority, SamplingConfig, Scheduler, ServeRequest,
     ServeResponse, StepEvents, TokenEmission,

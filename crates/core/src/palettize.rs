@@ -408,12 +408,29 @@ impl AffineQuantized {
     ///
     /// Panics if `r` is out of range.
     pub fn decode_row(&self, r: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        self.decode_row_into(r, &mut out);
+        out
+    }
+
+    /// Decode row `r` into a caller-provided buffer — the allocation-free
+    /// variant [`decode_row`](AffineQuantized::decode_row) wraps, used by
+    /// the serving embed path so steady-state decode never allocates per
+    /// token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range or `out` is not `cols` long.
+    pub fn decode_row_into(&self, r: usize, out: &mut [f32]) {
         assert!(r < self.rows, "row {r} out of {} rows", self.rows);
+        assert_eq!(out.len(), self.cols, "out must hold one row");
         let (s, z) = (self.scales[r], self.zeros[r]);
-        self.q[r * self.cols..(r + 1) * self.cols]
-            .iter()
-            .map(|&c| s * c as f32 + z)
-            .collect()
+        for (o, &c) in out
+            .iter_mut()
+            .zip(&self.q[r * self.cols..(r + 1) * self.cols])
+        {
+            *o = s * c as f32 + z;
+        }
     }
 
     /// Decode back to a dense CPU tensor.

@@ -16,6 +16,7 @@
 //! neighbours — the invariant the scheduler test suite pins.
 
 use crate::infer::{KvCache, PalettizedModel, ServeModel};
+use crate::scratch::ScratchArena;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -464,6 +465,9 @@ pub struct Scheduler<'m, M: ServeModel = PalettizedModel> {
     decode_steps: u64,
     tokens_generated: u64,
     preemptions: u64,
+    /// Reusable forward-pass scratch: after one step of a given flight
+    /// shape, later steps of the same shape allocate nothing.
+    scratch: ScratchArena,
 }
 
 impl<'m, M: ServeModel> Scheduler<'m, M> {
@@ -484,6 +488,7 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
             decode_steps: 0,
             tokens_generated: 0,
             preemptions: 0,
+            scratch: ScratchArena::new(),
         }
     }
 
@@ -568,6 +573,14 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
     /// Sequences preempted so far (blocks reclaimed, request requeued).
     pub fn preemptions(&self) -> u64 {
         self.preemptions
+    }
+
+    /// The scheduler's reusable forward-pass scratch arena. Its
+    /// [`ScratchArena::grows`] counter is flat across steady-state decode
+    /// steps — the allocation-free contract `tests/alloc_steady_state.rs`
+    /// pins.
+    pub fn scratch(&self) -> &ScratchArena {
+        &self.scratch
     }
 
     /// Requeue `seq`, returning its blocks to the pool. The regenerated
@@ -765,7 +778,9 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
             })
             .collect();
         let mut caches: Vec<&mut KvCache> = self.active.iter_mut().map(|s| &mut s.cache).collect();
-        let logits = self.model.forward_chunks(&chunks, &mut caches);
+        let data = self
+            .model
+            .forward_chunks_into(&chunks, &mut caches, &mut self.scratch);
         drop(caches);
         self.decode_steps += 1;
 
@@ -774,7 +789,6 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
         // A token is emitted only past the sequence's high-water mark, so
         // preemption replays never duplicate a stream.
         let vocab = self.model.config().vocab;
-        let data = logits.to_vec();
         for (seq, &end) in self.active.iter_mut().zip(&row_ends) {
             let row = &data[(end - 1) * vocab..end * vocab];
             let next = sample_token(row, &seq.sampling, &mut seq.rng);
@@ -794,6 +808,7 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
                 seq.stop_hit = true;
             }
         }
+        self.scratch.put(data); // logits buffer back to the arena
         let mut i = 0usize;
         while i < self.active.len() {
             let seq = &self.active[i];

@@ -1,0 +1,212 @@
+//! Persistent worker threads for per-shard compute.
+//!
+//! Tensor-parallel serving runs one GEMM per shard per projection call —
+//! dozens of tiny jobs per decode step. Spawning a fresh scoped thread for
+//! each (what the serving path did before this pool existed) costs more
+//! than the GEMM itself at decode batch sizes; a [`ShardWorkers`] pool
+//! spawns its threads **once** and feeds them jobs over a shared channel,
+//! so the steady-state dispatch cost is a channel round-trip instead of a
+//! thread spawn.
+//!
+//! Jobs are `'static` closures (capture `Arc`s, not borrows) and each job
+//! binds the submitting thread's [`edkm_tensor::runtime`] handle for its
+//! duration, so every FLOP and allocation a shard performs lands in the
+//! caller's shared ledgers — the same accounting contract the old
+//! scoped-thread path kept.
+
+use edkm_tensor::runtime;
+use parking_lot::Mutex;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of long-lived worker threads executing shard jobs.
+///
+/// Dropping the pool closes the job channel; workers drain what they hold
+/// and exit, and the drop joins them.
+///
+/// ```
+/// use edkm_dist::ShardWorkers;
+///
+/// let pool = ShardWorkers::new(2);
+/// let doubled = pool.run(4, |rank| rank * 2);
+/// assert_eq!(doubled, vec![0, 2, 4, 6]);
+/// ```
+#[derive(Debug)]
+pub struct ShardWorkers {
+    tx: Option<mpsc::Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    n_workers: usize,
+}
+
+impl ShardWorkers {
+    /// Spawn `n` worker threads (at least one), parked on the job channel.
+    pub fn new(n: usize) -> Arc<Self> {
+        let n = n.max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..n)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("edkm-shard-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while receiving, not while
+                        // running the job, so workers pull concurrently.
+                        let job = {
+                            let guard = rx.lock();
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // pool dropped
+                        }
+                    })
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Arc::new(ShardWorkers {
+            tx: Some(tx),
+            handles,
+            n_workers: n,
+        })
+    }
+
+    /// Worker threads in the pool.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Run `f(rank)` for every `rank` in `0..n_jobs` on the pool, binding
+    /// each job to the caller's runtime, and collect results in rank order.
+    /// Blocks until every job finished.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job.
+    pub fn run<R, F>(&self, n_jobs: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        let tx = self.tx.as_ref().expect("pool is live until drop");
+        let f = Arc::new(f);
+        let rt = runtime::current();
+        let (done_tx, done_rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
+        for rank in 0..n_jobs {
+            let f = Arc::clone(&f);
+            let rt = rt.clone();
+            let done = done_tx.clone();
+            tx.send(Box::new(move || {
+                let _g = runtime::bind(&rt);
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(rank)));
+                let _ = done.send((rank, out));
+            }))
+            .expect("worker channel open");
+        }
+        drop(done_tx);
+        let mut slots: Vec<Option<R>> = (0..n_jobs).map(|_| None).collect();
+        for _ in 0..n_jobs {
+            let (rank, result) = done_rx.recv().expect("all jobs report back");
+            match result {
+                Ok(r) => slots[rank] = Some(r),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every rank reported"))
+            .collect()
+    }
+}
+
+impl Drop for ShardWorkers {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the channel; workers exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_rank_order() {
+        let pool = ShardWorkers::new(3);
+        let got = pool.run(7, |rank| rank * rank);
+        assert_eq!(got, vec![0, 1, 4, 9, 16, 25, 36]);
+        assert_eq!(pool.n_workers(), 3);
+    }
+
+    #[test]
+    fn threads_are_reused_across_run_calls() {
+        let pool = ShardWorkers::new(2);
+        let names: std::collections::HashSet<String> = (0..4)
+            .flat_map(|_| pool.run(2, |_| std::thread::current().name().unwrap().to_string()))
+            .collect();
+        assert!(
+            names.len() <= 2,
+            "jobs must run on the two persistent workers, saw {names:?}"
+        );
+        assert!(names.iter().all(|n| n.starts_with("edkm-shard-worker-")));
+    }
+
+    #[test]
+    fn jobs_charge_the_callers_runtime() {
+        runtime::reset();
+        let pool = ShardWorkers::new(2);
+        let t0 = runtime::sim_seconds();
+        pool.run(2, |_| {
+            runtime::record_compute(1e6, edkm_tensor::Device::Cpu);
+        });
+        assert!(
+            runtime::sim_seconds() > t0,
+            "worker FLOPs must land on the caller's clock"
+        );
+    }
+
+    #[test]
+    fn zero_jobs_is_a_no_op() {
+        let pool = ShardWorkers::new(1);
+        let got: Vec<usize> = pool.run(0, |r| r);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn pool_outlives_many_concurrent_runs() {
+        let pool = ShardWorkers::new(4);
+        let hits = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = &pool;
+                let hits = Arc::clone(&hits);
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        let h = Arc::clone(&hits);
+                        pool.run(3, move |_| {
+                            h.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4 * 10 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard job boom")]
+    fn job_panics_propagate_to_the_caller() {
+        let pool = ShardWorkers::new(2);
+        pool.run(2, |rank| {
+            if rank == 1 {
+                panic!("shard job boom");
+            }
+        });
+    }
+}

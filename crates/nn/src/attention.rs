@@ -127,6 +127,22 @@ pub trait KvRowView {
     fn k_row(&self, pos: usize) -> &[f32];
     /// The cached V row at absolute position `pos`.
     fn v_row(&self, pos: usize) -> &[f32];
+
+    /// The longest contiguous run of K rows starting at `pos` the storage
+    /// can surface as one slice (at least one row). Paged caches return
+    /// the remainder of `pos`'s block, so attention resolves the block
+    /// table once per block instead of once per row; the default returns
+    /// a single row. Rows past the caller's context length may hold stale
+    /// data — callers clamp the run before reading.
+    fn k_rows(&self, pos: usize) -> &[f32] {
+        self.k_row(pos)
+    }
+
+    /// The longest contiguous run of V rows starting at `pos`; see
+    /// [`KvRowView::k_rows`].
+    fn v_rows(&self, pos: usize) -> &[f32] {
+        self.v_row(pos)
+    }
 }
 
 /// Causal multi-head attention of `n` new query rows over cached K/V rows
@@ -171,14 +187,22 @@ pub fn attend_cached_rows<V: KvRowView>(
         for head in 0..h {
             let hb = head * hd;
             let qh = &qrow[hb..hb + hd];
-            // Scores (same dot order as the dense bmm).
-            for (j, s) in scores[..t_ctx].iter_mut().enumerate() {
-                let kh = &view.k_row(j)[hb..hb + hd];
-                let mut acc = 0.0f32;
-                for (&a, &b) in qh.iter().zip(kh) {
-                    acc += a * b;
+            // Scores (same dot order as the dense bmm), streaming the
+            // cache block-at-a-time: each `k_rows` run is resolved once
+            // and its rows consumed in ascending j.
+            let mut j = 0usize;
+            while j < t_ctx {
+                let run = view.k_rows(j);
+                let rows = (run.len() / d).min(t_ctx - j).max(1);
+                for (r, s) in scores[j..j + rows].iter_mut().enumerate() {
+                    let kh = &run[r * d + hb..r * d + hb + hd];
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in qh.iter().zip(kh) {
+                        acc += a * b;
+                    }
+                    *s = acc * scale;
                 }
-                *s = acc * scale;
+                j += rows;
             }
             // Softmax (same order as ops::softmax_lastdim).
             let mx = scores[..t_ctx]
@@ -191,13 +215,20 @@ pub fn attend_cached_rows<V: KvRowView>(
                 sum += *s;
             }
             let inv = 1.0 / sum;
-            // Context: Σ_j p_j · v_j, ascending j per element.
-            for (j, &w) in scores[..t_ctx].iter().enumerate() {
-                let p = w * inv;
-                let vh = &view.v_row(j)[hb..hb + hd];
-                for (o, &vv) in orow[hb..hb + hd].iter_mut().zip(vh) {
-                    *o += p * vv;
+            // Context: Σ_j p_j · v_j, ascending j per element, V rows
+            // streamed by block run like the scores.
+            let mut j = 0usize;
+            while j < t_ctx {
+                let run = view.v_rows(j);
+                let rows = (run.len() / d).min(t_ctx - j).max(1);
+                for (r, &w) in scores[j..j + rows].iter().enumerate() {
+                    let p = w * inv;
+                    let vh = &run[r * d + hb..r * d + hb + hd];
+                    for (o, &vv) in orow[hb..hb + hd].iter_mut().zip(vh) {
+                        *o += p * vv;
+                    }
                 }
+                j += rows;
             }
         }
         flops += (4 * t_ctx * d) as f64;
@@ -666,6 +697,19 @@ mod tests {
             let phys = self.table[pos / self.block_tokens];
             let slot = pos % self.block_tokens;
             &self.blocks_v[phys][slot * self.d..(slot + 1) * self.d]
+        }
+        // Multi-row runs to the end of the block, so the flat-vs-paged
+        // parity test pins the block-at-a-time walker against the
+        // row-at-a-time default (`Flat` stays on the defaults).
+        fn k_rows(&self, pos: usize) -> &[f32] {
+            let phys = self.table[pos / self.block_tokens];
+            let slot = pos % self.block_tokens;
+            &self.blocks_k[phys][slot * self.d..]
+        }
+        fn v_rows(&self, pos: usize) -> &[f32] {
+            let phys = self.table[pos / self.block_tokens];
+            let slot = pos % self.block_tokens;
+            &self.blocks_v[phys][slot * self.d..]
         }
     }
 

@@ -1,0 +1,110 @@
+//! Allocation-free decode steady state: once the scheduler has run one
+//! step of a given flight shape, every later step of that shape draws all
+//! of its forward temporaries (hidden states, Q/K/V, attention context,
+//! activation-LUT tables, logits) from the scheduler's [`ScratchArena`]
+//! without allocating — pinned via the arena's `grows` checkout counter,
+//! and surfaced through the engine's `StatsSnapshot`.
+
+use edkm::core::engine::{EngineConfig, Request, ServeEngine};
+use edkm::core::{CompressSpec, PalettizedModel, SamplingConfig, Scheduler, ServeRequest};
+use edkm::nn::{LlamaConfig, LlamaModel};
+use edkm::tensor::{runtime, DType, Device};
+
+fn served() -> PalettizedModel {
+    let cfg = LlamaConfig {
+        max_seq: 64,
+        ..LlamaConfig::tiny()
+    };
+    let dense = LlamaModel::new(cfg, DType::Bf16, Device::Cpu, 7);
+    let mut spec = CompressSpec::with_bits(3);
+    spec.dkm.iters = 2;
+    PalettizedModel::from_dense(&dense, &spec).unwrap()
+}
+
+#[test]
+fn steady_state_decode_steps_do_not_grow_the_arena() {
+    runtime::reset();
+    let model = served();
+    let mut sched = Scheduler::new(&model, 4);
+    // Four same-shaped requests with budgets long enough that the flight
+    // stays constant through the measurement window.
+    for id in 0..4u64 {
+        sched.submit(ServeRequest::new(
+            id,
+            vec![1 + id as usize, 2, 3],
+            40,
+            SamplingConfig::greedy(),
+        ));
+    }
+    // Warmup: the prefill step plus a few decode steps to touch every
+    // buffer shape (the decode flight is 4 one-token chunks every step).
+    for _ in 0..4 {
+        sched.step();
+    }
+    let warm_grows = sched.scratch().grows();
+    let warm_checkouts = sched.scratch().checkouts();
+    assert!(warm_grows > 0, "warmup must have populated the arena");
+
+    // Measurement window: 20 more decode steps of the same flight shape.
+    for _ in 0..20 {
+        sched.step();
+    }
+    assert!(
+        sched.scratch().checkouts() > warm_checkouts,
+        "the window must actually have exercised the arena"
+    );
+    assert_eq!(
+        sched.scratch().grows(),
+        warm_grows,
+        "steady-state decode must perform zero arena growth"
+    );
+    assert_eq!(sched.active(), 4, "flight must have stayed constant");
+    sched.run_to_completion();
+}
+
+#[test]
+fn engine_stats_expose_the_scratch_counters() {
+    runtime::reset();
+    let engine = ServeEngine::new(served(), EngineConfig::default());
+    let handle = engine.handle();
+    let (_, mut stream) = handle
+        .submit(Request::new(vec![1, 2]).max_new_tokens(12))
+        .unwrap();
+    stream.wait().expect("request finishes");
+    let stats = handle.stats();
+    assert!(stats.scratch_checkouts > 0, "worker publishes checkouts");
+    assert!(
+        stats.scratch_grows <= stats.scratch_checkouts,
+        "grows is a subset of checkouts"
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn retire_and_readmit_reuses_the_warm_arena() {
+    runtime::reset();
+    let model = served();
+    let mut sched = Scheduler::new(&model, 2);
+    sched.submit(ServeRequest::new(
+        0,
+        vec![1, 2, 3],
+        10,
+        SamplingConfig::greedy(),
+    ));
+    sched.run_to_completion();
+    let grows = sched.scratch().grows();
+    // A second, same-shaped request after everything retired: the arena
+    // is already warm, so the whole run allocates nothing new.
+    sched.submit(ServeRequest::new(
+        1,
+        vec![4, 5, 6],
+        10,
+        SamplingConfig::greedy(),
+    ));
+    sched.run_to_completion();
+    assert_eq!(
+        sched.scratch().grows(),
+        grows,
+        "a same-shaped rerun must be served entirely from the warm arena"
+    );
+}
