@@ -10,12 +10,18 @@
 //! * `--min-speedup <x>` — exit non-zero if `forward_batch` does not reach
 //!   `x`× the serial reference (CI passes `--min-speedup 1.0` on
 //!   multi-core runners, so a `speedup < 1.0` regression can never ship
-//!   silently again).
+//!   silently again);
+//! * `--backend <name>` — LUT-GEMM kernel backend for the headline
+//!   `forward_batch` timing (`scalar`, `vectorized`, `vec4`/`vec8`/`vec16`,
+//!   `sim`, `auto`). Independent of the flag, the bench also sweeps every
+//!   fixed lane width through the launch layer and records per-backend
+//!   timings (`backend_scalar_ms`, `backend_vec{4,8,16}_ms`).
 //!
 //! Run with `cargo run --release -p edkm-bench --bin infer [-- --smoke]`.
 
+use edkm_core::infer::launch;
 use edkm_core::palettize::PalettizedTensor;
-use edkm_core::PalettizedLinear;
+use edkm_core::{PalettizedLinear, ScratchArena};
 use edkm_tensor::{runtime, DType, Device, Tensor};
 use std::hint::black_box;
 use std::time::Instant;
@@ -70,6 +76,16 @@ fn parse_args() -> (bool, Option<f64>) {
                 std::process::exit(2);
             })
     });
+    if let Some(i) = args.iter().position(|a| a == "--backend") {
+        let name = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--backend needs a backend name");
+            std::process::exit(2);
+        });
+        if let Err(e) = launch::set_default_backend(&name) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
     (smoke, min_speedup)
 }
 
@@ -119,18 +135,61 @@ fn main() {
         black_box(lin.forward_batch(black_box(&x)));
     });
     let speedup = serial_s / batch_s;
+    let (backend_name, backend_lanes) = launch::active();
+    let cpu_features = launch::cpu_features();
 
     println!("  serial forward       {:>9.3} ms", serial_s * 1e3);
-    println!("  forward_batch        {:>9.3} ms", batch_s * 1e3);
+    println!(
+        "  forward_batch        {:>9.3} ms  ({backend_name}, {backend_lanes} lanes)",
+        batch_s * 1e3
+    );
     println!("  speedup              {speedup:>9.2}x");
     println!("  bit-identical        {identical}");
 
+    // Per-backend sweep through the launch layer: the scalar oracle plus
+    // every fixed lane width, each checked bit-identical against the serial
+    // reference before it is timed. Uses `backend_by_name` directly so the
+    // sweep never perturbs the process-wide default backend selection.
+    let reference = lin.forward_serial(&x).to_vec();
+    let xv = x.to_vec();
+    let kernel = lin.kernel();
+    let mut arena = ScratchArena::new();
+    let mut sweep_out = vec![0.0f32; batch * out_features];
+    let mut sweep_ms = Vec::new();
+    println!();
+    for sel in ["scalar", "vec4", "vec8", "vec16"] {
+        let backend = launch::backend_by_name(sel).expect("registered backend");
+        kernel.launch_with(backend, &xv, batch, &mut sweep_out, &mut arena);
+        assert_eq!(
+            sweep_out, reference,
+            "backend {sel} must match the serial reference bit for bit"
+        );
+        let s = best_of(reps, || {
+            kernel.launch_with(
+                backend,
+                black_box(&xv),
+                batch,
+                black_box(&mut sweep_out),
+                &mut arena,
+            );
+        });
+        println!("  backend {sel:<12} {:>9.3} ms", s * 1e3);
+        sweep_ms.push((sel, s * 1e3));
+    }
+
+    let sweep_json: String = sweep_ms
+        .iter()
+        .map(|(sel, ms)| format!("  \"backend_{sel}_ms\": {ms:.3},\n"))
+        .collect();
     let record = format!(
         "{{\n  \"bench\": \"palettized_infer\",\n  \"smoke\": {smoke},\n  \
          \"out_features\": {out_features},\n  \
          \"in_features\": {in_features},\n  \"bits\": {BITS},\n  \"batch\": {batch},\n  \
-         \"threads\": {threads},\n  \"reps\": {reps},\n  \"serial_ms\": {:.3},\n  \
-         \"forward_batch_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"bit_identical\": {identical}\n}}\n",
+         \"threads\": {threads},\n  \"reps\": {reps},\n  \
+         \"kernel_backend\": \"{backend_name}\",\n  \"kernel_lanes\": {backend_lanes},\n  \
+         \"cpu_features\": \"{cpu_features}\",\n  \"serial_ms\": {:.3},\n  \
+         \"forward_batch_ms\": {:.3},\n{sweep_json}  \"speedup\": {:.3},\n  \
+         \"bit_identical\": {identical}\n}}\n",
         serial_s * 1e3,
         batch_s * 1e3,
         speedup

@@ -337,8 +337,13 @@ fn main() {
         100.0 * batch8_scratch.1 as f64 / (batch8_scratch.0.max(1)) as f64
     );
 
+    let (kernel_backend, kernel_lanes) = edkm_core::infer::launch::active();
+    let cpu_features = edkm_core::infer::launch::cpu_features();
     let record = format!(
         "{{\n  \"bench\": \"palettized_serve\",\n  \"smoke\": {smoke},\n  \
+         \"kernel_backend\": \"{kernel_backend}\",\n  \
+         \"kernel_lanes\": {kernel_lanes},\n  \
+         \"cpu_features\": \"{cpu_features}\",\n  \
          \"d_model\": {},\n  \"n_layers\": {},\n  \"bits\": {},\n  \
          \"requests\": {},\n  \"gen_tokens\": {},\n  \"threads\": {threads},\n  \
          \"sequential_tok_s\": {:.1},\n  \"batch1_tok_s\": {:.1},\n  \

@@ -31,7 +31,7 @@
 
 use crate::infer::ServeModel;
 use crate::serve::{
-    FinishReason, Priority, SamplingConfig, Scheduler, ServeRequest, ServeResponse,
+    FinishReason, Priority, SamplingConfig, Scheduler, ServeRequest, ServeResponse, StepEvents,
 };
 use edkm_tensor::runtime;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -331,6 +331,11 @@ pub struct StatsSnapshot {
     pub scratch_grows: u64,
     /// Time-to-first-token histogram, in scheduler steps.
     pub ttft_steps: TtftHistogram,
+    /// Name of the LUT-GEMM kernel backend serving the forward passes
+    /// (`"scalar"`, `"vectorized"`, `"sim"`; empty until first published).
+    pub kernel_backend: &'static str,
+    /// Lane width of the serving backend (1 for scalar paths).
+    pub kernel_lanes: u8,
 }
 
 /// Sizing of a [`ServeEngine`].
@@ -655,6 +660,7 @@ fn publish_stats<M: ServeModel>(
     pending: usize,
     tallies: &Tallies,
 ) {
+    let (kernel_backend, kernel_lanes) = crate::infer::launch::active();
     let mut stats = shared.stats.lock().expect("stats lock");
     *stats = StatsSnapshot {
         queued: pending + sched.queued(),
@@ -670,6 +676,8 @@ fn publish_stats<M: ServeModel>(
         scratch_checkouts: sched.scratch().checkouts(),
         scratch_grows: sched.scratch().grows(),
         ttft_steps: tallies.ttft.clone(),
+        kernel_backend,
+        kernel_lanes,
     };
 }
 
@@ -678,6 +686,10 @@ fn worker_loop<M: ServeModel>(model: M, shared: Arc<Shared>, max_batch: usize) {
     let mut streams: HashMap<u64, mpsc::Sender<TokenEvent>> = HashMap::new();
     let mut submit_step: HashMap<u64, u64> = HashMap::new();
     let mut tallies = Tallies::default();
+    // One event buffer for the life of the worker: `step_events_into`
+    // clears and refills it each step, so steady-state stepping performs
+    // no per-step event allocations.
+    let mut events = StepEvents::default();
 
     'serve: loop {
         // Phase 1 — drain the inbox (cancellations first, so a cancel
@@ -732,8 +744,8 @@ fn worker_loop<M: ServeModel>(model: M, shared: Arc<Shared>, max_batch: usize) {
             }
         }
 
-        // Phase 2 — one scheduling step.
-        let events = sched.step_events();
+        // Phase 2 — one scheduling step into the reusable event buffer.
+        sched.step_events_into(&mut events);
         tallies.kv_peak = tallies.kv_peak.max(sched.kv_live_bytes());
         for t in &events.tokens {
             if t.index == 0 {
@@ -771,7 +783,7 @@ fn worker_loop<M: ServeModel>(model: M, shared: Arc<Shared>, max_batch: usize) {
             }
         }
         let mut terminals: Vec<u64> = Vec::with_capacity(events.finished.len());
-        for resp in events.finished {
+        for resp in events.finished.drain(..) {
             let id = resp.id;
             if let Some(tx) = streams.remove(&id) {
                 let _ = tx.send(TokenEvent::Finished(resp));

@@ -7,12 +7,15 @@
 //! precomputed partial products:
 //!
 //! 1. **Tile repack.** At construction, the palette's bit-packed indices
-//!    are unpacked once and re-laid-out into contiguous row-major *tiles*:
+//!    are unpacked once and re-laid-out into contiguous *tiles*:
 //!    [`TILE_OUT`] output rows × [`IN_CHUNK`] input columns per block,
 //!    stored at the narrowest width that holds the palette (`u8` for
-//!    k ≤ 256, `u16` above). The hot loop streams a `(tile, chunk)` block
-//!    sequentially — no per-element bit extraction, and 4× (or 2×) less
-//!    index bandwidth than the `u32` cache the previous kernel kept.
+//!    k ≤ 256, `u16` above). Within a block the indices are
+//!    **structure-of-arrays** (column-major: all of column `j`'s row
+//!    indices adjacent), so a backend processing `L` output rows at once
+//!    reads its `L` lane indices as one contiguous run — the same repack
+//!    serves every lane width, and the hot loop streams a `(tile, chunk)`
+//!    block sequentially with no per-element bit extraction.
 //!
 //! 2. **Activation-side LUT precompute.** For each batch row, the products
 //!    `prod[c][j] = lut[c] · x[j]` are materialized once per input chunk
@@ -29,16 +32,22 @@
 //!    exactly one thread, left to right over the input (a single
 //!    accumulator carried across chunks in ascending-`j` order). Results
 //!    are therefore bit-identical to [`TiledLutKernel::forward_serial_into`]
-//!    at every thread count — the determinism argument in DESIGN.md §11.
+//!    at every thread count — the determinism argument in DESIGN.md §11–12.
 //!
-//! The accumulation order (`acc += lut[idx[r, j]] · x[j]` for ascending
-//! `j`, one accumulator per output element) is the same order a dense
-//! row-times-matrixᵀ dot product uses, so the kernel agrees with a dense
-//! matmul over the decoded weights to rounding, and with itself exactly.
+//! The GEMM itself runs behind the pluggable backend layer in
+//! [`super::launch`]: [`TiledLutKernel::forward_into`] builds a
+//! [`super::launch::LutGemmArgs`] descriptor over this kernel's views and
+//! dispatches it to the process-selected [`super::launch::KernelBackend`]
+//! (scalar oracle, explicitly vectorized lanes, or the simulated GPU-style
+//! launch). Every backend preserves the accumulation order (`acc +=
+//! lut[idx[r, j]] · x[j]` for ascending `j`, one accumulator per output
+//! element) — the same order a dense row-times-matrixᵀ dot product uses —
+//! so the kernel agrees with a dense matmul over the decoded weights to
+//! rounding, and with itself exactly, no matter which backend serves.
 
+use super::launch::{self, IdxArg, LutGemmArgs, TensorArg, TensorArgMut};
 use crate::palettize::PalettizedTensor;
 use crate::scratch::ScratchArena;
-use rayon::prelude::*;
 
 /// Output rows per tile — the unit of parallel work ownership.
 pub const TILE_OUT: usize = 16;
@@ -72,7 +81,8 @@ enum TileIdx {
 /// Construction performs the one-time tile repack; [`forward_into`] and
 /// [`forward_serial_into`] run the GEMM with bit-identical results (the
 /// serial entry point exists so benchmarks can pin the single-threaded
-/// reference).
+/// reference, and is the oracle every registered backend is tested
+/// against).
 ///
 /// [`forward_into`]: TiledLutKernel::forward_into
 /// [`forward_serial_into`]: TiledLutKernel::forward_serial_into
@@ -87,21 +97,23 @@ pub struct TiledLutKernel {
 
 /// Rows in tile `t` (the last tile may be short).
 #[inline]
-fn tile_rows(out_features: usize, t: usize) -> usize {
+pub(crate) fn tile_rows(out_features: usize, t: usize) -> usize {
     TILE_OUT.min(out_features - t * TILE_OUT)
 }
 
 /// Columns in chunk `c` (the last chunk may be short).
 #[inline]
-fn chunk_cols(in_features: usize, c: usize) -> usize {
+pub(crate) fn chunk_cols(in_features: usize, c: usize) -> usize {
     IN_CHUNK.min(in_features - c * IN_CHUNK)
 }
 
 /// Offset of the `(t, c)` index block inside the repacked stream: all of
 /// tile `t`'s earlier rows-times-full-width, plus this tile's rows times
-/// the columns of earlier chunks.
+/// the columns of earlier chunks. Within a block, the index of `(row r,
+/// col j)` lives at `j · rows + r` — the structure-of-arrays layout every
+/// lane width reads contiguously.
 #[inline]
-fn block_base(out_features: usize, in_features: usize, t: usize, c: usize) -> usize {
+pub(crate) fn block_base(out_features: usize, in_features: usize, t: usize, c: usize) -> usize {
     t * TILE_OUT * in_features + tile_rows(out_features, t) * c * IN_CHUNK
 }
 
@@ -119,15 +131,19 @@ impl TiledLutKernel {
         let k = weights.k();
         let n_tiles = out_features.div_ceil(TILE_OUT);
         let n_chunks = in_features.div_ceil(IN_CHUNK);
-        // Permute row-major [out, in] into (tile, chunk, row, col) blocks.
+        // Permute row-major [out, in] into (tile, chunk, col, row) blocks —
+        // column-major within each block, so the `L` lane indices of any
+        // row group are one contiguous run regardless of the lane width.
         let mut order = Vec::with_capacity(flat.len());
         for t in 0..n_tiles {
             for c in 0..n_chunks {
                 let cols = chunk_cols(in_features, c);
-                for r in 0..tile_rows(out_features, t) {
-                    let row = t * TILE_OUT + r;
-                    let start = row * in_features + c * IN_CHUNK;
-                    order.extend_from_slice(&flat[start..start + cols]);
+                let rows = tile_rows(out_features, t);
+                for j in 0..cols {
+                    for r in 0..rows {
+                        let row = t * TILE_OUT + r;
+                        order.push(flat[row * in_features + c * IN_CHUNK + j]);
+                    }
                 }
             }
         }
@@ -177,20 +193,19 @@ impl TiledLutKernel {
         let mut out = vec![0u32; self.out_features * self.in_features];
         let n_tiles = self.out_features.div_ceil(TILE_OUT);
         let n_chunks = self.in_features.div_ceil(IN_CHUNK);
-        let mut src = 0usize;
         for t in 0..n_tiles {
             for c in 0..n_chunks {
                 let cols = chunk_cols(self.in_features, c);
-                for r in 0..tile_rows(self.out_features, t) {
-                    let row = t * TILE_OUT + r;
-                    let dst = row * self.in_features + c * IN_CHUNK;
-                    for j in 0..cols {
-                        out[dst + j] = match &self.idx {
-                            TileIdx::U8(v) => u32::from(v[src + j]),
-                            TileIdx::U16(v) => u32::from(v[src + j]),
+                let rows = tile_rows(self.out_features, t);
+                let base = block_base(self.out_features, self.in_features, t, c);
+                for j in 0..cols {
+                    for r in 0..rows {
+                        let row = t * TILE_OUT + r;
+                        out[row * self.in_features + c * IN_CHUNK + j] = match &self.idx {
+                            TileIdx::U8(v) => u32::from(v[base + j * rows + r]),
+                            TileIdx::U16(v) => u32::from(v[base + j * rows + r]),
                         };
                     }
-                    src += cols;
                 }
             }
         }
@@ -198,8 +213,9 @@ impl TiledLutKernel {
     }
 
     /// Single-threaded reference GEMM: `out[i, r] = Σ_j lut[idx[r, j]] ·
-    /// x[i, j]`, ascending `j`, one accumulator per element. The tiled path
-    /// is bit-identical to this loop at every thread count.
+    /// x[i, j]`, ascending `j`, one accumulator per element. Every
+    /// registered backend is bit-identical to this loop at every lane
+    /// width and thread count — the oracle of the launch layer.
     ///
     /// # Panics
     ///
@@ -232,11 +248,10 @@ impl TiledLutKernel {
                     let mut acc = 0.0f32;
                     for c in 0..n_chunks {
                         let cols = chunk_cols(self.in_features, c);
-                        let base = block_base(self.out_features, self.in_features, t, c) + r * cols;
-                        let blk = &idx[base..base + cols];
+                        let base = block_base(self.out_features, self.in_features, t, c);
                         let xc = &xrow[c * IN_CHUNK..c * IN_CHUNK + cols];
-                        for (&ci, &xv) in blk.iter().zip(xc) {
-                            acc += self.lut[ci.into()] * xv;
+                        for (j, &xv) in xc.iter().enumerate() {
+                            acc += self.lut[idx[base + j * rows + r].into()] * xv;
                         }
                     }
                     orow[t * TILE_OUT + r] = acc;
@@ -245,183 +260,72 @@ impl TiledLutKernel {
         }
     }
 
-    /// The tiled GEMM: activation-LUT tables per `(batch row, chunk)`,
-    /// index-gather accumulation, worker threads over output tiles.
-    /// Scratch (the product tables and the tile-major staging buffer) comes
-    /// from `arena`; steady-state calls of one shape allocate nothing.
+    /// Borrowed launch descriptor over this kernel's views — the typed
+    /// argument bundle a [`super::launch::KernelBackend`] consumes.
+    /// `lanes` records the vectorization factor the caller asks for.
     ///
-    /// Bit-identical to [`TiledLutKernel::forward_serial_into`].
+    /// # Panics
+    ///
+    /// Panics if `x` is not `n · in` long or `out` is not `n · out` long.
+    pub fn launch_args<'a>(
+        &'a self,
+        x: &'a [f32],
+        n: usize,
+        out: &'a mut [f32],
+        lanes: u8,
+    ) -> LutGemmArgs<'a> {
+        self.check_shapes(x, n, out);
+        let idx = match &self.idx {
+            TileIdx::U8(v) => IdxArg::U8(v),
+            TileIdx::U16(v) => IdxArg::U16(v),
+        };
+        LutGemmArgs {
+            lut: TensorArg::from_raw_parts(&self.lut, [self.k, 1]),
+            idx,
+            x: TensorArg::from_raw_parts(x, [n, self.in_features]),
+            out: TensorArgMut::from_raw_parts(out, [n, self.out_features]),
+            lanes,
+        }
+    }
+
+    /// The tiled GEMM through the process-selected backend
+    /// ([`super::launch::default_backend`]): activation-LUT tables per
+    /// `(batch row, chunk)`, index-gather accumulation, worker threads
+    /// over output tiles. Scratch (the product tables and the tile-major
+    /// staging buffer) comes from `arena`; steady-state calls of one shape
+    /// allocate nothing.
+    ///
+    /// Bit-identical to [`TiledLutKernel::forward_serial_into`] no matter
+    /// which backend is selected.
     ///
     /// # Panics
     ///
     /// Panics if `x` is not `n · in` long or `out` is not `n · out` long.
     pub fn forward_into(&self, x: &[f32], n: usize, out: &mut [f32], arena: &mut ScratchArena) {
-        self.check_shapes(x, n, out);
-        if n == 0 || self.out_features == 0 {
-            return;
-        }
-        let n_tiles = self.out_features.div_ceil(TILE_OUT);
-        let n_chunks = self.in_features.div_ceil(IN_CHUNK);
-
-        // Activation-side LUT precompute: prod[i][c][j][cent] = lut[cent] ·
-        // x[i, c·IN_CHUNK + j], contiguous per (i, c) slab, j-major so one
-        // column's k candidates share a cache line. Only worth the k·in
-        // multiplies for palettes small enough that the table stays
-        // cache-resident, and only up to a whole-table size cap (the table
-        // scales with the batch); the inline fallback computes the
-        // identical f32s either way.
-        let use_prod = self.k <= PROD_K_MAX
-            && self.in_features > 0
-            && n * self.k * self.in_features <= PROD_TABLE_MAX_FLOATS;
-        let prod = if use_prod {
-            let mut prod = arena.take(n * self.k * self.in_features);
-            for i in 0..n {
-                let xrow = &x[i * self.in_features..(i + 1) * self.in_features];
-                let slab_row = &mut prod[i * self.k * self.in_features..];
-                for c in 0..n_chunks {
-                    let cols = chunk_cols(self.in_features, c);
-                    let slab = &mut slab_row[c * IN_CHUNK * self.k..];
-                    let xc = &xrow[c * IN_CHUNK..c * IN_CHUNK + cols];
-                    // j-major [cols][k]: all k candidate products of one
-                    // input column share a cache line, so the gather loop
-                    // walks the slab linearly.
-                    for (j, &xv) in xc.iter().enumerate() {
-                        for (p, &l) in slab[j * self.k..(j + 1) * self.k].iter_mut().zip(&self.lut)
-                        {
-                            *p = l * xv;
-                        }
-                    }
-                }
-            }
-            prod
-        } else {
-            Vec::new() // inline path: no table, and no arena checkout
-        };
-
-        // Tile-major staging: one `n × TILE_OUT` slab per tile (fixed
-        // stride so each par chunk is exactly one tile), scattered back to
-        // row-major afterwards. Workers own whole tiles — fixed ownership,
-        // so the result cannot depend on the thread count.
-        let mut tmp = arena.take(n_tiles * n * TILE_OUT);
-        {
-            let prod_ref: &[f32] = &prod;
-            tmp.par_chunks_mut(n * TILE_OUT)
-                .enumerate()
-                .for_each(|(t, tile_out)| match &self.idx {
-                    TileIdx::U8(idx) => {
-                        self.tile_gemm(idx, x, n, prod_ref, use_prod, t, n_chunks, tile_out)
-                    }
-                    TileIdx::U16(idx) => {
-                        self.tile_gemm(idx, x, n, prod_ref, use_prod, t, n_chunks, tile_out)
-                    }
-                });
-        }
-        for t in 0..n_tiles {
-            let rows = tile_rows(self.out_features, t);
-            for i in 0..n {
-                let src = &tmp[t * n * TILE_OUT + i * TILE_OUT..][..rows];
-                out[i * self.out_features + t * TILE_OUT..][..rows].copy_from_slice(src);
-            }
-        }
-        arena.put(prod); // zero-capacity inline-path Vec is dropped, not pooled
-        arena.put(tmp);
+        let backend = launch::default_backend();
+        self.launch_with(backend, x, n, out, arena);
     }
 
-    /// One tile's GEMM: for every batch row, stream the `(t, c)` index
-    /// blocks chunk by chunk, carrying `TILE_OUT` register accumulators
-    /// across chunks (ascending `j`, matching the serial reference).
+    /// Run the GEMM on an explicit `backend` (bench sweeps and the
+    /// backend-parity test suites; serving goes through
+    /// [`TiledLutKernel::forward_into`]).
     ///
-    /// Output rows are processed **four at a time**: each row keeps its own
-    /// accumulator (so its summation order is untouched), but the four
-    /// chains are independent, hiding the add latency the one-row-at-a-time
-    /// reference loop is bound by — the register-tiling half of the kernel.
-    #[allow(clippy::too_many_arguments)] // internal hot loop, not API
-    fn tile_gemm<I: Copy + Into<usize>>(
+    /// # Panics
+    ///
+    /// Panics if `x` is not `n · in` long or `out` is not `n · out` long.
+    pub fn launch_with(
         &self,
-        idx: &[I],
+        backend: &dyn launch::KernelBackend,
         x: &[f32],
         n: usize,
-        prod: &[f32],
-        use_prod: bool,
-        t: usize,
-        n_chunks: usize,
-        tile_out: &mut [f32],
+        out: &mut [f32],
+        arena: &mut ScratchArena,
     ) {
-        let rows = tile_rows(self.out_features, t);
-        for i in 0..n {
-            let mut acc = [0.0f32; TILE_OUT];
-            for c in 0..n_chunks {
-                let cols = chunk_cols(self.in_features, c);
-                let base = block_base(self.out_features, self.in_features, t, c);
-                let blk = &idx[base..base + rows * cols];
-                if use_prod {
-                    let slab = &prod[i * self.k * self.in_features + c * IN_CHUNK * self.k
-                        ..i * self.k * self.in_features + c * IN_CHUNK * self.k + self.k * cols];
-                    let mut r = 0usize;
-                    while r + 4 <= rows {
-                        let (i0, i1, i2, i3) = (
-                            &blk[r * cols..(r + 1) * cols],
-                            &blk[(r + 1) * cols..(r + 2) * cols],
-                            &blk[(r + 2) * cols..(r + 3) * cols],
-                            &blk[(r + 3) * cols..(r + 4) * cols],
-                        );
-                        let (mut a0, mut a1, mut a2, mut a3) =
-                            (acc[r], acc[r + 1], acc[r + 2], acc[r + 3]);
-                        for (j, line) in slab.chunks_exact(self.k).enumerate() {
-                            a0 += line[i0[j].into()];
-                            a1 += line[i1[j].into()];
-                            a2 += line[i2[j].into()];
-                            a3 += line[i3[j].into()];
-                        }
-                        acc[r] = a0;
-                        acc[r + 1] = a1;
-                        acc[r + 2] = a2;
-                        acc[r + 3] = a3;
-                        r += 4;
-                    }
-                    for (a, irow) in acc[r..rows].iter_mut().zip(blk[r * cols..].chunks(cols)) {
-                        let mut s = *a;
-                        for (&ci, line) in irow.iter().zip(slab.chunks_exact(self.k)) {
-                            s += line[ci.into()];
-                        }
-                        *a = s;
-                    }
-                } else {
-                    let xc = &x[i * self.in_features + c * IN_CHUNK..][..cols];
-                    let lut = &self.lut[..self.k];
-                    let mut r = 0usize;
-                    while r + 4 <= rows {
-                        let (i0, i1, i2, i3) = (
-                            &blk[r * cols..(r + 1) * cols],
-                            &blk[(r + 1) * cols..(r + 2) * cols],
-                            &blk[(r + 2) * cols..(r + 3) * cols],
-                            &blk[(r + 3) * cols..(r + 4) * cols],
-                        );
-                        let (mut a0, mut a1, mut a2, mut a3) =
-                            (acc[r], acc[r + 1], acc[r + 2], acc[r + 3]);
-                        for (j, &xv) in xc.iter().enumerate() {
-                            a0 += lut[i0[j].into()] * xv;
-                            a1 += lut[i1[j].into()] * xv;
-                            a2 += lut[i2[j].into()] * xv;
-                            a3 += lut[i3[j].into()] * xv;
-                        }
-                        acc[r] = a0;
-                        acc[r + 1] = a1;
-                        acc[r + 2] = a2;
-                        acc[r + 3] = a3;
-                        r += 4;
-                    }
-                    for (a, irow) in acc[r..rows].iter_mut().zip(blk[r * cols..].chunks(cols)) {
-                        let mut s = *a;
-                        for (&ci, &xv) in irow.iter().zip(xc) {
-                            s += lut[ci.into()] * xv;
-                        }
-                        *a = s;
-                    }
-                }
-            }
-            tile_out[i * TILE_OUT..][..rows].copy_from_slice(&acc[..rows]);
+        if n == 0 || self.out_features == 0 {
+            self.check_shapes(x, n, out);
+            return;
         }
+        backend.launch(self.launch_args(x, n, out, backend.lanes()), arena);
     }
 
     fn check_shapes(&self, x: &[f32], n: usize, out: &[f32]) {
@@ -495,6 +399,28 @@ mod tests {
             let mut tiled = vec![0.0f32; n * out];
             kern.forward_into(&x, n, &mut tiled, &mut arena);
             assert_eq!(tiled, want, "tiled [{out}, {inp}] batch {n}");
+        }
+    }
+
+    #[test]
+    fn every_registered_backend_matches_the_oracle() {
+        for (out, inp, n) in [(17, 513, 3), (40, 100, 2), (7, 9, 1)] {
+            let (_p, kern) = kernel(out, inp, 8, (out * 7 + inp) as u64);
+            let x = xbuf(n, inp, 21);
+            let mut want = vec![0.0f32; n * out];
+            kern.forward_serial_into(&x, n, &mut want);
+            for backend in launch::registry() {
+                let mut arena = ScratchArena::new();
+                let mut got = vec![0.0f32; n * out];
+                kern.launch_with(*backend, &x, n, &mut got, &mut arena);
+                assert_eq!(
+                    got,
+                    want,
+                    "backend {} lanes {} on [{out}, {inp}] batch {n}",
+                    backend.name(),
+                    backend.lanes()
+                );
+            }
         }
     }
 

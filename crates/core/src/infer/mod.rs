@@ -13,6 +13,7 @@
 //! module wires it into whole-model serving.
 
 pub mod kernel;
+pub mod launch;
 
 pub use crate::kv::KvCache;
 use crate::kv::{KvBlockConfig, KvBlockPool};
@@ -112,6 +113,10 @@ impl PalettizedLinear {
     }
 
     /// Run the kernel without charging (shared by every entry point).
+    /// Tiny problems take the serial oracle directly (the tiled launch's
+    /// staging overhead dominates below the threshold); everything else
+    /// dispatches through the process-selected
+    /// [`launch::KernelBackend`] — bit-identical either way.
     fn run_rows(&self, x: &[f32], n: usize, out: &mut [f32], arena: &mut ScratchArena) {
         let work = n * self.out_features * (self.in_features + self.weights.k());
         if work < PAR_WORK_THRESHOLD {
@@ -968,18 +973,18 @@ impl PalettizedModel {
     /// Panics on empty/oversized chunks, chunk/cache count mismatch,
     /// out-of-vocabulary ids, or an exhausted KV block pool (the scheduler
     /// reserves blocks before stepping, so it never trips this).
-    pub fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [&mut KvCache]) -> Tensor {
+    pub fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [KvCache]) -> Tensor {
         self.parts.forward_chunks(chunks, caches)
     }
 
     /// Prefill one sequence's prompt, returning logits `[len, vocab]`.
     pub fn prefill(&self, ids: &[usize], cache: &mut KvCache) -> Tensor {
-        self.forward_chunks(&[ids], &mut [cache])
+        self.forward_chunks(&[ids], std::slice::from_mut(cache))
     }
 
     /// One batched decode step: `tokens[i]` is sequence `i`'s newest token.
     /// Returns logits `[tokens.len(), vocab]`.
-    pub fn decode_step(&self, tokens: &[usize], caches: &mut [&mut KvCache]) -> Tensor {
+    pub fn decode_step(&self, tokens: &[usize], caches: &mut [KvCache]) -> Tensor {
         self.parts.decode_step(tokens, caches)
     }
 }
@@ -1050,18 +1055,74 @@ impl ShardedPalettizedModel {
     /// Batched forward over per-sequence chunks; see
     /// [`PalettizedModel::forward_chunks`]. Logits are bit-identical to the
     /// unsharded model's for any shard count.
-    pub fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [&mut KvCache]) -> Tensor {
+    pub fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [KvCache]) -> Tensor {
         self.parts.forward_chunks(chunks, caches)
     }
 
     /// Prefill one sequence's prompt, returning logits `[len, vocab]`.
     pub fn prefill(&self, ids: &[usize], cache: &mut KvCache) -> Tensor {
-        self.forward_chunks(&[ids], &mut [cache])
+        self.forward_chunks(&[ids], std::slice::from_mut(cache))
     }
 
     /// One batched decode step; see [`PalettizedModel::decode_step`].
-    pub fn decode_step(&self, tokens: &[usize], caches: &mut [&mut KvCache]) -> Tensor {
+    pub fn decode_step(&self, tokens: &[usize], caches: &mut [KvCache]) -> Tensor {
         self.parts.decode_step(tokens, caches)
+    }
+}
+
+/// Borrowed flat descriptor of a continuous batch: all sequences' new
+/// tokens concatenated, with cumulative chunk end offsets — chunk `g` is
+/// `tokens[ends[g-1]..ends[g]]` (starting at 0). The launch-descriptor
+/// idiom of the scheduler hot path: both slices live in scheduler-owned
+/// reusable buffers, so describing a step allocates nothing (unlike a
+/// `Vec<&[usize]>` of per-chunk refs, which must be rebuilt every step).
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkView<'a> {
+    tokens: &'a [usize],
+    ends: &'a [usize],
+}
+
+impl<'a> ChunkView<'a> {
+    /// Wrap `tokens` split at cumulative `ends`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ends` is not non-decreasing or its last entry does not
+    /// cover `tokens` exactly.
+    pub fn new(tokens: &'a [usize], ends: &'a [usize]) -> Self {
+        let mut prev = 0usize;
+        for &e in ends {
+            assert!(e >= prev, "chunk ends must be non-decreasing");
+            prev = e;
+        }
+        assert_eq!(prev, tokens.len(), "chunk ends must cover all tokens");
+        ChunkView { tokens, ends }
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Whether the batch holds no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Total new tokens across all chunks.
+    pub fn total_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Chunk `g`'s token slice.
+    pub fn chunk(&self, g: usize) -> &'a [usize] {
+        let start = if g == 0 { 0 } else { self.ends[g - 1] };
+        &self.tokens[start..self.ends[g]]
+    }
+
+    /// Iterate the chunk slices in order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [usize]> + '_ {
+        (0..self.len()).map(|g| self.chunk(g))
     }
 }
 
@@ -1083,30 +1144,32 @@ pub trait ServeModel: Send + Sync {
     fn new_cache(&self) -> KvCache;
     /// Batched forward over per-sequence chunks; see
     /// [`PalettizedModel::forward_chunks`].
-    fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [&mut KvCache]) -> Tensor;
+    fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [KvCache]) -> Tensor;
 
-    /// Batched forward returning the raw logits buffer (`[Σ chunk lens ·
-    /// vocab]`, rows grouped chunk by chunk), with every temporary drawn
-    /// from `arena` — the allocation-free path [`crate::serve::Scheduler`]
-    /// drives every step. The caller should hand the returned buffer back
-    /// via [`ScratchArena::put`] once consumed.
+    /// Batched forward over a flat [`ChunkView`] returning the raw logits
+    /// buffer (`[Σ chunk lens · vocab]`, rows grouped chunk by chunk),
+    /// with every temporary drawn from `arena` — the allocation-free path
+    /// [`crate::serve::Scheduler`] drives every step. The caller should
+    /// hand the returned buffer back via [`ScratchArena::put`] once
+    /// consumed.
     fn forward_chunks_into(
         &self,
-        chunks: &[&[usize]],
-        caches: &mut [&mut KvCache],
+        view: ChunkView<'_>,
+        caches: &mut [KvCache],
         arena: &mut ScratchArena,
     ) -> Vec<f32> {
         let _ = arena; // default goes through the Tensor path
-        self.forward_chunks(chunks, caches).to_vec()
+        let chunks: Vec<&[usize]> = view.iter().collect();
+        self.forward_chunks(&chunks, caches).to_vec()
     }
 
     /// Prefill one sequence's prompt, returning logits `[len, vocab]`.
     fn prefill(&self, ids: &[usize], cache: &mut KvCache) -> Tensor {
-        self.forward_chunks(&[ids], &mut [cache])
+        self.forward_chunks(&[ids], std::slice::from_mut(cache))
     }
 
     /// One batched decode step: `tokens[i]` is sequence `i`'s newest token.
-    fn decode_step(&self, tokens: &[usize], caches: &mut [&mut KvCache]) -> Tensor {
+    fn decode_step(&self, tokens: &[usize], caches: &mut [KvCache]) -> Tensor {
         let chunks: Vec<&[usize]> = tokens.chunks(1).collect();
         self.forward_chunks(&chunks, caches)
     }
@@ -1122,16 +1185,16 @@ impl ServeModel for PalettizedModel {
     fn new_cache(&self) -> KvCache {
         PalettizedModel::new_cache(self)
     }
-    fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [&mut KvCache]) -> Tensor {
+    fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [KvCache]) -> Tensor {
         PalettizedModel::forward_chunks(self, chunks, caches)
     }
     fn forward_chunks_into(
         &self,
-        chunks: &[&[usize]],
-        caches: &mut [&mut KvCache],
+        view: ChunkView<'_>,
+        caches: &mut [KvCache],
         arena: &mut ScratchArena,
     ) -> Vec<f32> {
-        self.parts.forward_chunks_into(chunks, caches, arena)
+        self.parts.forward_chunks_into(view, caches, arena)
     }
 }
 
@@ -1145,16 +1208,16 @@ impl ServeModel for ShardedPalettizedModel {
     fn new_cache(&self) -> KvCache {
         ShardedPalettizedModel::new_cache(self)
     }
-    fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [&mut KvCache]) -> Tensor {
+    fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [KvCache]) -> Tensor {
         ShardedPalettizedModel::forward_chunks(self, chunks, caches)
     }
     fn forward_chunks_into(
         &self,
-        chunks: &[&[usize]],
-        caches: &mut [&mut KvCache],
+        view: ChunkView<'_>,
+        caches: &mut [KvCache],
         arena: &mut ScratchArena,
     ) -> Vec<f32> {
-        self.parts.forward_chunks_into(chunks, caches, arena)
+        self.parts.forward_chunks_into(view, caches, arena)
     }
 }
 
@@ -1275,10 +1338,21 @@ impl<P: LutProjection> DecoderParts<P> {
 
     /// `Tensor`-returning wrapper over the arena path, for callers outside
     /// the scheduler loop (parity tests, examples, one-shot prefills).
-    fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [&mut KvCache]) -> Tensor {
-        let n_total: usize = chunks.iter().map(|c| c.len()).sum();
-        let logits =
-            scratch::with_thread_scratch(|arena| self.forward_chunks_into(chunks, caches, arena));
+    fn forward_chunks(&self, chunks: &[&[usize]], caches: &mut [KvCache]) -> Tensor {
+        // Flatten the per-chunk refs into the ChunkView descriptor the
+        // arena path consumes (callers off the hot path can afford the
+        // two temporary vecs; the scheduler builds its view from
+        // reusable buffers instead).
+        let mut tokens = Vec::new();
+        let mut ends = Vec::with_capacity(chunks.len());
+        for chunk in chunks {
+            tokens.extend_from_slice(chunk);
+            ends.push(tokens.len());
+        }
+        let n_total = tokens.len();
+        let logits = scratch::with_thread_scratch(|arena| {
+            self.forward_chunks_into(ChunkView::new(&tokens, &ends), caches, arena)
+        });
         Tensor::from_vec(
             logits,
             &[n_total, self.config.vocab],
@@ -1294,18 +1368,22 @@ impl<P: LutProjection> DecoderParts<P> {
     /// [`ScratchArena::put`].
     fn forward_chunks_into(
         &self,
-        chunks: &[&[usize]],
-        caches: &mut [&mut KvCache],
+        view: ChunkView<'_>,
+        caches: &mut [KvCache],
         arena: &mut ScratchArena,
     ) -> Vec<f32> {
-        assert_eq!(chunks.len(), caches.len(), "one cache per chunk");
-        assert!(!chunks.is_empty(), "at least one chunk");
+        assert_eq!(view.len(), caches.len(), "one cache per chunk");
+        assert!(!view.is_empty(), "at least one chunk");
         let d = self.config.d_model;
         let h = self.config.n_heads;
         let hd = d / h;
-        let n_total: usize = chunks.iter().map(|c| c.len()).sum();
-        let mut starts = Vec::with_capacity(chunks.len());
-        for (chunk, cache) in chunks.iter().zip(caches.iter_mut()) {
+        let n_total = view.total_tokens();
+        // Per-chunk cache starts and per-row RoPE positions come from the
+        // arena's index pool — the last per-step bookkeeping the decoder
+        // used to allocate.
+        let mut starts = arena.take_idx(view.len());
+        for (g, chunk) in view.iter().enumerate() {
+            let cache = &mut caches[g];
             assert!(!chunk.is_empty(), "empty chunk");
             assert!(
                 cache.len() + chunk.len() <= self.config.max_seq,
@@ -1321,19 +1399,23 @@ impl<P: LutProjection> DecoderParts<P> {
                 self.kv_pool.blocks_for(cache.len() + chunk.len()),
                 self.kv_pool.free_blocks()
             );
-            starts.push(cache.len());
+            starts[g] = cache.len();
         }
-        let mut pos = Vec::with_capacity(n_total);
-        for (g, chunk) in chunks.iter().enumerate() {
-            pos.extend((0..chunk.len()).map(|i| starts[g] + i));
+        let mut pos = arena.take_idx(n_total);
+        let mut prow = 0usize;
+        for (g, chunk) in view.iter().enumerate() {
+            for i in 0..chunk.len() {
+                pos[prow] = starts[g] + i;
+                prow += 1;
+            }
         }
 
         let mut s = ForwardScratch::take(arena, n_total, d, self.config.d_ff, self.config.max_seq);
 
         // Embed all new tokens: [n_total, d].
         let mut row = 0usize;
-        for chunk in chunks {
-            for &id in *chunk {
+        for chunk in view.iter() {
+            for &id in chunk {
                 assert!(id < self.config.vocab, "id {id} out of vocabulary");
                 self.embed.write_row(id, &mut s.x[row * d..(row + 1) * d]);
                 row += 1;
@@ -1358,7 +1440,7 @@ impl<P: LutProjection> DecoderParts<P> {
             s.ctx.fill(0.0);
             let mut flops = 0.0f64;
             let mut base = 0usize;
-            for (g, chunk) in chunks.iter().enumerate() {
+            for (g, chunk) in view.iter().enumerate() {
                 let n = chunk.len();
                 caches[g].write_rows(
                     li,
@@ -1366,8 +1448,8 @@ impl<P: LutProjection> DecoderParts<P> {
                     &s.k[base * d..(base + n) * d],
                     &s.v[base * d..(base + n) * d],
                 );
-                let view = LayerView {
-                    cache: &*caches[g],
+                let layer_view = LayerView {
+                    cache: &caches[g],
                     layer: li,
                 };
                 flops += attend_cached_rows(
@@ -1375,7 +1457,7 @@ impl<P: LutProjection> DecoderParts<P> {
                     starts[g],
                     h,
                     hd,
-                    &view,
+                    &layer_view,
                     &mut s.ctx[base * d..(base + n) * d],
                     &mut s.scores,
                 );
@@ -1406,9 +1488,11 @@ impl<P: LutProjection> DecoderParts<P> {
             }
             runtime::record_compute(s.x.len() as f64, self.device);
         }
-        for (g, chunk) in chunks.iter().enumerate() {
+        for (g, chunk) in view.iter().enumerate() {
             caches[g].commit(chunk.len());
         }
+        arena.put_idx(starts);
+        arena.put_idx(pos);
 
         rmsnorm_rows_into(&s.x, &self.final_norm, &mut s.h, self.device);
         let mut logits = arena.take(n_total * self.config.vocab);
@@ -1417,7 +1501,7 @@ impl<P: LutProjection> DecoderParts<P> {
         logits
     }
 
-    fn decode_step(&self, tokens: &[usize], caches: &mut [&mut KvCache]) -> Tensor {
+    fn decode_step(&self, tokens: &[usize], caches: &mut [KvCache]) -> Tensor {
         let chunks: Vec<&[usize]> = tokens.chunks(1).collect();
         self.forward_chunks(&chunks, caches)
     }
@@ -1586,13 +1670,12 @@ mod tests {
         let mut solo_b = served.new_cache();
         served.prefill(&p_a, &mut solo_a);
         served.prefill(&p_b, &mut solo_b);
-        let a_alone = served.decode_step(&[7], &mut [&mut solo_a]);
-        let b_alone = served.decode_step(&[8], &mut [&mut solo_b]);
+        let a_alone = served.decode_step(&[7], std::slice::from_mut(&mut solo_a));
+        let b_alone = served.decode_step(&[8], std::slice::from_mut(&mut solo_b));
         // Same state, decoded batched.
-        let mut bat_a = served.new_cache();
-        let mut bat_b = served.new_cache();
-        served.forward_chunks(&[&p_a, &p_b], &mut [&mut bat_a, &mut bat_b]);
-        let both = served.decode_step(&[7, 8], &mut [&mut bat_a, &mut bat_b]);
+        let mut bats = [served.new_cache(), served.new_cache()];
+        served.forward_chunks(&[&p_a, &p_b], &mut bats);
+        let both = served.decode_step(&[7, 8], &mut bats);
         let bv = both.to_vec();
         let vocab = served.config().vocab;
         assert_eq!(

@@ -66,7 +66,7 @@ pub use engine::{
 pub use entropy::{index_entropy_bits, EntropyCoded, HuffmanCode};
 pub use hooks::{EdkmConfig, EdkmHooks, HookStatsSnapshot};
 pub use infer::{
-    LutProjection, PalettizedLinear, PalettizedModel, Partition, ServeError, ServeModel,
+    ChunkView, LutProjection, PalettizedLinear, PalettizedModel, Partition, ServeError, ServeModel,
     ShardedPalettizedLinear, ShardedPalettizedModel,
 };
 pub use kv::{KvBlockConfig, KvBlockPool, KvCache};

@@ -41,6 +41,7 @@ use std::cell::RefCell;
 #[derive(Debug, Default)]
 pub struct ScratchArena {
     free: Vec<Vec<f32>>,
+    free_idx: Vec<Vec<usize>>,
     checkouts: u64,
     grows: u64,
 }
@@ -89,6 +90,43 @@ impl ScratchArena {
         }
     }
 
+    /// Check out a zeroed `usize` index buffer of exactly `len` elements —
+    /// the bookkeeping twin of [`ScratchArena::take`] (per-chunk cache
+    /// starts, RoPE positions), sharing the same checkout/grow counters
+    /// and the same allocation-free steady-state contract.
+    pub fn take_idx(&mut self, len: usize) -> Vec<usize> {
+        self.checkouts += 1;
+        if len == 0 {
+            return Vec::new();
+        }
+        let mut best: Option<(usize, usize)> = None;
+        for (i, b) in self.free_idx.iter().enumerate() {
+            let cap = b.capacity();
+            if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let mut buf = self.free_idx.swap_remove(i);
+                buf.clear();
+                buf.resize(len, 0);
+                buf
+            }
+            None => {
+                self.grows += 1;
+                vec![0; len]
+            }
+        }
+    }
+
+    /// Return an index buffer to its free list for reuse.
+    pub fn put_idx(&mut self, buf: Vec<usize>) {
+        if buf.capacity() > 0 {
+            self.free_idx.push(buf);
+        }
+    }
+
     /// Total checkouts served over the arena's lifetime.
     pub fn checkouts(&self) -> u64 {
         self.checkouts
@@ -100,17 +138,18 @@ impl ScratchArena {
         self.grows
     }
 
-    /// Buffers currently sitting in the free list.
+    /// Buffers currently sitting in the free lists (f32 and index).
     pub fn pooled(&self) -> usize {
-        self.free.len()
+        self.free.len() + self.free_idx.len()
     }
 
-    /// Fold `other`'s free list and counters into this arena (how nested
+    /// Fold `other`'s free lists and counters into this arena (how nested
     /// [`with_thread_scratch`] scopes re-merge on exit).
     fn absorb(&mut self, other: ScratchArena) {
         self.checkouts += other.checkouts;
         self.grows += other.grows;
         self.free.extend(other.free);
+        self.free_idx.extend(other.free_idx);
     }
 }
 
@@ -175,6 +214,24 @@ mod tests {
         }
         assert_eq!(a.grows(), 2, "one allocation per distinct shape");
         assert_eq!(a.checkouts(), 10);
+    }
+
+    #[test]
+    fn index_buffers_recycle_like_f32_buffers() {
+        let mut a = ScratchArena::new();
+        let mut idx = a.take_idx(16);
+        idx.iter_mut().for_each(|v| *v = 9);
+        a.put_idx(idx);
+        let grows = a.grows();
+        let again = a.take_idx(16);
+        assert!(again.iter().all(|&v| v == 0), "reuse must re-zero");
+        assert_eq!(a.grows(), grows, "warm index checkout must not allocate");
+        a.put_idx(again);
+        // The pools are separate: an f32 checkout cannot satisfy an index
+        // request or vice versa.
+        let f = a.take(16);
+        assert_eq!(a.grows(), grows + 1);
+        a.put(f);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! exactly the same tokens whether it runs alone or batched with arbitrary
 //! neighbours — the invariant the scheduler test suite pins.
 
-use crate::infer::{KvCache, PalettizedModel, ServeModel};
+use crate::infer::{ChunkView, KvCache, PalettizedModel, ServeModel};
 use crate::scratch::ScratchArena;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -323,6 +323,16 @@ pub struct StepEvents {
     pub finished: Vec<ServeResponse>,
 }
 
+impl StepEvents {
+    /// Empty both event lists, keeping their capacity — what lets a
+    /// driving loop pass one `StepEvents` to
+    /// [`Scheduler::step_events_into`] every step without reallocating.
+    pub fn clear(&mut self) {
+        self.tokens.clear();
+        self.finished.clear();
+    }
+}
+
 /// A queued request plus the scheduler-side bookkeeping that survives
 /// preemption: its admission rank, its absolute deadline, and the tokens
 /// already emitted to the caller.
@@ -380,7 +390,6 @@ struct ActiveSeq {
     preempted: bool,
     stop_hit: bool,
     rng: StdRng,
-    cache: KvCache,
 }
 
 impl ActiveSeq {
@@ -411,6 +420,46 @@ impl ActiveSeq {
             generated,
             finish,
         }
+    }
+}
+
+/// The in-flight sequences and their KV caches, in two aligned vecs
+/// (entry `i` of each belongs to the same request, in admission order).
+/// Splitting the caches out of [`ActiveSeq`] is what lets one step hand
+/// the model a contiguous `&mut [KvCache]` slab while the per-sequence
+/// bookkeeping stays independently borrowable — no per-step
+/// `Vec<&mut KvCache>` of reborrows.
+#[derive(Debug, Default)]
+struct Flight {
+    seqs: Vec<ActiveSeq>,
+    caches: Vec<KvCache>,
+}
+
+impl Flight {
+    fn len(&self) -> usize {
+        debug_assert_eq!(self.seqs.len(), self.caches.len());
+        self.seqs.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    fn push(&mut self, seq: ActiveSeq, cache: KvCache) {
+        self.seqs.push(seq);
+        self.caches.push(cache);
+    }
+
+    /// Order-preserving removal (the active set stays in admission order,
+    /// which is what makes tail preemption hit the newest sequence).
+    fn remove(&mut self, i: usize) -> (ActiveSeq, KvCache) {
+        (self.seqs.remove(i), self.caches.remove(i))
+    }
+
+    fn pop(&mut self) -> Option<(ActiveSeq, KvCache)> {
+        let seq = self.seqs.pop()?;
+        let cache = self.caches.pop().expect("vecs stay aligned");
+        Some((seq, cache))
     }
 }
 
@@ -460,7 +509,7 @@ pub struct Scheduler<'m, M: ServeModel = PalettizedModel> {
     model: &'m M,
     max_batch: usize,
     queue: VecDeque<QueuedReq>,
-    active: Vec<ActiveSeq>,
+    flight: Flight,
     arrivals: u64,
     decode_steps: u64,
     tokens_generated: u64,
@@ -468,6 +517,12 @@ pub struct Scheduler<'m, M: ServeModel = PalettizedModel> {
     /// Reusable forward-pass scratch: after one step of a given flight
     /// shape, later steps of the same shape allocate nothing.
     scratch: ScratchArena,
+    /// Scheduler-owned flat batch descriptor (every sequence's new tokens
+    /// concatenated + cumulative chunk ends), rebuilt in place each step —
+    /// the buffers behind the [`ChunkView`] handed to the model. The ends
+    /// double as the cumulative logits row offsets at sampling time.
+    flat_tokens: Vec<usize>,
+    chunk_ends: Vec<usize>,
 }
 
 impl<'m, M: ServeModel> Scheduler<'m, M> {
@@ -483,12 +538,14 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
             model,
             max_batch,
             queue: VecDeque::new(),
-            active: Vec::new(),
+            flight: Flight::default(),
             arrivals: 0,
             decode_steps: 0,
             tokens_generated: 0,
             preemptions: 0,
             scratch: ScratchArena::new(),
+            flat_tokens: Vec::new(),
+            chunk_ends: Vec::new(),
         }
     }
 
@@ -534,10 +591,12 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
             let q = self.queue.remove(i).expect("position is in range");
             return Some(q.into_response(FinishReason::Cancelled));
         }
-        let i = self.active.iter().position(|s| s.id == id)?;
+        let i = self.flight.seqs.iter().position(|s| s.id == id)?;
         // Removing the sequence drops its cache: blocks are freed now, not
         // on some later step.
-        Some(self.active.remove(i).into_response(FinishReason::Cancelled))
+        let (seq, cache) = self.flight.remove(i);
+        drop(cache);
+        Some(seq.into_response(FinishReason::Cancelled))
     }
 
     /// Requests waiting for admission.
@@ -547,12 +606,12 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
 
     /// Sequences currently in flight.
     pub fn active(&self) -> usize {
-        self.active.len()
+        self.flight.len()
     }
 
     /// `true` when nothing is queued or in flight.
     pub fn is_idle(&self) -> bool {
-        self.queue.is_empty() && self.active.is_empty()
+        self.queue.is_empty() && self.flight.is_empty()
     }
 
     /// Batched forward steps executed so far.
@@ -567,7 +626,7 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
 
     /// KV-cache bytes currently charged to the pool by in-flight sequences.
     pub fn kv_live_bytes(&self) -> usize {
-        self.active.iter().map(|s| s.cache.bytes()).sum()
+        self.flight.caches.iter().map(|c| c.bytes()).sum()
     }
 
     /// Sequences preempted so far (blocks reclaimed, request requeued).
@@ -588,7 +647,7 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
     /// and rows never depend on batch composition. The request keeps its
     /// original arrival rank (so it sorts ahead of everything that was
     /// still queued behind it) and its absolute deadline.
-    fn preempt(&mut self, mut seq: ActiveSeq) {
+    fn preempt(&mut self, mut seq: ActiveSeq, cache: KvCache) {
         let prompt_len = seq.tokens.len() - seq.produced;
         let prompt = seq.tokens[..prompt_len].to_vec();
         self.queue.push_front(QueuedReq {
@@ -610,7 +669,7 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
         // Discarded tokens are re-generated (identically) after
         // re-admission; keep the counter equal to what callers receive.
         self.tokens_generated -= seq.produced as u64;
-        drop(seq); // returns the sequence's KV blocks
+        drop(cache); // returns the sequence's KV blocks
     }
 
     /// Index of the next queue entry to admit: highest priority class
@@ -638,14 +697,12 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
             }
         }
         let mut i = 0usize;
-        while i < self.active.len() {
-            if self.active[i].expire_at.is_some_and(|e| now >= e) {
-                // Dropping the sequence returns its KV blocks.
-                finished.push(
-                    self.active
-                        .remove(i)
-                        .into_response(FinishReason::DeadlineExceeded),
-                );
+        while i < self.flight.len() {
+            if self.flight.seqs[i].expire_at.is_some_and(|e| now >= e) {
+                // Dropping the cache returns the sequence's KV blocks.
+                let (seq, cache) = self.flight.remove(i);
+                drop(cache);
+                finished.push(seq.into_response(FinishReason::DeadlineExceeded));
             } else {
                 i += 1;
             }
@@ -678,6 +735,23 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
     /// [`Scheduler::step`].
     pub fn step_events(&mut self) -> StepEvents {
         let mut events = StepEvents::default();
+        self.step_events_into(&mut events);
+        events
+    }
+
+    /// [`Scheduler::step_events`] writing into a caller-owned (and
+    /// reusable) [`StepEvents`] — the entry point the engine's worker loop
+    /// drives so that a steady-state decode step performs **zero** heap
+    /// allocations anywhere in the scheduler: the batch descriptor, the
+    /// caches, the sampled-token bookkeeping and the event lists all live
+    /// in buffers that persist across steps. `events` is cleared first.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same pool-starvation condition as
+    /// [`Scheduler::step`].
+    pub fn step_events_into(&mut self, events: &mut StepEvents) {
+        events.clear();
         // Deadlines expire before any admission or compute: a request past
         // its budget must not consume another forward pass.
         self.expire_deadlines(&mut events.finished);
@@ -689,21 +763,21 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
         // dry, preempt from the tail (most recently admitted) until the
         // rest fit.
         let mut i = 0usize;
-        while i < self.active.len() {
-            let need = self.active[i].next_input.len();
-            if self.active[i].cache.try_reserve(need) {
+        while i < self.flight.len() {
+            let need = self.flight.seqs[i].next_input.len();
+            if self.flight.caches[i].try_reserve(need) {
                 i += 1;
                 continue;
             }
             assert!(
-                self.active.len() > 1,
+                self.flight.len() > 1,
                 "KV pool too small for request {}: {} cached + {need} new tokens, pool caps at {} blocks",
-                self.active[i].id,
-                self.active[i].cache.len(),
+                self.flight.seqs[i].id,
+                self.flight.caches[i].len(),
                 self.model.kv_pool().max_blocks()
             );
-            let victim = self.active.pop().expect("non-empty active set");
-            self.preempt(victim);
+            let (victim, cache) = self.flight.pop().expect("non-empty active set");
+            self.preempt(victim, cache);
         }
 
         // Admit while there is batch budget *and* the pool has the blocks
@@ -714,7 +788,7 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
         // a stream of small requests must not starve a large one).
         // Zero-generation requests complete immediately without touching
         // the model.
-        while self.active.len() < self.max_batch {
+        while self.flight.len() < self.max_batch {
             let Some(i) = self.next_admission() else {
                 break;
             };
@@ -731,7 +805,7 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
             let mut cache = self.model.new_cache();
             if !cache.try_reserve(q.req.prompt.len() + 1) {
                 assert!(
-                    !self.active.is_empty(),
+                    !self.flight.is_empty(),
                     "KV pool too small for request {}: prompt {} + 1 needs {} blocks, pool caps at {}",
                     q.req.id,
                     q.req.prompt.len(),
@@ -743,57 +817,64 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
                 self.queue.insert(i.min(self.queue.len()), q);
                 break;
             }
-            self.active.push(ActiveSeq {
-                id: q.req.id,
-                tokens: q.req.prompt.clone(),
-                next_input: q.req.prompt,
-                produced: 0,
-                max_new: q.req.max_new,
-                sampling: q.req.sampling,
-                stop_tokens: q.req.stop_tokens,
-                priority: q.req.priority,
-                arrival: q.arrival,
-                expire_at: q.expire_at,
-                emitted: q.emitted,
-                preempted: q.preempted,
-                stop_hit: false,
-                rng: StdRng::seed_from_u64(q.req.sampling.seed),
+            // Admission pre-sizes every per-sequence vec for the whole
+            // generation (tokens, emitted high-water mark), so steady-state
+            // pushes below never reallocate mid-flight.
+            let mut tokens = Vec::with_capacity(q.req.prompt.len() + q.req.max_new);
+            tokens.extend_from_slice(&q.req.prompt);
+            let mut emitted = q.emitted;
+            emitted.reserve(q.req.max_new.saturating_sub(emitted.len()));
+            self.flight.push(
+                ActiveSeq {
+                    id: q.req.id,
+                    tokens,
+                    next_input: q.req.prompt,
+                    produced: 0,
+                    max_new: q.req.max_new,
+                    sampling: q.req.sampling,
+                    stop_tokens: q.req.stop_tokens,
+                    priority: q.req.priority,
+                    arrival: q.arrival,
+                    expire_at: q.expire_at,
+                    emitted,
+                    preempted: q.preempted,
+                    stop_hit: false,
+                    rng: StdRng::seed_from_u64(q.req.sampling.seed),
+                },
                 cache,
-            });
+            );
         }
-        if self.active.is_empty() {
-            return events;
+        if self.flight.is_empty() {
+            return;
         }
 
-        // One batched forward over every in-flight sequence's new tokens.
-        // Inputs are copied out (a few tokens each) so the caches can be
-        // borrowed mutably at the same time.
-        let inputs: Vec<Vec<usize>> = self.active.iter().map(|s| s.next_input.clone()).collect();
-        let chunks: Vec<&[usize]> = inputs.iter().map(|v| v.as_slice()).collect();
-        let row_ends: Vec<usize> = chunks
-            .iter()
-            .scan(0usize, |acc, c| {
-                *acc += c.len();
-                Some(*acc)
-            })
-            .collect();
-        let mut caches: Vec<&mut KvCache> = self.active.iter_mut().map(|s| &mut s.cache).collect();
+        // One batched forward over every in-flight sequence's new tokens,
+        // described by the scheduler-owned flat buffers (rebuilt in place —
+        // no per-step vecs) while the caches go in as one aligned slab.
+        self.flat_tokens.clear();
+        self.chunk_ends.clear();
+        for seq in &self.flight.seqs {
+            self.flat_tokens.extend_from_slice(&seq.next_input);
+            self.chunk_ends.push(self.flat_tokens.len());
+        }
+        let view = ChunkView::new(&self.flat_tokens, &self.chunk_ends);
         let data = self
             .model
-            .forward_chunks_into(&chunks, &mut caches, &mut self.scratch);
-        drop(caches);
+            .forward_chunks_into(view, &mut self.flight.caches, &mut self.scratch);
         self.decode_steps += 1;
 
-        // Sample one token per sequence (rows map by this step's order),
+        // Sample one token per sequence (rows map by this step's order;
+        // the cumulative chunk ends are exactly the logits row offsets),
         // then retire in a second pass so the row mapping stays intact.
         // A token is emitted only past the sequence's high-water mark, so
         // preemption replays never duplicate a stream.
         let vocab = self.model.config().vocab;
-        for (seq, &end) in self.active.iter_mut().zip(&row_ends) {
+        for (seq, &end) in self.flight.seqs.iter_mut().zip(&self.chunk_ends) {
             let row = &data[(end - 1) * vocab..end * vocab];
             let next = sample_token(row, &seq.sampling, &mut seq.rng);
             seq.tokens.push(next);
-            seq.next_input = vec![next];
+            seq.next_input.clear();
+            seq.next_input.push(next);
             seq.produced += 1;
             self.tokens_generated += 1;
             if seq.produced > seq.emitted.len() {
@@ -810,15 +891,16 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
         }
         self.scratch.put(data); // logits buffer back to the arena
         let mut i = 0usize;
-        while i < self.active.len() {
-            let seq = &self.active[i];
+        while i < self.flight.len() {
+            let seq = &self.flight.seqs[i];
             if seq.produced == seq.max_new || seq.stop_hit {
                 // `remove`, not `swap_remove`: the active set stays in
                 // admission order, which is what makes tail preemption hit
                 // the most recently admitted sequence. A stop token retires
                 // the sequence on the very step that sampled it, so its KV
                 // blocks go back to the pool before the next forward.
-                let seq = self.active.remove(i); // drops the KV cache
+                let (seq, cache) = self.flight.remove(i);
+                drop(cache); // KV blocks back to the pool now
                 events.finished.push(ServeResponse {
                     id: seq.id,
                     generated: seq.produced,
@@ -829,7 +911,6 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
                 i += 1;
             }
         }
-        events
     }
 
     /// Drive [`Scheduler::step`] until every submitted request finished.

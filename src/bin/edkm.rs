@@ -70,6 +70,8 @@ commands:
                     --new T (16)  --temp F (0.8, 0 = greedy)
                     --shards S (1)  --kv-block-tokens T (16)
                     --kv-blocks B (0 = unbounded pool)
+                    --backend scalar|vectorized|vec4|vec8|vec16|sim|auto
+                    (LUT-GEMM kernel backend; default auto-detects lanes)
   table1     the Table 1 cross-device copy scenario
   help       this text
 
@@ -422,6 +424,12 @@ fn serve_with_model<M: ServeModel + 'static>(
         stats.ttft_steps.counts(),
         edkm::core::engine::TTFT_BUCKET_BOUNDS
     );
+    println!(
+        "kernel backend: {} ({} lane{})",
+        stats.kernel_backend,
+        stats.kernel_lanes,
+        if stats.kernel_lanes == 1 { "" } else { "s" }
+    );
     engine.shutdown();
 }
 
@@ -434,6 +442,13 @@ fn cmd_serve(args: &[String]) {
     let shards: usize = parse_or(args, "--shards", 1).max(1);
     let kv_block_tokens: usize = parse_or(args, "--kv-block-tokens", 16).max(1);
     let kv_blocks: usize = parse_or(args, "--kv-blocks", 0);
+    if let Some(backend) = flag_value(args, "--backend") {
+        if let Err(e) = edkm::core::infer::launch::set_default_backend(&backend) {
+            eprintln!("{e}");
+            usage();
+            std::process::exit(2);
+        }
+    }
     println!(
         "serving a {bits}-bit compressed model: {n_requests} requests x {n_new} tokens, \
          continuous batching at batch {max_batch}, {shards} shard(s), \

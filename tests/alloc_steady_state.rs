@@ -6,9 +6,54 @@
 //! and surfaced through the engine's `StatsSnapshot`.
 
 use edkm::core::engine::{EngineConfig, Request, ServeEngine};
-use edkm::core::{CompressSpec, PalettizedModel, SamplingConfig, Scheduler, ServeRequest};
+use edkm::core::{
+    CompressSpec, KvBlockConfig, PalettizedModel, SamplingConfig, Scheduler, ServeRequest,
+    StepEvents,
+};
 use edkm::nn::{LlamaConfig, LlamaModel};
 use edkm::tensor::{runtime, DType, Device};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+// A counting global allocator so the steady-state contract can be pinned at
+// the malloc layer, not just the arena's `grows` counter. Counts are
+// thread-local: the hot path under test runs inline on the calling thread
+// (the tiny model sits below the kernel's parallel-dispatch threshold), and
+// allocations made by *other* concurrently running tests never pollute the
+// measurement.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn allocs_on_this_thread() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
 
 fn served() -> PalettizedModel {
     let cfg = LlamaConfig {
@@ -59,6 +104,49 @@ fn steady_state_decode_steps_do_not_grow_the_arena() {
         "steady-state decode must perform zero arena growth"
     );
     assert_eq!(sched.active(), 4, "flight must have stayed constant");
+    sched.run_to_completion();
+}
+
+#[test]
+fn warm_decode_window_performs_zero_heap_allocations() {
+    runtime::reset();
+    // 64-token KV blocks: one block holds each request's whole lifetime
+    // (3-token prompt + 40 generated), so no block-boundary growth can
+    // land inside the measurement window.
+    let model = served().with_kv_config(KvBlockConfig {
+        block_tokens: 64,
+        max_blocks: 0,
+    });
+    let mut sched = Scheduler::new(&model, 4);
+    for id in 0..4u64 {
+        sched.submit(ServeRequest::new(
+            id,
+            vec![1 + id as usize, 2, 3],
+            40,
+            SamplingConfig::greedy(),
+        ));
+    }
+    // The reusable event buffer the engine's worker loop also uses: after
+    // warmup its vecs hold their high-water capacity across `clear()`.
+    let mut events = StepEvents::default();
+    // Warmup: admission, prefill, and a few decode steps to touch every
+    // buffer shape and fill the arena's free lists.
+    for _ in 0..6 {
+        sched.step_events_into(&mut events);
+    }
+    // Measurement window: the scheduler side of each step — flat-chunk
+    // assembly, forward, sampling, event emission — must be entirely
+    // allocation-free, counted at the global-allocator layer.
+    let before = allocs_on_this_thread();
+    for _ in 0..16 {
+        sched.step_events_into(&mut events);
+    }
+    let window_allocs = allocs_on_this_thread() - before;
+    assert_eq!(sched.active(), 4, "flight must have stayed constant");
+    assert_eq!(
+        window_allocs, 0,
+        "warm decode steps must perform zero heap allocations ({window_allocs} counted)"
+    );
     sched.run_to_completion();
 }
 

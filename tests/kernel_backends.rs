@@ -1,0 +1,123 @@
+//! Property suite for the launch-layer kernel backends: arbitrary
+//! `(out, in, k, batch)` geometries — including off-grid tile/chunk tails
+//! and palettes past the product-table cutoff — must produce results
+//! **bit-identical** to the single-threaded serial oracle on every
+//! registered backend (the scalar-tiled oracle, each fixed lane width, and
+//! the GPU-launch simulator). This is the fixed-tree determinism contract:
+//! lane width and thread count are performance knobs, never numerics knobs.
+
+use edkm::core::infer::launch;
+use edkm::core::palettize::PalettizedTensor;
+use edkm::core::scratch::ScratchArena;
+use edkm::core::PalettizedLinear;
+use edkm::tensor::{DType, Device, Tensor};
+use proptest::prelude::*;
+
+fn linear(out: usize, inp: usize, k: usize, seed: u64) -> PalettizedLinear {
+    let bits = (usize::BITS - (k - 1).max(1).leading_zeros()).max(1) as u8;
+    let w = Tensor::randn(&[out, inp], DType::F32, Device::Cpu, seed).map(|v| v * 0.05);
+    let lut: Vec<f32> = (0..k).map(|i| (i as f32 - k as f32 / 2.0) * 0.02).collect();
+    let c = Tensor::from_vec(lut, &[k, 1], DType::F32, Device::Cpu);
+    PalettizedLinear::new(PalettizedTensor::from_nearest(&w, &c, bits, 1))
+}
+
+/// Every registered backend against the serial oracle on one geometry.
+fn assert_all_backends_match(lin: &PalettizedLinear, batch: usize, seed: u64) {
+    let x = Tensor::randn(&[batch, lin.in_features()], DType::F32, Device::Cpu, seed);
+    let want = lin.forward_serial(&x).to_vec();
+    let xd = x.to_vec();
+    let mut arena = ScratchArena::new();
+    let mut got = vec![0.0f32; batch * lin.out_features()];
+    for backend in launch::registry() {
+        got.iter_mut().for_each(|v| *v = f32::NAN);
+        lin.kernel()
+            .launch_with(*backend, &xd, batch, &mut got, &mut arena);
+        assert_eq!(
+            got,
+            want,
+            "[{} x {}] k={} batch={batch}: backend {} ({} lanes) diverged from the serial oracle",
+            lin.out_features(),
+            lin.in_features(),
+            lin.weights().k(),
+            backend.name(),
+            backend.lanes()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary geometry: feature counts straddling the tile/chunk grid,
+    /// palette sizes from degenerate (k = 1) through multi-bit, batches
+    /// from decode-shaped (1) to prefill-shaped.
+    #[test]
+    fn arbitrary_geometry_is_bit_identical_on_every_backend(
+        out in 1usize..70,
+        inp in 1usize..90,
+        k in 1usize..17,
+        batch in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let lin = linear(out, inp, k, seed);
+        assert_all_backends_match(&lin, batch, seed.wrapping_add(1));
+    }
+
+    /// Off-grid tails at lane-width granularity: output rows one past and
+    /// one short of every lane width (4/8/16) exercise the fixed
+    /// lane-halving tail descent of the vectorized backend.
+    #[test]
+    fn lane_width_tails_are_bit_identical(
+        lane_pow in 2u32..5,   // 4, 8, 16
+        delta in 0usize..3,    // rows = L - 1, L, L + 1
+        inp in 1usize..50,
+        seed in 0u64..1000,
+    ) {
+        let lanes = 1usize << lane_pow;
+        let out = (lanes + delta).saturating_sub(1).max(1);
+        let lin = linear(out, inp, 8, seed);
+        assert_all_backends_match(&lin, 2, seed.wrapping_add(3));
+    }
+}
+
+#[test]
+fn lossless_u16_palette_is_bit_identical_on_every_backend() {
+    // The lossless 2^16-entry palette of a bf16 weight takes the inline
+    // u16 index path (no product table); every backend must still match
+    // the oracle exactly.
+    let w = Tensor::randn(&[37, 53], DType::Bf16, Device::Cpu, 61);
+    let p = PalettizedTensor::lossless(&w);
+    assert_eq!(p.bits(), 16);
+    let lin = PalettizedLinear::new(p);
+    assert_all_backends_match(&lin, 4, 67);
+}
+
+#[test]
+fn worker_count_never_changes_the_bits() {
+    // The parallel tile loop assigns `min(cores, n_tiles)` worker threads,
+    // each owning whole tiles with one accumulator chain per output
+    // element, so the result is independent of how many threads execute
+    // it. Sweeping the tile count from 1 (inline, zero extra threads)
+    // through many tiles varies the actual worker count on any machine;
+    // every configuration must reproduce the serial oracle's bits.
+    use edkm::core::infer::kernel::TILE_OUT;
+    for n_tiles in [1usize, 2, 3, 8] {
+        let out = n_tiles * TILE_OUT;
+        let lin = linear(out, 600, 8, 79 + n_tiles as u64);
+        let x = Tensor::randn(&[4, 600], DType::F32, Device::Cpu, 83);
+        let want = lin.forward_serial(&x).to_vec();
+        let xd = x.to_vec();
+        let mut arena = ScratchArena::new();
+        let mut got = vec![0.0f32; 4 * out];
+        for backend in launch::registry() {
+            lin.kernel()
+                .launch_with(*backend, &xd, 4, &mut got, &mut arena);
+            assert_eq!(
+                got,
+                want,
+                "backend {} diverged with {n_tiles} tile(s) in flight",
+                backend.name()
+            );
+        }
+    }
+}

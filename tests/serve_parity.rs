@@ -112,7 +112,7 @@ fn assert_per_step_logits_close(bits: u8, tol: f32) {
         let served_logits = if step == 3 {
             served.prefill(prefix, &mut cache)
         } else {
-            served.decode_step(&[ids[step - 1]], &mut [&mut cache])
+            served.decode_step(&[ids[step - 1]], std::slice::from_mut(&mut cache))
         };
         let n_rows = served_logits.shape()[0];
         let served_row = served_logits.slice(0, n_rows - 1, 1);

@@ -51,8 +51,12 @@ fn sharded_logits_are_bit_identical_for_1_2_4_shards() {
             "{shards}-way sharded prefill logits must be bit-identical"
         );
         // Decode steps stay identical too (cache state diverges never).
-        let a = base.decode_step(&[11], &mut [&mut cache]).to_vec();
-        let b = sharded.decode_step(&[11], &mut [&mut c]).to_vec();
+        let a = base
+            .decode_step(&[11], std::slice::from_mut(&mut cache))
+            .to_vec();
+        let b = sharded
+            .decode_step(&[11], std::slice::from_mut(&mut c))
+            .to_vec();
         assert_eq!(a, b, "{shards}-way sharded decode diverged");
         // Re-sync the unsharded cache for the next loop iteration.
         cache = base.new_cache();
