@@ -3,23 +3,44 @@
 //! 1/4/8 over a whole palettized decoder, plus TTFT and per-token latency
 //! percentiles measured off the token streams.
 //!
+//! On top of the microbenchmark, two macro sections:
+//!
+//! - **Workload sweep** — every [`TraceKind`] replayed twice over a
+//!   bounded-KV model: once deterministically against the scheduler
+//!   (TTFT-in-steps percentiles, deadline-miss and preemption rates —
+//!   the numbers CI SLO gates pin), once through the live engine
+//!   (goodput, wall-clock TTFT/per-token percentiles, backpressure
+//!   rejections). Naturally finished requests must generate identical
+//!   tokens in both replays.
+//! - **Quality/throughput frontier** — a pretrained model exported at
+//!   lossless (2^16 palette), 4-bit, and 3-bit; each setting reports
+//!   perplexity and multichoice accuracy from `edkm-eval` next to the
+//!   serving goodput of the same palettes.
+//!
 //! Writes `BENCH_serve.json`. The deployment-shaped full run uses a
 //! 4-layer / d_model 256 model; `--smoke` shrinks everything so CI can
 //! exercise the serving path on every PR in seconds.
 //!
 //! Run with `cargo run --release -p edkm-bench --bin serve [-- --smoke]`.
+//! `--slo` turns the gates (`--max-deadline-miss`, `--max-ttft-p99-steps`,
+//! the lossless accuracy floor) into a non-zero exit.
 //!
 //! Acceptance (4-core CI runner): ≥ 2× tokens/sec at batch 8 over
 //! sequential decode. Single-core machines record ~1× parity — the batched
 //! projection GEMMs fall below the parallel work threshold's win.
 
 use edkm_core::{
-    CompressSpec, EngineConfig, Generator, KvBlockConfig, PalettizedModel, SamplingConfig,
-    ServeEngine, ServeModel, ServeResponse, TokenEvent,
+    CompressSpec, CompressionPipeline, EngineConfig, Generator, KvBlockConfig, PalettizedModel,
+    SamplingConfig, ServeEngine, ServeModel, ServeResponse, TokenEvent,
 };
+use edkm_data::{Corpus, Grammar, TaskSuite};
 use edkm_dist::LearnerGroup;
-use edkm_nn::{LlamaConfig, LlamaModel};
+use edkm_eval::{evaluate_suite, perplexity};
+use edkm_nn::{AdamWConfig, LlamaConfig, LlamaModel, LmBatch, LrSchedule, TrainConfig, Trainer};
 use edkm_tensor::{runtime, DType, Device};
+use edkm_workload::{
+    replay_engine, replay_trace, EngineReplayConfig, Trace, TraceConfig, TraceKind,
+};
 use std::time::Instant;
 
 struct Workload {
@@ -28,6 +49,10 @@ struct Workload {
     dkm_iters: usize,
     n_requests: usize,
     gen_tokens: usize,
+    /// Requests per generated trace in the workload sweep.
+    trace_requests: usize,
+    /// Pretraining steps for the quality/throughput frontier model.
+    frontier_steps: usize,
 }
 
 impl Workload {
@@ -45,6 +70,8 @@ impl Workload {
             dkm_iters: 4,
             n_requests: 8,
             gen_tokens: 48,
+            trace_requests: 24,
+            frontier_steps: 300,
         }
     }
 
@@ -62,6 +89,8 @@ impl Workload {
             dkm_iters: 2,
             n_requests: 4,
             gen_tokens: 8,
+            trace_requests: 8,
+            frontier_steps: 40,
         }
     }
 
@@ -183,8 +212,215 @@ fn run_engine<M: ServeModel + 'static>(
     (secs, sim_s, stats, responses, lat.sorted())
 }
 
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    flag_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One trace kind's sweep row: deterministic step-replay metrics plus
+/// wall-clock engine-replay metrics over the same bounded-KV model.
+struct WorkloadRow {
+    kind: TraceKind,
+    requests: usize,
+    goodput_tok_s: f64,
+    ttft_ms_p50: f64,
+    ttft_ms_p99: f64,
+    per_token_ms_p50: f64,
+    per_token_ms_p99: f64,
+    ttft_steps_p50: u64,
+    ttft_steps_p99: u64,
+    deadline_miss_rate: f64,
+    preemption_rate: f64,
+    preemptions: u64,
+    expired: u64,
+    backpressure_rejections: u64,
+}
+
+/// Replay every trace kind over `model` with a KV pool sized for ~3
+/// max-length sequences, so long-context kinds contend for blocks and
+/// exercise preemption. Panics if a naturally finished request generated
+/// different tokens in the step replay and the engine replay.
+fn run_workload_sweep(model: &PalettizedModel, wl: &Workload, seed: u64) -> Vec<WorkloadRow> {
+    let mut rows = Vec::new();
+    for kind in TraceKind::ALL {
+        let trace = Trace::generate(&TraceConfig::new(
+            kind,
+            seed,
+            wl.trace_requests,
+            wl.config.vocab,
+            wl.config.max_seq,
+        ));
+        let block_tokens = 8;
+        let per_req = trace.max_tokens_per_request().div_ceil(block_tokens);
+        let bounded = model.clone().with_kv_config(KvBlockConfig {
+            block_tokens,
+            max_blocks: per_req * 3,
+        });
+        let step = replay_trace(&bounded, &trace, 8);
+        let eng = replay_engine(
+            bounded,
+            &trace,
+            EngineReplayConfig {
+                max_batch: 8,
+                queue_capacity: (wl.trace_requests / 3).max(2),
+            },
+        );
+        assert_eq!(
+            step.outcomes.len(),
+            eng.outcomes.len(),
+            "{kind}: replays retired different request counts"
+        );
+        for (s, e) in step.outcomes.iter().zip(&eng.outcomes) {
+            assert_eq!(s.id, e.id, "{kind}: replay outcome ids diverged");
+            if !s.finish.is_aborted() && !e.finish.is_aborted() {
+                assert_eq!(
+                    s.tokens, e.tokens,
+                    "{kind}: request {} tokens diverged between step and engine replay",
+                    s.id
+                );
+            }
+        }
+        rows.push(WorkloadRow {
+            kind,
+            requests: wl.trace_requests,
+            goodput_tok_s: eng.goodput_tok_s,
+            ttft_ms_p50: eng.ttft_ms_p(0.50),
+            ttft_ms_p99: eng.ttft_ms_p(0.99),
+            per_token_ms_p50: eng.per_token_ms_p(0.50),
+            per_token_ms_p99: eng.per_token_ms_p(0.99),
+            ttft_steps_p50: step.ttft_steps_p(0.50),
+            ttft_steps_p99: step.ttft_steps_p(0.99),
+            deadline_miss_rate: step.counters.deadline_miss_rate(),
+            preemption_rate: step.counters.preemption_rate(),
+            preemptions: step.counters.preemptions,
+            expired: step.counters.expired,
+            backpressure_rejections: eng.backpressure_rejections,
+        });
+    }
+    rows
+}
+
+/// One bits setting on the quality/throughput frontier.
+struct FrontierRow {
+    setting: &'static str,
+    bits: u8,
+    size_bytes: usize,
+    perplexity: f32,
+    accuracy: f32,
+    goodput_tok_s: f64,
+}
+
+/// Pretrain a small model, export it at three palette widths, and report
+/// quality (perplexity + mean multichoice accuracy, `edkm-eval`) next to
+/// serving goodput (chat-trace engine replay of the same palettes).
+/// Returns `(base_perplexity, base_accuracy, rows)`.
+fn run_frontier(wl: &Workload, smoke: bool, seed: u64) -> (f32, f32, Vec<FrontierRow>) {
+    let cfg = LlamaConfig {
+        vocab: 64,
+        d_model: 64,
+        n_heads: 4,
+        n_layers: 2,
+        d_ff: 128,
+        max_seq: 48,
+    };
+    let grammar = Grammar::default_with_seed(0);
+    let corpus = Corpus::generate(&grammar, if smoke { 80 } else { 300 }, 10, 32, 1);
+    let suite = TaskSuite::generate(&grammar, if smoke { 30 } else { 120 }, 2);
+    let base = LlamaModel::new(cfg, DType::Bf16, Device::Cpu, 0);
+    let params = base.params();
+    let total = wl.frontier_steps as u64;
+    let mut trainer = Trainer::new(TrainConfig {
+        optim: AdamWConfig {
+            lr: 3e-3,
+            ..AdamWConfig::default()
+        },
+        schedule: LrSchedule::CosineWithWarmup {
+            warmup: total / 20 + 1,
+            total,
+            final_frac: 0.1,
+        },
+        clip_norm: 1.0,
+    });
+    let batches: Vec<LmBatch> = corpus.batches(8).into_iter().map(LmBatch::new).collect();
+    let mut step = 0usize;
+    'outer: loop {
+        for b in &batches {
+            trainer.step(&base, b, &params, None);
+            step += 1;
+            if step >= wl.frontier_steps {
+                break 'outer;
+            }
+        }
+    }
+    let held_out = corpus.subsample(if smoke { 9 } else { 23 });
+    let base_ppl = perplexity(&base, held_out.windows());
+    let base_accs = evaluate_suite(&base, &suite);
+    let base_acc = base_accs.iter().map(|&(_, a)| a).sum::<f32>() / base_accs.len() as f32;
+
+    let trace = Trace::generate(&TraceConfig::new(
+        TraceKind::Chat,
+        seed,
+        if smoke { 6 } else { 12 },
+        cfg.vocab,
+        cfg.max_seq,
+    ));
+    let settings: [(&'static str, CompressSpec); 3] = [
+        ("lossless", CompressSpec::lossless()),
+        ("4bit", {
+            let mut s = CompressSpec::with_bits(4);
+            s.dkm.iters = wl.dkm_iters;
+            s
+        }),
+        ("3bit", {
+            let mut s = CompressSpec::with_bits(3);
+            s.dkm.iters = wl.dkm_iters;
+            s
+        }),
+    ];
+    let mut rows = Vec::new();
+    for (setting, spec) in settings {
+        let compressed = CompressionPipeline::new(spec.clone()).export(&base);
+        let shipped = LlamaModel::new(cfg, base.dtype(), base.device(), 999);
+        shipped.copy_weights_from(&base);
+        compressed.apply_to(&shipped);
+        let ppl = perplexity(&shipped, held_out.windows());
+        let accs = evaluate_suite(&shipped, &suite);
+        let acc = accs.iter().map(|&(_, a)| a).sum::<f32>() / accs.len() as f32;
+        let servable = PalettizedModel::from_dense(&base, &spec).expect("servable export");
+        let eng = replay_engine(
+            servable,
+            &trace,
+            EngineReplayConfig {
+                max_batch: 8,
+                queue_capacity: trace.requests().len().max(1),
+            },
+        );
+        rows.push(FrontierRow {
+            setting,
+            bits: spec.bits,
+            size_bytes: compressed.size_bytes(),
+            perplexity: ppl,
+            accuracy: acc,
+            goodput_tok_s: eng.goodput_tok_s,
+        });
+    }
+    (base_ppl, base_acc, rows)
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let enforce_slo = args.iter().any(|a| a == "--slo");
+    let max_deadline_miss: f64 = parse_or(&args, "--max-deadline-miss", 0.35);
+    let max_ttft_p99_steps: u64 = parse_or(&args, "--max-ttft-p99-steps", 96);
+    let workload_seed: u64 = parse_or(&args, "--seed", 7);
     let wl = if smoke {
         Workload::smoke()
     } else {
@@ -288,6 +524,15 @@ fn main() {
     let (paged_peak, mono_peak) = (paged_stats.kv_peak_bytes, mono_stats.kv_peak_bytes);
     let kv_saving = mono_peak as f64 / paged_peak.max(1) as f64;
 
+    // Heterogeneous workload sweep + quality/throughput frontier.
+    println!("\nreplaying workload traces (seed {workload_seed})...");
+    let workload_rows = run_workload_sweep(&model, &wl, workload_seed);
+    println!(
+        "building quality/throughput frontier ({} pretrain steps)...",
+        wl.frontier_steps
+    );
+    let (base_ppl, base_acc, frontier_rows) = run_frontier(&wl, smoke, workload_seed);
+
     let seq_tps = tok_per_sec(total_tokens, sequential_s);
     println!("\n  {:<24} {:>10} {:>12}", "mode", "tok/s", "steps");
     println!(
@@ -337,6 +582,108 @@ fn main() {
         100.0 * batch8_scratch.1 as f64 / (batch8_scratch.0.max(1)) as f64
     );
 
+    println!(
+        "\n  {:<12} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "trace", "goodput", "ttft p50", "ttft p99", "p50 st", "p99 st", "miss", "preempt"
+    );
+    for r in &workload_rows {
+        println!(
+            "  {:<12} {:>10.1} {:>10.2} {:>10.2} {:>8} {:>8} {:>8.3} {:>8.3}",
+            r.kind.name(),
+            r.goodput_tok_s,
+            r.ttft_ms_p50,
+            r.ttft_ms_p99,
+            r.ttft_steps_p50,
+            r.ttft_steps_p99,
+            r.deadline_miss_rate,
+            r.preemption_rate
+        );
+    }
+
+    println!(
+        "\n  {:<12} {:>5} {:>12} {:>10} {:>9} {:>10}",
+        "setting", "bits", "size B", "ppl", "acc %", "goodput"
+    );
+    println!(
+        "  {:<12} {:>5} {:>12} {:>10.3} {:>9.2} {:>10}",
+        "base", 16, "-", base_ppl, base_acc, "-"
+    );
+    for r in &frontier_rows {
+        println!(
+            "  {:<12} {:>5} {:>12} {:>10.3} {:>9.2} {:>10.1}",
+            r.setting, r.bits, r.size_bytes, r.perplexity, r.accuracy, r.goodput_tok_s
+        );
+    }
+
+    let worst_miss = workload_rows
+        .iter()
+        .map(|r| r.deadline_miss_rate)
+        .fold(0.0f64, f64::max);
+    let worst_ttft_steps = workload_rows
+        .iter()
+        .map(|r| r.ttft_steps_p99)
+        .max()
+        .unwrap_or(0);
+    // CompressSpec::lossless() round-trips every weight bit-exactly, so the
+    // compressed serving path must score exactly what the base model does.
+    let lossless = &frontier_rows[0];
+    let lossless_acc_ok =
+        lossless.accuracy >= base_acc - 1e-4 && lossless.perplexity <= base_ppl + 1e-3;
+    let slo_ok = worst_miss <= max_deadline_miss
+        && worst_ttft_steps <= max_ttft_p99_steps
+        && lossless_acc_ok;
+    println!(
+        "\n  SLO: deadline-miss max {worst_miss:.3} (ceiling {max_deadline_miss}), \
+         TTFT p99 max {worst_ttft_steps} steps (ceiling {max_ttft_p99_steps}), \
+         lossless quality {} -> {}",
+        if lossless_acc_ok {
+            "intact"
+        } else {
+            "DEGRADED"
+        },
+        if slo_ok { "ok" } else { "VIOLATED" }
+    );
+
+    let workload_json: String = workload_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"trace\": \"{}\", \"requests\": {}, \"goodput_tok_s\": {:.1}, \
+                 \"ttft_ms_p50\": {:.3}, \"ttft_ms_p99\": {:.3}, \
+                 \"per_token_ms_p50\": {:.4}, \"per_token_ms_p99\": {:.4}, \
+                 \"ttft_steps_p50\": {}, \"ttft_steps_p99\": {}, \
+                 \"deadline_miss_rate\": {:.4}, \"preemption_rate\": {:.4}, \
+                 \"preemptions\": {}, \"expired\": {}, \"backpressure_rejections\": {}}}",
+                r.kind.name(),
+                r.requests,
+                r.goodput_tok_s,
+                r.ttft_ms_p50,
+                r.ttft_ms_p99,
+                r.per_token_ms_p50,
+                r.per_token_ms_p99,
+                r.ttft_steps_p50,
+                r.ttft_steps_p99,
+                r.deadline_miss_rate,
+                r.preemption_rate,
+                r.preemptions,
+                r.expired,
+                r.backpressure_rejections
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let frontier_json: String = frontier_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"setting\": \"{}\", \"bits\": {}, \"size_bytes\": {}, \
+                 \"perplexity\": {:.4}, \"accuracy\": {:.2}, \"goodput_tok_s\": {:.1}}}",
+                r.setting, r.bits, r.size_bytes, r.perplexity, r.accuracy, r.goodput_tok_s
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let (kernel_backend, kernel_lanes) = edkm_core::infer::launch::active();
     let cpu_features = edkm_core::infer::launch::cpu_features();
     let record = format!(
@@ -358,6 +705,16 @@ fn main() {
          \"kv_monolithic_peak_bytes\": {mono_peak},\n  \
          \"kv_paged_saving\": {kv_saving:.3},\n  \
          \"scratch_checkouts\": {},\n  \"scratch_grows\": {},\n  \
+         \"workload_seed\": {workload_seed},\n  \
+         \"workload\": [\n{workload_json}\n  ],\n  \
+         \"base_perplexity\": {base_ppl:.4},\n  \"base_accuracy\": {base_acc:.2},\n  \
+         \"frontier\": [\n{frontier_json}\n  ],\n  \
+         \"workload_deadline_miss_max\": {worst_miss:.4},\n  \
+         \"workload_ttft_p99_steps_max\": {worst_ttft_steps},\n  \
+         \"max_deadline_miss\": {max_deadline_miss},\n  \
+         \"max_ttft_p99_steps\": {max_ttft_p99_steps},\n  \
+         \"lossless_acc_ok\": {lossless_acc_ok},\n  \
+         \"slo_ok\": {slo_ok},\n  \
          \"tokens_identical\": true\n}}\n",
         wl.config.d_model,
         wl.config.n_layers,
@@ -384,5 +741,13 @@ fn main() {
         eprintln!(
             "WARNING: expected >= 2x batch-8 speedup with {threads} threads, got {speedup:.2}x"
         );
+    }
+    if enforce_slo && !slo_ok {
+        eprintln!(
+            "SLO violation: deadline-miss max {worst_miss:.3} (ceiling {max_deadline_miss}), \
+             TTFT p99 max {worst_ttft_steps} steps (ceiling {max_ttft_p99_steps}), \
+             lossless_acc_ok {lossless_acc_ok}"
+        );
+        std::process::exit(1);
     }
 }

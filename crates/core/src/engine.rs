@@ -35,6 +35,7 @@ use crate::serve::{
 };
 use edkm_tensor::runtime;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -304,6 +305,13 @@ impl TtftHistogram {
 /// read after a stream finished already cover that request).
 #[derive(Debug, Clone, Default)]
 pub struct StatsSnapshot {
+    /// Requests admitted into the engine over its lifetime. At drain
+    /// (every stream terminal) `finished + cancelled + expired` equals
+    /// this — the accounting invariant the proptest suite pins.
+    pub submitted: u64,
+    /// [`EngineHandle::try_submit`] refusals at capacity — the engine's
+    /// backpressure-rejection count.
+    pub rejected_full: u64,
     /// Requests waiting for admission (handle inbox + scheduler queue).
     pub queued: usize,
     /// Sequences currently in flight.
@@ -386,6 +394,11 @@ struct Shared {
     stats: Mutex<StatsSnapshot>,
     capacity: usize,
     max_seq: usize,
+    /// Lifetime admissions (monotone; folded into every published
+    /// snapshot).
+    submitted: AtomicU64,
+    /// Lifetime `try_submit` capacity refusals.
+    rejected_full: AtomicU64,
 }
 
 impl Shared {
@@ -447,6 +460,7 @@ impl EngineHandle {
             return Err(SubmitError::ShutDown);
         }
         if inbox.live.len() >= self.shared.capacity {
+            self.shared.rejected_full.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::Full);
         }
         Ok(self.admit(&mut inbox, request))
@@ -466,6 +480,7 @@ impl EngineHandle {
     fn admit(&self, inbox: &mut Inbox, request: Request) -> (RequestId, TokenStream) {
         let id = inbox.next_id;
         inbox.next_id += 1;
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         inbox.pending.push_back((request.into_serve(id), tx));
         inbox.live.insert(id);
@@ -587,6 +602,8 @@ impl ServeEngine {
             stats: Mutex::new(StatsSnapshot::default()),
             capacity: config.queue_capacity,
             max_seq: model.config().max_seq,
+            submitted: AtomicU64::new(0),
+            rejected_full: AtomicU64::new(0),
         });
         let worker_shared = Arc::clone(&shared);
         let rt = runtime::current();
@@ -663,6 +680,8 @@ fn publish_stats<M: ServeModel>(
     let (kernel_backend, kernel_lanes) = crate::infer::launch::active();
     let mut stats = shared.stats.lock().expect("stats lock");
     *stats = StatsSnapshot {
+        submitted: shared.submitted.load(Ordering::Relaxed),
+        rejected_full: shared.rejected_full.load(Ordering::Relaxed),
         queued: pending + sched.queued(),
         active: sched.active(),
         tokens_generated: sched.tokens_generated(),

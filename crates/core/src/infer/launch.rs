@@ -660,6 +660,25 @@ pub fn set_default_backend(name: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolve an `EDKM_KERNEL_BACKEND`-style value (`None` = variable unset)
+/// into a selector code plus the warning to surface when the value was
+/// not a recognized selector. Pure, so the warn-and-fall-back contract is
+/// unit-testable without touching the process-wide selection.
+fn resolve_env_selector(raw: Option<&str>) -> (u8, Option<String>) {
+    match raw {
+        None => (vec_code(detected_lanes()), None),
+        Some(v) => match code_of(v) {
+            Ok(code) => (code, None),
+            Err(e) => (
+                vec_code(detected_lanes()),
+                Some(format!(
+                    "warning: EDKM_KERNEL_BACKEND: {e}; using vectorized"
+                )),
+            ),
+        },
+    }
+}
+
 /// The backend serving [`super::kernel::TiledLutKernel::forward_into`].
 /// Resolved once: an explicit [`set_default_backend`] wins, else the
 /// `EDKM_KERNEL_BACKEND` environment variable, else `vectorized` at the
@@ -668,13 +687,12 @@ pub fn set_default_backend(name: &str) -> Result<(), String> {
 pub fn default_backend() -> &'static dyn KernelBackend {
     let mut code = SELECTED.load(Ordering::Relaxed);
     if code == SEL_UNSET {
-        code = match std::env::var("EDKM_KERNEL_BACKEND") {
-            Ok(v) => code_of(&v).unwrap_or_else(|e| {
-                eprintln!("warning: EDKM_KERNEL_BACKEND: {e}; using vectorized");
-                vec_code(detected_lanes())
-            }),
-            Err(_) => vec_code(detected_lanes()),
-        };
+        let env = std::env::var("EDKM_KERNEL_BACKEND").ok();
+        let (resolved, warning) = resolve_env_selector(env.as_deref());
+        if let Some(w) = warning {
+            eprintln!("{w}");
+        }
+        code = resolved;
         SELECTED.store(code, Ordering::Relaxed);
     }
     backend_of(code)
@@ -729,6 +747,28 @@ mod tests {
         assert!([4u8, 8, 16].contains(&detected_lanes()));
         // And the auto selector resolves to exactly that width.
         assert_eq!(backend_by_name("auto").unwrap().lanes(), detected_lanes());
+    }
+
+    #[test]
+    fn env_selector_resolves_valid_values_silently() {
+        let (code, warning) = resolve_env_selector(Some("scalar"));
+        assert_eq!(backend_of(code).name(), "scalar");
+        assert!(warning.is_none());
+        let (code, warning) = resolve_env_selector(None);
+        assert_eq!(backend_of(code).name(), "vectorized");
+        assert_eq!(backend_of(code).lanes(), detected_lanes());
+        assert!(warning.is_none());
+    }
+
+    #[test]
+    fn invalid_env_selector_warns_and_falls_back_to_default() {
+        let (code, warning) = resolve_env_selector(Some("bogus-backend"));
+        assert_eq!(backend_of(code).name(), "vectorized");
+        assert_eq!(backend_of(code).lanes(), detected_lanes());
+        let w = warning.expect("invalid value must warn");
+        assert!(w.contains("EDKM_KERNEL_BACKEND"), "{w}");
+        assert!(w.contains("bogus-backend"), "{w}");
+        assert!(w.contains("using vectorized"), "{w}");
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! # edkm-workload
+//!
+//! Trace-driven workload harness for the serving engine: a seeded, fully
+//! deterministic generator of heterogeneous request traces plus two replay
+//! drivers that feed those traces through the stack and aggregate
+//! serving-quality metrics.
+//!
+//! "Throughput at batch 8 on uniform requests" says nothing about heavy
+//! mixed traffic. A [`Trace`] instead models the request mixes a production
+//! deployment sees — bursty Poisson arrivals, multi-turn chat with history
+//! reuse, long-context summarization that forces KV pressure and
+//! preemption, short classification bursts with tight deadlines, and a
+//! mixed-priority blend — all derived from one seed, so every run of a
+//! trace is byte-identical.
+//!
+//! Two replay layers exist on purpose:
+//!
+//! - [`replay_trace`] drives a [`edkm_core::Scheduler`] step by step on a
+//!   virtual clock. Every admission, preemption, deadline expiry and token
+//!   is a pure function of `(model, trace, max_batch)`, so TTFT-in-steps
+//!   percentiles, deadline-miss and preemption rates are **reproducible**
+//!   numbers a CI gate can pin.
+//! - [`replay_engine`] drives a live [`edkm_core::ServeEngine`] through its
+//!   handle with one consumer thread per token stream, measuring the
+//!   wall-clock side: goodput, TTFT and per-token latency percentiles, and
+//!   backpressure rejections under a bounded admission queue.
+//!
+//! Because sampling is per-request-seeded and logits rows are independent
+//! of batch composition, the token streams of the two layers are
+//! bit-identical for every request that runs to its natural finish — the
+//! cross-check `tests/workload_replay.rs` pins.
+
+#![warn(missing_docs)]
+
+pub mod replay;
+pub mod report;
+pub mod trace;
+
+pub use replay::{
+    replay_engine, replay_trace, EngineReplayConfig, EngineReplayReport, ReplayCounters,
+    RequestOutcome, StepReplayReport,
+};
+pub use report::{percentile_f64, percentile_u64};
+pub use trace::{TimedRequest, Trace, TraceConfig, TraceKind};

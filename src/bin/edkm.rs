@@ -27,6 +27,9 @@ use edkm::dist::LearnerGroup;
 use edkm::eval::perplexity;
 use edkm::nn::{AdamWConfig, LlamaConfig, LlamaModel, LmBatch, TrainConfig, Trainer};
 use edkm::tensor::{runtime, DType, Device, Tensor};
+use edkm::workload::{
+    replay_engine, replay_trace, EngineReplayConfig, Trace, TraceConfig, TraceKind,
+};
 use std::process::ExitCode;
 
 /// Value of `--name v` or `--name=v` in `args`, if present.
@@ -72,6 +75,12 @@ commands:
                     --kv-blocks B (0 = unbounded pool)
                     --backend scalar|vectorized|vec4|vec8|vec16|sim|auto
                     (LUT-GEMM kernel backend; default auto-detects lanes)
+  bench workload
+             generate a seeded request trace and replay it twice: once
+             deterministically against the scheduler (step metrics), once
+             through the live engine (wall-clock metrics)
+             flags: --trace bursty|chat|summarize|classify|mixed (mixed)
+                    --seed N (0)  --requests R (12)  --batch B (4)
   table1     the Table 1 cross-device copy scenario
   help       this text
 
@@ -504,6 +513,103 @@ fn cmd_serve(args: &[String]) {
     }
 }
 
+/// `edkm bench workload`: seeded trace generation + the two replay layers
+/// at CLI scale (an untrained model — replay measures the serving stack,
+/// not model quality).
+fn cmd_bench_workload(args: &[String]) -> ExitCode {
+    let kind_name = flag_value(args, "--trace").unwrap_or_else(|| "mixed".into());
+    let kind = match TraceKind::parse(&kind_name) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("{e}\n");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed: u64 = parse_or(args, "--seed", 0);
+    let requests: usize = parse_or(args, "--requests", 12).max(1);
+    let max_batch: usize = parse_or(args, "--batch", 4).max(1);
+    let cfg = LlamaConfig {
+        vocab: 64,
+        d_model: 32,
+        n_heads: 2,
+        n_layers: 2,
+        d_ff: 64,
+        max_seq: 48,
+    };
+    let dense = LlamaModel::new(cfg, DType::Bf16, Device::Cpu, 0);
+    let mut spec = CompressSpec::with_bits(3);
+    spec.dkm.iters = 2;
+    let model = match PalettizedModel::from_dense(&dense, &spec) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot serve this export: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = Trace::generate(&TraceConfig::new(
+        kind,
+        seed,
+        requests,
+        cfg.vocab,
+        cfg.max_seq,
+    ));
+    println!(
+        "trace {kind} (seed {seed}): {} requests, fingerprint {:016x}",
+        trace.requests().len(),
+        trace.fingerprint()
+    );
+
+    let step = replay_trace(&model, &trace, max_batch);
+    println!(
+        "\nstep replay (deterministic, batch {max_batch}):\n  \
+         {} decode steps, {} tokens, TTFT p50 {} / p99 {} steps\n  \
+         deadline-miss rate {:.3}, preemption rate {:.3}, peak KV {} bytes",
+        step.counters.decode_steps,
+        step.counters.tokens_generated,
+        step.ttft_steps_p(0.50),
+        step.ttft_steps_p(0.99),
+        step.counters.deadline_miss_rate(),
+        step.counters.preemption_rate(),
+        step.counters.kv_peak_bytes
+    );
+
+    let eng = replay_engine(
+        model,
+        &trace,
+        EngineReplayConfig {
+            max_batch,
+            queue_capacity: requests,
+        },
+    );
+    println!(
+        "\nengine replay (wall clock, batch {max_batch}):\n  \
+         goodput {:.1} tok/s in {:.3}s, TTFT p50 {:.2} / p99 {:.2} ms\n  \
+         per-token p50 {:.3} / p99 {:.3} ms, {} backpressure rejections",
+        eng.goodput_tok_s,
+        eng.wall_secs,
+        eng.ttft_ms_p(0.50),
+        eng.ttft_ms_p(0.99),
+        eng.per_token_ms_p(0.50),
+        eng.per_token_ms_p(0.99),
+        eng.backpressure_rejections
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_bench(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("workload") => cmd_bench_workload(&args[1..]),
+        other => {
+            if let Some(other) = other {
+                eprintln!("unknown bench: {other}\n");
+            }
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_table1() {
     println!("Table 1: GPU/CPU footprint of the cross-device copy scenario\n");
     println!("{:<42} {:>8} {:>8}", "line", "GPU(MB)", "CPU(MB)");
@@ -548,6 +654,7 @@ fn main() -> ExitCode {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("ablate") => cmd_ablate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("bench") => return cmd_bench(&args[1..]),
         Some("table1") => cmd_table1(),
         Some("help") | None => {
             usage();

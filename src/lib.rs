@@ -22,6 +22,7 @@
 //! | [`dist`] | `edkm-dist` | simulated learner group + collectives |
 //! | [`core`] | `edkm-core` | DKM layer + eDKM memory optimizations (the paper) |
 //! | [`eval`] | `edkm-eval` | perplexity / multiple-choice / few-shot harness |
+//! | [`workload`] | `edkm-workload` | seeded serving traces + replay drivers |
 //!
 //! ## Quickstart
 //!
@@ -44,3 +45,4 @@ pub use edkm_eval as eval;
 pub use edkm_nn as nn;
 pub use edkm_quant as quant;
 pub use edkm_tensor as tensor;
+pub use edkm_workload as workload;

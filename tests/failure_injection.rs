@@ -194,6 +194,125 @@ proptest! {
     }
 }
 
+/// Mid-workload cancel storm: replay a chat trace through the live engine,
+/// cancel a seeded-random half of the in-flight streams once tokens are
+/// flowing, and require (a) zero leaked KV blocks at drain, (b) every
+/// surviving stream bit-identical to an undisturbed run, and (c) every
+/// cancelled stream a strict prefix of its undisturbed counterpart.
+#[test]
+fn cancel_storm_leaks_nothing_and_leaves_survivors_bit_identical() {
+    use edkm::core::{
+        EngineConfig, FinishReason, PalettizedModel, Request, ServeEngine, TokenEvent,
+    };
+    use edkm::workload::{replay_engine, EngineReplayConfig, Trace, TraceConfig, TraceKind};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    runtime::reset();
+    let cfg = LlamaConfig {
+        vocab: 64,
+        d_model: 32,
+        n_heads: 2,
+        n_layers: 2,
+        d_ff: 64,
+        max_seq: 48,
+    };
+    let dense = LlamaModel::new(cfg, DType::Bf16, Device::Cpu, 0);
+    let mut spec = CompressSpec::with_bits(3);
+    spec.dkm.iters = 2;
+    let model = PalettizedModel::from_dense(&dense, &spec).expect("servable export");
+    let trace = Trace::generate(&TraceConfig::new(
+        TraceKind::Chat,
+        5,
+        12,
+        cfg.vocab,
+        cfg.max_seq,
+    ));
+
+    // Reference: the same trace with nobody pulling the plug.
+    let undisturbed = replay_engine(
+        model.clone(),
+        &trace,
+        EngineReplayConfig {
+            max_batch: 4,
+            queue_capacity: trace.requests().len(),
+        },
+    );
+
+    // Storm run: submit everything, then cancel a random half mid-flight.
+    let engine = ServeEngine::new(
+        model,
+        EngineConfig {
+            max_batch: 4,
+            queue_capacity: trace.requests().len(),
+        },
+    );
+    let handle = engine.handle();
+    let mut streams = Vec::new();
+    for r in trace.requests() {
+        let req = Request::new(r.prompt.clone())
+            .max_new_tokens(r.max_new)
+            .sampling(r.sampling)
+            .priority(r.priority);
+        let (rid, stream) = handle.submit(req).expect("engine accepts the trace");
+        streams.push((r.id, rid, stream));
+    }
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut order: Vec<usize> = (0..streams.len()).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        order.swap(i, j);
+    }
+    let victims: Vec<usize> = order[..streams.len() / 2].to_vec();
+    let t0 = std::time::Instant::now();
+    while handle.stats().tokens_generated == 0 && t0.elapsed().as_secs() < 5 {
+        std::thread::yield_now();
+    }
+    for &v in &victims {
+        handle.cancel(streams[v].1);
+    }
+
+    let mut outcomes = Vec::new();
+    for (trace_id, _, mut stream) in streams {
+        let mut resp = None;
+        while let Some(ev) = stream.next_event() {
+            if let TokenEvent::Finished(r) = ev {
+                resp = Some(r);
+            }
+        }
+        outcomes.push((trace_id, resp.expect("terminal event")));
+    }
+    outcomes.sort_by_key(|(id, _)| *id);
+
+    for ((id, resp), want) in outcomes.iter().zip(&undisturbed.outcomes) {
+        assert_eq!(*id, want.id);
+        if resp.finish == FinishReason::Cancelled {
+            assert!(
+                want.tokens.starts_with(&resp.tokens),
+                "request {id}: a cancelled stream must be a prefix of the \
+                 undisturbed run, got {:?} vs {:?}",
+                resp.tokens,
+                want.tokens
+            );
+        } else {
+            assert_eq!(
+                resp.tokens, want.tokens,
+                "request {id}: a stream that survived the cancel storm must \
+                 be bit-identical to the undisturbed run"
+            );
+        }
+    }
+
+    let stats = handle.stats();
+    engine.shutdown();
+    assert_eq!(stats.kv_live_bytes, 0, "cancel storm leaked KV blocks");
+    assert_eq!(
+        stats.finished + stats.cancelled + stats.expired,
+        stats.submitted,
+        "retirement classes must partition submissions after the storm"
+    );
+}
+
 /// Budgets reset with the runtime: a fresh runtime has no capacity and no
 /// stale OOM events.
 #[test]

@@ -92,6 +92,51 @@ fn lossless_u16_palette_is_bit_identical_on_every_backend() {
     assert_all_backends_match(&lin, 4, 67);
 }
 
+/// Child half of `invalid_env_backend_warns_and_falls_back`: asserts the
+/// resolved default in a process whose environment the parent controls.
+/// Ignored in normal runs — the parent spawns it with `--ignored`.
+#[test]
+#[ignore = "spawned as a subprocess by invalid_env_backend_warns_and_falls_back"]
+fn env_fallback_child_reports_default_backend() {
+    let b = launch::default_backend();
+    assert_eq!(b.name(), "vectorized");
+    assert_eq!(b.lanes(), launch::detected_lanes());
+}
+
+/// An invalid `EDKM_KERNEL_BACKEND` value must warn on stderr and fall
+/// back to the vectorized default instead of failing. The selection is
+/// resolved once per process, so the regression test runs the child half
+/// above in a subprocess with the variable poisoned.
+#[test]
+fn invalid_env_backend_warns_and_falls_back() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args([
+            "env_fallback_child_reports_default_backend",
+            "--exact",
+            "--ignored",
+            "--nocapture",
+        ])
+        .env("EDKM_KERNEL_BACKEND", "bogus-backend")
+        .output()
+        .expect("spawn child test");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "child must fall back, not fail:\n{stdout}\n{stderr}"
+    );
+    let all = format!("{stdout}\n{stderr}");
+    assert!(
+        all.contains("warning: EDKM_KERNEL_BACKEND"),
+        "fallback must warn: {all}"
+    );
+    assert!(
+        all.contains("bogus-backend"),
+        "warning must name the rejected value: {all}"
+    );
+}
+
 #[test]
 fn worker_count_never_changes_the_bits() {
     // The parallel tile loop assigns `min(cores, n_tiles)` worker threads,

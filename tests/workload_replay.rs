@@ -1,0 +1,147 @@
+//! Deterministic-replay contract of the workload layer: a seed names a
+//! trace byte-for-byte, and replaying a trace is a pure function of
+//! `(model, trace, max_batch)` — identical token streams and aggregate
+//! counters across runs, batch caps, and engine worker interleavings.
+
+use edkm::core::{CompressSpec, KvBlockConfig, PalettizedModel};
+use edkm::nn::{LlamaConfig, LlamaModel};
+use edkm::tensor::{runtime, DType, Device};
+use edkm::workload::{
+    replay_engine, replay_trace, EngineReplayConfig, Trace, TraceConfig, TraceKind,
+};
+
+fn model_config() -> LlamaConfig {
+    LlamaConfig {
+        vocab: 64,
+        d_model: 32,
+        n_heads: 2,
+        n_layers: 2,
+        d_ff: 64,
+        max_seq: 48,
+    }
+}
+
+/// A tiny palettized model (untrained — replay determinism is a property
+/// of the serving stack, not of model quality).
+fn tiny_model() -> PalettizedModel {
+    let dense = LlamaModel::new(model_config(), DType::Bf16, Device::Cpu, 0);
+    let mut spec = CompressSpec::with_bits(3);
+    spec.dkm.iters = 2;
+    PalettizedModel::from_dense(&dense, &spec).expect("servable export")
+}
+
+fn trace_for(kind: TraceKind, seed: u64) -> Trace {
+    let cfg = model_config();
+    Trace::generate(&TraceConfig::new(kind, seed, 10, cfg.vocab, cfg.max_seq))
+}
+
+#[test]
+fn same_seed_traces_are_byte_identical() {
+    for kind in TraceKind::ALL {
+        let a = trace_for(kind, 42);
+        let b = trace_for(kind, 42);
+        assert_eq!(a.to_bytes(), b.to_bytes(), "{kind}: same seed diverged");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = trace_for(kind, 43);
+        assert_ne!(
+            a.fingerprint(),
+            c.fingerprint(),
+            "{kind}: different seeds must name different traces"
+        );
+    }
+}
+
+#[test]
+fn step_replay_is_deterministic_across_runs() {
+    runtime::reset();
+    let model = tiny_model();
+    for kind in TraceKind::ALL {
+        let trace = trace_for(kind, 42);
+        // A bounded pool keeps the preemption path in the replayed set too.
+        let per_req = trace.max_tokens_per_request().div_ceil(8);
+        let bounded = model.clone().with_kv_config(KvBlockConfig {
+            block_tokens: 8,
+            max_blocks: per_req * 3,
+        });
+        let a = replay_trace(&bounded, &trace, 4);
+        let b = replay_trace(&bounded, &trace, 4);
+        assert_eq!(
+            a, b,
+            "{kind}: two replays of the same trace must agree on every \
+             token, finish reason, TTFT, and counter"
+        );
+        assert_eq!(a.counters.submitted, trace.requests().len() as u64);
+    }
+}
+
+#[test]
+fn tokens_and_counters_are_identical_across_batch_caps() {
+    runtime::reset();
+    let model = tiny_model();
+    // Deadline-free kinds: every request finishes naturally at any batch
+    // cap, so the full outcome set must be batch-independent.
+    for kind in [TraceKind::Bursty, TraceKind::Chat, TraceKind::Summarize] {
+        let trace = trace_for(kind, 7);
+        let baseline = replay_trace(&model, &trace, 2);
+        for max_batch in [4usize, 8] {
+            let run = replay_trace(&model, &trace, max_batch);
+            assert_eq!(run.outcomes.len(), baseline.outcomes.len());
+            for (a, b) in run.outcomes.iter().zip(&baseline.outcomes) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(
+                    a.tokens, b.tokens,
+                    "{kind}: request {} tokens changed with batch cap {max_batch}",
+                    a.id
+                );
+                assert_eq!(a.finish, b.finish);
+            }
+            assert_eq!(run.counters.submitted, baseline.counters.submitted);
+            assert_eq!(run.counters.finished, baseline.counters.finished);
+            assert_eq!(run.counters.expired, 0);
+            assert_eq!(
+                run.counters.tokens_generated,
+                baseline.counters.tokens_generated
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_replay_matches_step_replay_across_worker_interleavings() {
+    runtime::reset();
+    let model = tiny_model();
+    let trace = trace_for(TraceKind::Chat, 11);
+    let step = replay_trace(&model, &trace, 4);
+
+    // Two engine shapes: different batch caps and admission capacities
+    // change thread interleavings and queue pressure, never tokens.
+    for (max_batch, queue_capacity) in [(4usize, 10usize), (8, 2)] {
+        let eng = replay_engine(
+            model.clone(),
+            &trace,
+            EngineReplayConfig {
+                max_batch,
+                queue_capacity,
+            },
+        );
+        assert_eq!(eng.outcomes.len(), step.outcomes.len());
+        for (e, s) in eng.outcomes.iter().zip(&step.outcomes) {
+            assert_eq!(e.id, s.id);
+            assert_eq!(
+                e.tokens, s.tokens,
+                "engine (batch {max_batch}, queue {queue_capacity}) diverged \
+                 from the virtual-clock replay on request {}",
+                e.id
+            );
+        }
+        assert_eq!(eng.counters.submitted, step.counters.submitted);
+        assert_eq!(eng.counters.finished, step.counters.finished);
+        assert_eq!(eng.counters.cancelled, 0);
+        assert_eq!(eng.counters.expired, 0);
+        assert_eq!(
+            eng.counters.tokens_generated,
+            step.counters.tokens_generated
+        );
+        assert_eq!(eng.stats.kv_live_bytes, 0, "drained engine leaked KV");
+    }
+}
