@@ -39,8 +39,10 @@ use edkm_eval::{evaluate_suite, perplexity};
 use edkm_nn::{AdamWConfig, LlamaConfig, LlamaModel, LmBatch, LrSchedule, TrainConfig, Trainer};
 use edkm_tensor::{runtime, DType, Device};
 use edkm_workload::{
-    replay_engine, replay_trace, EngineReplayConfig, Trace, TraceConfig, TraceKind,
+    replay_engine, replay_trace, replay_trace_speculative, EngineReplayConfig, Trace, TraceConfig,
+    TraceKind,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Workload {
@@ -307,6 +309,81 @@ fn run_workload_sweep(model: &PalettizedModel, wl: &Workload, seed: u64) -> Vec<
     rows
 }
 
+/// Metrics of the prefix-sharing + speculative-decoding section.
+struct PrefixSpecRow {
+    /// Fraction of admissions that adopted cached prefix blocks.
+    prefix_hit_rate: f64,
+    /// Prompt tokens served from shared blocks instead of prefill.
+    prefix_tokens_reused: u64,
+    /// Peak live KV bytes with the prefix cache off.
+    kv_peak_off: usize,
+    /// Peak live KV bytes with the prefix cache on (deduplicated).
+    kv_peak_on: usize,
+    /// Accepted draft tokens per decode step.
+    accepted_per_step: f64,
+    /// Draft tokens proposed / accepted across the speculative replay.
+    spec_proposed: u64,
+    spec_accepted: u64,
+    /// Prefix-on and speculative replays both matched the plain replay
+    /// token for token.
+    tokens_identical: bool,
+}
+
+/// Replay the chat trace three ways over an unbounded pool: plain, with
+/// the prefix cache sharing prompt blocks copy-on-write, and with a
+/// 2-bit palettized draft proposing `draft_k` tokens per step. Sharing
+/// and speculation must both leave every token unchanged; the row
+/// records what they bought (reused prefill, deduplicated peak KV,
+/// accepted drafts per step).
+fn run_prefix_spec(
+    model: &PalettizedModel,
+    dense: &LlamaModel,
+    wl: &Workload,
+    seed: u64,
+    draft_k: usize,
+) -> PrefixSpecRow {
+    // Enough chat sessions that turns sharing a history overlap in
+    // flight at the peak step — that concurrency is what deduplication
+    // saves (the tiny smoke trace alone rarely lines it up).
+    let trace = Trace::generate(&TraceConfig::new(
+        TraceKind::Chat,
+        seed,
+        wl.trace_requests.max(24),
+        wl.config.vocab,
+        wl.config.max_seq,
+    ));
+    let kv = KvBlockConfig {
+        block_tokens: 4,
+        max_blocks: 0,
+    };
+    let plain = replay_trace(&model.clone().with_kv_config(kv), &trace, 8);
+    let shared = replay_trace(
+        &model.clone().with_kv_config(kv).with_prefix_cache(true),
+        &trace,
+        8,
+    );
+    let draft = Arc::new(PalettizedModel::draft_from_dense(dense, 2).expect("2-bit draft export"));
+    let spec =
+        replay_trace_speculative(&model.clone().with_kv_config(kv), &trace, 8, draft, draft_k);
+    let same = |a: &edkm_workload::StepReplayReport, b: &edkm_workload::StepReplayReport| {
+        a.outcomes.len() == b.outcomes.len()
+            && a.outcomes
+                .iter()
+                .zip(&b.outcomes)
+                .all(|(x, y)| x.id == y.id && x.tokens == y.tokens)
+    };
+    PrefixSpecRow {
+        prefix_hit_rate: shared.counters.prefix_hit_rate(),
+        prefix_tokens_reused: shared.counters.prefix_tokens_reused,
+        kv_peak_off: plain.counters.kv_peak_bytes,
+        kv_peak_on: shared.counters.kv_peak_bytes,
+        accepted_per_step: spec.counters.accepted_per_step(),
+        spec_proposed: spec.counters.spec_proposed,
+        spec_accepted: spec.counters.spec_accepted,
+        tokens_identical: same(&plain, &shared) && same(&plain, &spec),
+    }
+}
+
 /// One bits setting on the quality/throughput frontier.
 struct FrontierRow {
     setting: &'static str,
@@ -527,6 +604,8 @@ fn main() {
     // Heterogeneous workload sweep + quality/throughput frontier.
     println!("\nreplaying workload traces (seed {workload_seed})...");
     let workload_rows = run_workload_sweep(&model, &wl, workload_seed);
+    println!("replaying chat trace with prefix sharing + speculative decoding...");
+    let ps = run_prefix_spec(&model, &dense, &wl, workload_seed, 4);
     println!(
         "building quality/throughput frontier ({} pretrain steps)...",
         wl.frontier_steps
@@ -599,6 +678,23 @@ fn main() {
             r.preemption_rate
         );
     }
+
+    println!(
+        "\n  prefix cache (chat trace): hit rate {:.3}, {} prompt tokens reused, \
+         peak KV {} -> {} bytes",
+        ps.prefix_hit_rate, ps.prefix_tokens_reused, ps.kv_peak_off, ps.kv_peak_on
+    );
+    println!(
+        "  speculative decode (2-bit draft, k=4): {}/{} accepted = {:.2}/step, tokens {}",
+        ps.spec_accepted,
+        ps.spec_proposed,
+        ps.accepted_per_step,
+        if ps.tokens_identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        }
+    );
 
     println!(
         "\n  {:<12} {:>5} {:>12} {:>10} {:>9} {:>10}",
@@ -713,9 +809,16 @@ fn main() {
          \"workload_ttft_p99_steps_max\": {worst_ttft_steps},\n  \
          \"max_deadline_miss\": {max_deadline_miss},\n  \
          \"max_ttft_p99_steps\": {max_ttft_p99_steps},\n  \
+         \"prefix_hit_rate\": {:.4},\n  \
+         \"prefix_tokens_reused\": {},\n  \
+         \"kv_prefix_off_peak_bytes\": {},\n  \
+         \"kv_prefix_on_peak_bytes\": {},\n  \
+         \"accepted_per_step\": {:.4},\n  \
+         \"spec_proposed\": {},\n  \
+         \"spec_accepted\": {},\n  \
          \"lossless_acc_ok\": {lossless_acc_ok},\n  \
          \"slo_ok\": {slo_ok},\n  \
-         \"tokens_identical\": true\n}}\n",
+         \"tokens_identical\": {}\n}}\n",
         wl.config.d_model,
         wl.config.n_layers,
         wl.bits,
@@ -734,6 +837,14 @@ fn main() {
         shard_rows[2].2,
         batch8_scratch.0,
         batch8_scratch.1,
+        ps.prefix_hit_rate,
+        ps.prefix_tokens_reused,
+        ps.kv_peak_off,
+        ps.kv_peak_on,
+        ps.accepted_per_step,
+        ps.spec_proposed,
+        ps.spec_accepted,
+        ps.tokens_identical,
     );
     std::fs::write("BENCH_serve.json", &record).expect("write BENCH_serve.json");
     println!("\nwrote BENCH_serve.json");

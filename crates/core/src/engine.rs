@@ -344,6 +344,15 @@ pub struct StatsSnapshot {
     pub kernel_backend: &'static str,
     /// Lane width of the serving backend (1 for scalar paths).
     pub kernel_lanes: u8,
+    /// Requests admitted with a non-empty prefix-cache match.
+    pub prefix_hits: u64,
+    /// Prompt tokens served from the prefix cache instead of prefilled.
+    pub prefix_tokens_reused: u64,
+    /// Tokens proposed by the speculative draft model.
+    pub spec_proposed: u64,
+    /// Proposed tokens accepted by target verification (`<=`
+    /// `spec_proposed` always).
+    pub spec_accepted: u64,
 }
 
 /// Sizing of a [`ServeEngine`].
@@ -586,6 +595,33 @@ impl ServeEngine {
     ///
     /// Panics if `config.max_batch` or `config.queue_capacity` is 0.
     pub fn new<M: ServeModel + 'static>(model: M, config: EngineConfig) -> Self {
+        Self::spawn(model, config, None)
+    }
+
+    /// [`ServeEngine::new`] with speculative decoding: `draft` proposes up
+    /// to `draft_k` tokens per step for every greedy request and the
+    /// target verifies them in the same batched forward, with exact
+    /// acceptance — token streams stay bit-identical to a plain engine.
+    /// See [`Scheduler::with_speculative`] for the contract details.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sizing field is 0 or the draft's vocabulary/context
+    /// mismatch the target's.
+    pub fn with_speculative<M: ServeModel + 'static>(
+        model: M,
+        config: EngineConfig,
+        draft: Arc<dyn ServeModel>,
+        draft_k: usize,
+    ) -> Self {
+        Self::spawn(model, config, Some((draft, draft_k)))
+    }
+
+    fn spawn<M: ServeModel + 'static>(
+        model: M,
+        config: EngineConfig,
+        spec: Option<(Arc<dyn ServeModel>, usize)>,
+    ) -> Self {
         assert!(config.max_batch > 0, "max_batch must be positive");
         assert!(config.queue_capacity > 0, "queue_capacity must be positive");
         let shared = Arc::new(Shared {
@@ -611,7 +647,7 @@ impl ServeEngine {
             .name("edkm-serve-engine".into())
             .spawn(move || {
                 let _g = runtime::bind(&rt);
-                worker_loop(model, worker_shared, config.max_batch);
+                worker_loop(model, worker_shared, config.max_batch, spec);
             })
             .expect("spawn engine worker");
         ServeEngine {
@@ -697,11 +733,23 @@ fn publish_stats<M: ServeModel>(
         ttft_steps: tallies.ttft.clone(),
         kernel_backend,
         kernel_lanes,
+        prefix_hits: sched.prefix_hits(),
+        prefix_tokens_reused: sched.prefix_tokens_reused(),
+        spec_proposed: sched.spec_proposed(),
+        spec_accepted: sched.spec_accepted(),
     };
 }
 
-fn worker_loop<M: ServeModel>(model: M, shared: Arc<Shared>, max_batch: usize) {
-    let mut sched = Scheduler::new(&model, max_batch);
+fn worker_loop<M: ServeModel>(
+    model: M,
+    shared: Arc<Shared>,
+    max_batch: usize,
+    spec: Option<(Arc<dyn ServeModel>, usize)>,
+) {
+    let mut sched = match spec {
+        Some((draft, draft_k)) => Scheduler::with_speculative(&model, max_batch, draft, draft_k),
+        None => Scheduler::new(&model, max_batch),
+    };
     let mut streams: HashMap<u64, mpsc::Sender<TokenEvent>> = HashMap::new();
     let mut submit_step: HashMap<u64, u64> = HashMap::new();
     let mut tallies = Tallies::default();

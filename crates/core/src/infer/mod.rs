@@ -937,6 +937,35 @@ impl PalettizedModel {
         self
     }
 
+    /// Enable (or disable) prefix sharing on this model's KV pool: the
+    /// scheduler then indexes finished prefixes by token ids and admits
+    /// later prompts against the longest cached match. Apply *after*
+    /// [`PalettizedModel::with_kv_config`] — replacing the pool resets the
+    /// flag.
+    #[must_use]
+    pub fn with_prefix_cache(self, enabled: bool) -> Self {
+        self.parts.kv_pool.set_prefix_cache(enabled);
+        self
+    }
+
+    /// An aggressively palettized draft of `model` for speculative
+    /// decoding: same architecture and vocabulary, compressed at
+    /// `draft_bits` (2 is the sweet spot the HPCA paper's palette economics
+    /// make uniquely cheap) with a light DKM schedule — proposal quality
+    /// only affects the accepted-per-step rate, never output tokens. The
+    /// draft keeps its own default (unbounded) KV pool, as
+    /// [`crate::Scheduler::with_speculative`] requires.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] under the same conditions as
+    /// [`PalettizedModel::from_dense`].
+    pub fn draft_from_dense(model: &LlamaModel, draft_bits: u8) -> Result<Self, ServeError> {
+        let mut spec = CompressSpec::with_bits(draft_bits);
+        spec.dkm.iters = spec.dkm.iters.min(2);
+        Self::from_dense(model, &spec)
+    }
+
     /// Architecture config.
     pub fn config(&self) -> &LlamaConfig {
         &self.parts.config
@@ -1028,6 +1057,14 @@ impl ShardedPalettizedModel {
     /// [`PalettizedModel::with_kv_config`].
     pub fn with_kv_config(mut self, cfg: KvBlockConfig) -> Self {
         self.parts.replace_kv_pool(cfg);
+        self
+    }
+
+    /// Enable (or disable) prefix sharing on this model's KV pool; see
+    /// [`PalettizedModel::with_prefix_cache`].
+    #[must_use]
+    pub fn with_prefix_cache(self, enabled: bool) -> Self {
+        self.parts.kv_pool.set_prefix_cache(enabled);
         self
     }
 

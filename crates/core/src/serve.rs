@@ -423,21 +423,34 @@ impl ActiveSeq {
     }
 }
 
-/// The in-flight sequences and their KV caches, in two aligned vecs
-/// (entry `i` of each belongs to the same request, in admission order).
-/// Splitting the caches out of [`ActiveSeq`] is what lets one step hand
-/// the model a contiguous `&mut [KvCache]` slab while the per-sequence
-/// bookkeeping stays independently borrowable — no per-step
-/// `Vec<&mut KvCache>` of reborrows.
+/// Draft-model bookkeeping for one speculative sequence: the draft's own
+/// KV cache plus the exact token stream already fed into it, so a
+/// mis-speculation rolls the draft back to the longest common prefix with
+/// the committed stream instead of re-prefilling from scratch.
+#[derive(Debug)]
+struct DraftSeq {
+    cache: KvCache,
+    fed: Vec<usize>,
+}
+
+/// The in-flight sequences, their KV caches, and (when speculative
+/// decoding is on) their draft-model state, in aligned vecs (entry `i` of
+/// each belongs to the same request, in admission order). Splitting the
+/// caches out of [`ActiveSeq`] is what lets one step hand the model a
+/// contiguous `&mut [KvCache]` slab while the per-sequence bookkeeping
+/// stays independently borrowable — no per-step `Vec<&mut KvCache>` of
+/// reborrows.
 #[derive(Debug, Default)]
 struct Flight {
     seqs: Vec<ActiveSeq>,
     caches: Vec<KvCache>,
+    drafts: Vec<Option<DraftSeq>>,
 }
 
 impl Flight {
     fn len(&self) -> usize {
         debug_assert_eq!(self.seqs.len(), self.caches.len());
+        debug_assert_eq!(self.seqs.len(), self.drafts.len());
         self.seqs.len()
     }
 
@@ -448,18 +461,50 @@ impl Flight {
     fn push(&mut self, seq: ActiveSeq, cache: KvCache) {
         self.seqs.push(seq);
         self.caches.push(cache);
+        self.drafts.push(None);
     }
 
     /// Order-preserving removal (the active set stays in admission order,
-    /// which is what makes tail preemption hit the newest sequence).
+    /// which is what makes tail preemption hit the newest sequence). Any
+    /// draft state drops with the slot.
     fn remove(&mut self, i: usize) -> (ActiveSeq, KvCache) {
+        self.drafts.remove(i);
         (self.seqs.remove(i), self.caches.remove(i))
     }
 
     fn pop(&mut self) -> Option<(ActiveSeq, KvCache)> {
         let seq = self.seqs.pop()?;
         let cache = self.caches.pop().expect("vecs stay aligned");
+        self.drafts.pop().expect("vecs stay aligned");
         Some((seq, cache))
+    }
+}
+
+/// Speculative-decoding state: the aggressively palettized draft model,
+/// the per-step proposals it produced, and dedicated scratch so draft
+/// forward shapes never thrash the target's arena.
+struct SpecState {
+    draft: std::sync::Arc<dyn ServeModel>,
+    draft_k: usize,
+    scratch: ScratchArena,
+    /// Per-flight-slot proposals for the current step, rebuilt in place.
+    proposals: Vec<Vec<usize>>,
+    /// Per-flight-slot KV rollback length after verification (`Some` only
+    /// for slots that speculated this step).
+    rollbacks: Vec<Option<usize>>,
+    /// Flat batch buffers for the draft forwards.
+    draft_tokens: Vec<usize>,
+    draft_ends: Vec<usize>,
+    /// Never consumed: greedy sampling ignores randomness, but
+    /// [`sample_token`] wants an RNG handle.
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for SpecState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpecState")
+            .field("draft_k", &self.draft_k)
+            .finish_non_exhaustive()
     }
 }
 
@@ -514,6 +559,12 @@ pub struct Scheduler<'m, M: ServeModel = PalettizedModel> {
     decode_steps: u64,
     tokens_generated: u64,
     preemptions: u64,
+    prefix_hits: u64,
+    prefix_tokens_reused: u64,
+    spec_proposed: u64,
+    spec_accepted: u64,
+    /// Speculative-decoding state; `None` runs plain one-token decode.
+    spec: Option<SpecState>,
     /// Reusable forward-pass scratch: after one step of a given flight
     /// shape, later steps of the same shape allocate nothing.
     scratch: ScratchArena,
@@ -543,10 +594,61 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
             decode_steps: 0,
             tokens_generated: 0,
             preemptions: 0,
+            prefix_hits: 0,
+            prefix_tokens_reused: 0,
+            spec_proposed: 0,
+            spec_accepted: 0,
+            spec: None,
             scratch: ScratchArena::new(),
             flat_tokens: Vec::new(),
             chunk_ends: Vec::new(),
         }
+    }
+
+    /// A scheduler that speculatively decodes greedy requests: `draft`
+    /// (typically a 2-bit palettization of the same architecture) proposes
+    /// up to `draft_k` tokens per step and the target model verifies them
+    /// in one batched forward. Acceptance is exact — a proposal survives
+    /// only if it equals the target's own greedy argmax at that position —
+    /// so the emitted tokens are bit-identical to non-speculative greedy
+    /// decoding; a bad draft only lowers the accepted-per-step rate.
+    /// Non-greedy requests decode on the standard one-token path.
+    ///
+    /// The draft should draw from an **unbounded** KV pool (the default):
+    /// draft cache pressure must never preempt target sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` or `draft_k` is 0, or if the draft's
+    /// vocabulary or context length differ from the target's.
+    pub fn with_speculative(
+        model: &'m M,
+        max_batch: usize,
+        draft: std::sync::Arc<dyn ServeModel>,
+        draft_k: usize,
+    ) -> Self {
+        assert!(draft_k > 0, "draft_k must be positive");
+        assert_eq!(
+            draft.config().vocab,
+            model.config().vocab,
+            "draft and target must share a vocabulary"
+        );
+        assert!(
+            draft.config().max_seq >= model.config().max_seq,
+            "draft max_seq must cover the target's"
+        );
+        let mut sched = Self::new(model, max_batch);
+        sched.spec = Some(SpecState {
+            draft,
+            draft_k,
+            scratch: ScratchArena::new(),
+            proposals: Vec::new(),
+            rollbacks: Vec::new(),
+            draft_tokens: Vec::new(),
+            draft_ends: Vec::new(),
+            rng: StdRng::seed_from_u64(0),
+        });
+        sched
     }
 
     /// Enqueue a request. Admission during [`Scheduler::step`] picks the
@@ -624,9 +726,46 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
         self.tokens_generated
     }
 
-    /// KV-cache bytes currently charged to the pool by in-flight sequences.
+    /// KV-cache bytes currently charged to the pool by in-flight
+    /// sequences, counting each *physical* block once: a prefix block
+    /// mapped read-only by several block tables contributes a single
+    /// `block_bytes` no matter how many sequences share it. Without prefix
+    /// sharing this equals the plain per-cache sum.
     pub fn kv_live_bytes(&self) -> usize {
-        self.flight.caches.iter().map(|c| c.bytes()).sum()
+        let mut owned = 0usize;
+        let mut shared_ids: Vec<usize> = Vec::new();
+        for c in &self.flight.caches {
+            for (id, is_shared) in c.block_entries() {
+                if !is_shared {
+                    owned += 1;
+                } else if !shared_ids.contains(&id) {
+                    shared_ids.push(id);
+                }
+            }
+        }
+        (owned + shared_ids.len()) * self.model.kv_pool().block_bytes()
+    }
+
+    /// Requests admitted with a non-empty prefix-cache match.
+    pub fn prefix_hits(&self) -> u64 {
+        self.prefix_hits
+    }
+
+    /// Prompt tokens served straight from the prefix cache instead of
+    /// being prefilled.
+    pub fn prefix_tokens_reused(&self) -> u64 {
+        self.prefix_tokens_reused
+    }
+
+    /// Tokens proposed by the speculative draft model so far.
+    pub fn spec_proposed(&self) -> u64 {
+        self.spec_proposed
+    }
+
+    /// Proposed tokens the target model accepted (always `<=`
+    /// [`Scheduler::spec_proposed`]).
+    pub fn spec_accepted(&self) -> u64 {
+        self.spec_accepted
     }
 
     /// Sequences preempted so far (blocks reclaimed, request requeued).
@@ -803,7 +942,15 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
                 continue;
             }
             let mut cache = self.model.new_cache();
-            if !cache.try_reserve(q.req.prompt.len() + 1) {
+            // With the prefix cache on, adopt the longest indexed prefix
+            // read-only (charged once pool-wide) and prefill only the
+            // suffix. The lookup is capped one token short of the prompt,
+            // so the suffix forward always produces a logits row.
+            let reused = self
+                .model
+                .kv_pool()
+                .prefix_lookup(&q.req.prompt, &mut cache);
+            if !cache.try_reserve(q.req.prompt.len() + 1 - reused) {
                 assert!(
                     !self.flight.is_empty(),
                     "KV pool too small for request {}: prompt {} + 1 needs {} blocks, pool caps at {}",
@@ -813,9 +960,14 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
                     self.model.kv_pool().max_blocks()
                 );
                 // Not enough free blocks yet: keep queue order and retry
-                // once a retirement frees some.
+                // once a retirement frees some. Dropping the cache releases
+                // any adopted prefix references.
                 self.queue.insert(i.min(self.queue.len()), q);
                 break;
+            }
+            if reused > 0 {
+                self.prefix_hits += 1;
+                self.prefix_tokens_reused += reused as u64;
             }
             // Admission pre-sizes every per-sequence vec for the whole
             // generation (tokens, emitted high-water mark), so steady-state
@@ -824,11 +976,16 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
             tokens.extend_from_slice(&q.req.prompt);
             let mut emitted = q.emitted;
             emitted.reserve(q.req.max_new.saturating_sub(emitted.len()));
+            // The prefill chunk is only the un-adopted prompt suffix; the
+            // forward starts writing at `cache.len()`, i.e. right after
+            // the adopted prefix, so RoPE positions line up for free.
+            let mut next_input = q.req.prompt;
+            next_input.drain(..reused);
             self.flight.push(
                 ActiveSeq {
                     id: q.req.id,
                     tokens,
-                    next_input: q.req.prompt,
+                    next_input,
                     produced: 0,
                     max_new: q.req.max_new,
                     sampling: q.req.sampling,
@@ -848,13 +1005,40 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
             return;
         }
 
-        // One batched forward over every in-flight sequence's new tokens,
-        // described by the scheduler-owned flat buffers (rebuilt in place —
-        // no per-step vecs) while the caches go in as one aligned slab.
+        // Draft proposal phase: every greedy decode-phase sequence gets up
+        // to `draft_k` continuation tokens from the low-bit draft model,
+        // verified below in the same batched target forward as everything
+        // else.
+        if self.spec.is_some() {
+            self.propose_drafts();
+        }
+        let (props_all, mut rollbacks) = match self.spec.as_mut() {
+            Some(s) => (
+                std::mem::take(&mut s.proposals),
+                std::mem::take(&mut s.rollbacks),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
+        if self.spec.is_some() {
+            // Reused across steps (taken from and returned to SpecState),
+            // so the resize is warm after the first speculative step. The
+            // plain path leaves both vecs empty — steady-state decode
+            // stays allocation-free.
+            rollbacks.clear();
+            rollbacks.resize(self.flight.len(), None);
+        }
+
+        // One batched forward over every in-flight sequence's new tokens
+        // (plus its draft proposals, if any), described by the
+        // scheduler-owned flat buffers (rebuilt in place — no per-step
+        // vecs) while the caches go in as one aligned slab.
         self.flat_tokens.clear();
         self.chunk_ends.clear();
-        for seq in &self.flight.seqs {
+        for (i, seq) in self.flight.seqs.iter().enumerate() {
             self.flat_tokens.extend_from_slice(&seq.next_input);
+            if let Some(p) = props_all.get(i) {
+                self.flat_tokens.extend_from_slice(p);
+            }
             self.chunk_ends.push(self.flat_tokens.len());
         }
         let view = ChunkView::new(&self.flat_tokens, &self.chunk_ends);
@@ -863,33 +1047,114 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
             .forward_chunks_into(view, &mut self.flight.caches, &mut self.scratch);
         self.decode_steps += 1;
 
-        // Sample one token per sequence (rows map by this step's order;
-        // the cumulative chunk ends are exactly the logits row offsets),
-        // then retire in a second pass so the row mapping stays intact.
-        // A token is emitted only past the sequence's high-water mark, so
+        // Sample per sequence (rows map by this step's order; the
+        // cumulative chunk ends are exactly the logits row offsets), then
+        // retire in a second pass so the row mapping stays intact. A token
+        // is emitted only past the sequence's high-water mark, so
         // preemption replays never duplicate a stream.
         let vocab = self.model.config().vocab;
-        for (seq, &end) in self.flight.seqs.iter_mut().zip(&self.chunk_ends) {
-            let row = &data[(end - 1) * vocab..end * vocab];
-            let next = sample_token(row, &seq.sampling, &mut seq.rng);
-            seq.tokens.push(next);
+        let mut chunk_start = 0usize;
+        for (i, (seq, &end)) in self
+            .flight
+            .seqs
+            .iter_mut()
+            .zip(&self.chunk_ends)
+            .enumerate()
+        {
+            let props: &[usize] = props_all.get(i).map_or(&[], Vec::as_slice);
+            if props.is_empty() {
+                // Plain path: one sampled token from the chunk's last row.
+                let row = &data[(end - 1) * vocab..end * vocab];
+                let next = sample_token(row, &seq.sampling, &mut seq.rng);
+                seq.tokens.push(next);
+                seq.next_input.clear();
+                seq.next_input.push(next);
+                seq.produced += 1;
+                self.tokens_generated += 1;
+                if seq.produced > seq.emitted.len() {
+                    events.tokens.push(TokenEmission {
+                        id: seq.id,
+                        token: next,
+                        index: seq.produced - 1,
+                    });
+                    seq.emitted.push(next);
+                }
+                if seq.stop_tokens.contains(&next) {
+                    seq.stop_hit = true;
+                }
+                chunk_start = end;
+                continue;
+            }
+            // Speculative verification. The chunk was `[t, d1..dk]`, so
+            // row `r` is the target's distribution *after* consuming chunk
+            // token `r` — exactly the row plain greedy decode would see at
+            // that position. Walk the rows in order: a proposal survives
+            // only if it equals the target's own argmax (exact
+            // acceptance); the first mismatching row contributes the
+            // correction token instead, and a full match yields a bonus
+            // token from the final row. Either way every emitted token is
+            // the one non-speculative greedy decoding would have produced.
+            let k = props.len();
+            debug_assert_eq!(end - chunk_start, 1 + k, "verify chunk shape");
+            for r in 0..=k {
+                let off = chunk_start + r;
+                let row = &data[off * vocab..(off + 1) * vocab];
+                let next = sample_token(row, &seq.sampling, &mut seq.rng);
+                let matched = props.get(r) == Some(&next);
+                if matched {
+                    self.spec_accepted += 1;
+                }
+                seq.tokens.push(next);
+                seq.produced += 1;
+                self.tokens_generated += 1;
+                if seq.produced > seq.emitted.len() {
+                    events.tokens.push(TokenEmission {
+                        id: seq.id,
+                        token: next,
+                        index: seq.produced - 1,
+                    });
+                    seq.emitted.push(next);
+                }
+                if seq.stop_tokens.contains(&next) {
+                    seq.stop_hit = true;
+                }
+                if seq.stop_hit || !matched {
+                    break;
+                }
+            }
             seq.next_input.clear();
-            seq.next_input.push(next);
-            seq.produced += 1;
-            self.tokens_generated += 1;
-            if seq.produced > seq.emitted.len() {
-                events.tokens.push(TokenEmission {
-                    id: seq.id,
-                    token: next,
-                    index: seq.produced - 1,
-                });
-                seq.emitted.push(next);
-            }
-            if seq.stop_tokens.contains(&next) {
-                seq.stop_hit = true;
-            }
+            seq.next_input
+                .push(*seq.tokens.last().expect("just pushed"));
+            // KV rows written for rejected proposals roll back below, so
+            // the cache again holds exactly `committed - 1` positions.
+            rollbacks[i] = Some(seq.tokens.len() - 1);
+            chunk_start = end;
         }
         self.scratch.put(data); // logits buffer back to the arena
+
+        for (i, rb) in rollbacks.iter().enumerate() {
+            if let Some(new_len) = rb {
+                self.flight.caches[i].truncate(*new_len);
+            }
+        }
+        if let Some(s) = self.spec.as_mut() {
+            s.proposals = props_all;
+            s.rollbacks = rollbacks;
+        }
+
+        let model = self.model;
+        if model.kv_pool().prefix_cache_enabled() {
+            // Newly prefilled prompts publish their full blocks to the
+            // prefix index immediately — concurrent requests sharing the
+            // prefix adopt them while this sequence is still in flight,
+            // which is what makes sharing cut *peak* (not just total) KV.
+            for (seq, cache) in self.flight.seqs.iter().zip(self.flight.caches.iter_mut()) {
+                if seq.produced == 1 {
+                    model.kv_pool().prefix_insert(&seq.tokens, cache);
+                }
+            }
+        }
+
         let mut i = 0usize;
         while i < self.flight.len() {
             let seq = &self.flight.seqs[i];
@@ -899,8 +1164,13 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
                 // the most recently admitted sequence. A stop token retires
                 // the sequence on the very step that sampled it, so its KV
                 // blocks go back to the pool before the next forward.
-                let (seq, cache) = self.flight.remove(i);
-                drop(cache); // KV blocks back to the pool now
+                let (seq, mut cache) = self.flight.remove(i);
+                // Natural retirement publishes the whole sequence (prompt
+                // + generation) to the prefix index: a later multi-turn
+                // prompt extending this conversation adopts the blocks
+                // wholesale. No-op while the prefix cache is off.
+                model.kv_pool().prefix_insert(&seq.tokens, &mut cache);
+                drop(cache); // unshared KV blocks back to the pool now
                 events.finished.push(ServeResponse {
                     id: seq.id,
                     generated: seq.produced,
@@ -910,6 +1180,88 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
             } else {
                 i += 1;
             }
+        }
+    }
+
+    /// Run the draft model for every greedy decode-phase sequence, filling
+    /// `spec.proposals[i]` with up to `draft_k` continuation tokens per
+    /// flight slot. The draft rolls back to its longest common prefix with
+    /// the committed stream, catches up on unseen committed tokens in one
+    /// chunk, then extends greedily one token at a time; the last proposal
+    /// is never fed back (the target's verdict decides its fate).
+    fn propose_drafts(&mut self) {
+        let max_seq = self.model.config().max_seq;
+        let n = self.flight.len();
+        let spec = self.spec.as_mut().expect("speculative state");
+        let SpecState {
+            draft,
+            draft_k,
+            scratch,
+            proposals,
+            draft_tokens,
+            draft_ends,
+            rng,
+            ..
+        } = spec;
+        let vocab = draft.config().vocab;
+        proposals.clear();
+        proposals.resize_with(n, Vec::new);
+        for (i, slot) in proposals.iter_mut().enumerate() {
+            let seq = &self.flight.seqs[i];
+            // Prefill chunks and stochastic sampling take the plain path,
+            // and the final budgeted token is never worth drafting.
+            if !seq.sampling.is_greedy() || seq.produced == 0 {
+                continue;
+            }
+            let rem = seq.max_new - seq.produced;
+            let k = (*draft_k)
+                .min(rem.saturating_sub(1))
+                .min(max_seq.saturating_sub(seq.tokens.len()));
+            if k == 0 {
+                continue;
+            }
+            // The verify chunk needs target capacity for the committed
+            // token plus `k` proposals; if a bounded pool cannot cover it,
+            // fall back to plain decode instead of preempting anyone.
+            if !self.flight.caches[i].try_reserve(1 + k) {
+                continue;
+            }
+            let dseq = self.flight.drafts[i].get_or_insert_with(|| DraftSeq {
+                cache: draft.new_cache(),
+                fed: Vec::new(),
+            });
+            let committed = &seq.tokens;
+            let mut lcp = 0usize;
+            while lcp < dseq.fed.len() && lcp < committed.len() && dseq.fed[lcp] == committed[lcp] {
+                lcp += 1;
+            }
+            if lcp < dseq.fed.len() {
+                dseq.fed.truncate(lcp);
+                dseq.cache.truncate(lcp);
+            }
+            if dseq.fed.len() >= committed.len() {
+                // The draft already saw every committed token (unreachable:
+                // verification always commits a token the draft never ate).
+                debug_assert!(false, "draft ahead of committed stream");
+                continue;
+            }
+            draft_tokens.clear();
+            draft_tokens.extend_from_slice(&committed[dseq.fed.len()..]);
+            for _ in 0..k {
+                draft_ends.clear();
+                draft_ends.push(draft_tokens.len());
+                let view = ChunkView::new(draft_tokens, draft_ends);
+                let data =
+                    draft.forward_chunks_into(view, std::slice::from_mut(&mut dseq.cache), scratch);
+                let row = &data[(draft_tokens.len() - 1) * vocab..draft_tokens.len() * vocab];
+                let next = sample_token(row, &SamplingConfig::greedy(), rng);
+                scratch.put(data);
+                dseq.fed.extend_from_slice(draft_tokens);
+                slot.push(next);
+                draft_tokens.clear();
+                draft_tokens.push(next);
+            }
+            self.spec_proposed += k as u64;
         }
     }
 

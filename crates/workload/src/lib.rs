@@ -37,8 +37,8 @@ pub mod report;
 pub mod trace;
 
 pub use replay::{
-    replay_engine, replay_trace, EngineReplayConfig, EngineReplayReport, ReplayCounters,
-    RequestOutcome, StepReplayReport,
+    replay_engine, replay_trace, replay_trace_speculative, EngineReplayConfig, EngineReplayReport,
+    ReplayCounters, RequestOutcome, StepReplayReport,
 };
 pub use report::{percentile_f64, percentile_u64};
 pub use trace::{TimedRequest, Trace, TraceConfig, TraceKind};

@@ -75,6 +75,12 @@ commands:
                     --kv-blocks B (0 = unbounded pool)
                     --backend scalar|vectorized|vec4|vec8|vec16|sim|auto
                     (LUT-GEMM kernel backend; default auto-detects lanes)
+                    --prefix-cache (share cached prompt-prefix KV blocks
+                    copy-on-write across requests)
+                    --draft-bits N (0 = no speculation; 2 palettizes a
+                    draft model that proposes tokens the target verifies —
+                    greedy requests only, tokens unchanged)
+                    --draft-k K (4; draft tokens proposed per step)
   bench workload
              generate a seeded request trace and replay it twice: once
              deterministically against the scheduler (step metrics), once
@@ -349,6 +355,7 @@ fn serve_with_model<M: ServeModel + 'static>(
     n_requests: usize,
     n_new: usize,
     temperature: f32,
+    speculative: Option<(std::sync::Arc<dyn ServeModel>, usize)>,
 ) {
     // Leave room for at least one prompt token (CLI convention: clamp bad
     // flag values instead of crashing).
@@ -367,13 +374,14 @@ fn serve_with_model<M: ServeModel + 'static>(
         (pool.block_tokens(), pool.block_bytes())
     };
 
-    let engine = ServeEngine::new(
-        model,
-        EngineConfig {
-            max_batch,
-            queue_capacity: n_requests.max(1),
-        },
-    );
+    let config = EngineConfig {
+        max_batch,
+        queue_capacity: n_requests.max(1),
+    };
+    let engine = match speculative {
+        Some((draft, draft_k)) => ServeEngine::with_speculative(model, config, draft, draft_k),
+        None => ServeEngine::new(model, config),
+    };
     let handle = engine.handle();
     let t0 = std::time::Instant::now();
     let sim0 = runtime::sim_seconds();
@@ -439,6 +447,20 @@ fn serve_with_model<M: ServeModel + 'static>(
         stats.kernel_lanes,
         if stats.kernel_lanes == 1 { "" } else { "s" }
     );
+    if stats.prefix_hits > 0 {
+        println!(
+            "prefix cache: {} hits, {} prompt tokens served from shared blocks",
+            stats.prefix_hits, stats.prefix_tokens_reused
+        );
+    }
+    if stats.spec_proposed > 0 {
+        println!(
+            "speculation: {}/{} draft tokens accepted ({:.2} per decode step)",
+            stats.spec_accepted,
+            stats.spec_proposed,
+            stats.spec_accepted as f64 / stats.decode_steps.max(1) as f64
+        );
+    }
     engine.shutdown();
 }
 
@@ -451,6 +473,9 @@ fn cmd_serve(args: &[String]) {
     let shards: usize = parse_or(args, "--shards", 1).max(1);
     let kv_block_tokens: usize = parse_or(args, "--kv-block-tokens", 16).max(1);
     let kv_blocks: usize = parse_or(args, "--kv-blocks", 0);
+    let prefix_cache = args.iter().any(|a| a == "--prefix-cache");
+    let draft_bits: u8 = parse_or(args, "--draft-bits", 0);
+    let draft_k: usize = parse_or(args, "--draft-k", 4).max(1);
     if let Some(backend) = flag_value(args, "--backend") {
         if let Err(e) = edkm::core::infer::launch::set_default_backend(&backend) {
             eprintln!("{e}");
@@ -488,7 +513,7 @@ fn cmd_serve(args: &[String]) {
         max_blocks: kv_blocks,
     };
     let model = match PalettizedModel::from_dense(&wb.model, &spec) {
-        Ok(m) => m.with_kv_config(kv),
+        Ok(m) => m.with_kv_config(kv).with_prefix_cache(prefix_cache),
         Err(e) => {
             eprintln!("cannot serve this export: {e}");
             return;
@@ -500,16 +525,57 @@ fn cmd_serve(args: &[String]) {
         model.size_bytes(),
         wb.model.native_size_bytes() as f64 / model.size_bytes() as f64
     );
+    let speculative: Option<(std::sync::Arc<dyn ServeModel>, usize)> = if draft_bits > 0 {
+        match PalettizedModel::draft_from_dense(&wb.model, draft_bits) {
+            Ok(draft) => {
+                println!(
+                    "speculative draft: {draft_bits}-bit palettized ({} bytes), \
+                     proposing {draft_k} token(s) per step",
+                    draft.size_bytes()
+                );
+                if temperature > 0.0 {
+                    eprintln!(
+                        "note: speculation only applies to greedy requests; \
+                         pass --temp 0 to see it engage"
+                    );
+                }
+                Some((std::sync::Arc::new(draft), draft_k))
+            }
+            Err(e) => {
+                eprintln!("cannot build a {draft_bits}-bit draft: {e}");
+                return;
+            }
+        }
+    } else {
+        None
+    };
     if shards > 1 {
-        let sharded = model.shard(LearnerGroup::new(shards)).with_kv_config(kv);
+        let sharded = model
+            .shard(LearnerGroup::new(shards))
+            .with_kv_config(kv)
+            .with_prefix_cache(prefix_cache);
         println!(
             "tensor-parallel over {} learners: {} bytes total (full LUT per shard)",
             shards,
             sharded.size_bytes()
         );
-        serve_with_model(sharded, max_batch, n_requests, n_new, temperature);
+        serve_with_model(
+            sharded,
+            max_batch,
+            n_requests,
+            n_new,
+            temperature,
+            speculative,
+        );
     } else {
-        serve_with_model(model, max_batch, n_requests, n_new, temperature);
+        serve_with_model(
+            model,
+            max_batch,
+            n_requests,
+            n_new,
+            temperature,
+            speculative,
+        );
     }
 }
 

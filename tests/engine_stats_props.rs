@@ -8,13 +8,13 @@
 //! [`StatsSnapshot`]: edkm::core::StatsSnapshot
 
 use edkm::core::{
-    CompressSpec, EngineConfig, PalettizedModel, Priority, Request, SamplingConfig, ServeEngine,
-    TokenEvent,
+    CompressSpec, EngineConfig, KvBlockConfig, PalettizedModel, Priority, Request, SamplingConfig,
+    ServeEngine, ServeModel, TokenEvent,
 };
 use edkm::nn::{LlamaConfig, LlamaModel};
 use edkm::tensor::{DType, Device};
 use proptest::prelude::*;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// One generated request of the interleaving: shape, optional deadline,
@@ -50,11 +50,11 @@ impl Op {
     }
 }
 
-/// The shared serve model (tiny and untrained — accounting invariants are
-/// properties of the engine, not of model quality).
-fn model() -> &'static PalettizedModel {
-    static MODEL: OnceLock<PalettizedModel> = OnceLock::new();
-    MODEL.get_or_init(|| {
+/// The dense weights the target and the 2-bit speculative draft are both
+/// palettized from.
+fn dense() -> &'static LlamaModel {
+    static DENSE: OnceLock<LlamaModel> = OnceLock::new();
+    DENSE.get_or_init(|| {
         let cfg = LlamaConfig {
             vocab: 64,
             d_model: 32,
@@ -63,11 +63,23 @@ fn model() -> &'static PalettizedModel {
             d_ff: 64,
             max_seq: 48,
         };
-        let dense = LlamaModel::new(cfg, DType::Bf16, Device::Cpu, 0);
+        LlamaModel::new(cfg, DType::Bf16, Device::Cpu, 0)
+    })
+}
+
+/// The shared serve model (tiny and untrained — accounting invariants are
+/// properties of the engine, not of model quality).
+fn model() -> &'static PalettizedModel {
+    static MODEL: OnceLock<PalettizedModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
         let mut spec = CompressSpec::with_bits(3);
         spec.dkm.iters = 2;
-        PalettizedModel::from_dense(&dense, &spec).expect("servable export")
+        PalettizedModel::from_dense(dense(), &spec).expect("servable export")
     })
+}
+
+fn draft() -> Arc<dyn ServeModel> {
+    Arc::new(PalettizedModel::draft_from_dense(dense(), 2).expect("2-bit draft export"))
 }
 
 proptest! {
@@ -80,13 +92,27 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let ops: Vec<Op> = ops_raw.iter().map(|&w| Op::decode(w)).collect();
-        let engine = ServeEngine::new(
-            model().clone(),
-            EngineConfig {
-                max_batch,
-                queue_capacity: ops.len(),
-            },
-        );
+        let config = EngineConfig {
+            max_batch,
+            queue_capacity: ops.len(),
+        };
+        // A third of the interleavings exercise the full serving surface:
+        // prefix cache on (over a private pool so cases stay independent)
+        // plus a 2-bit speculative draft. The books must balance either
+        // way.
+        let featured = seed.is_multiple_of(3);
+        let engine = if featured {
+            let m = model()
+                .clone()
+                .with_kv_config(KvBlockConfig {
+                    block_tokens: 8,
+                    max_blocks: 0,
+                })
+                .with_prefix_cache(true);
+            ServeEngine::with_speculative(m, config, draft(), 1 + (seed % 4) as usize)
+        } else {
+            ServeEngine::new(model().clone(), config)
+        };
         let handle = engine.handle();
         let mut streams = Vec::with_capacity(ops.len());
         for (i, op) in ops.iter().enumerate() {
@@ -113,9 +139,13 @@ proptest! {
             streams.push(stream);
         }
 
-        // Drain every stream, counting delivered tokens per request.
+        // Drain every stream, counting delivered tokens per request, and
+        // snapshot the stats after each: the cumulative counters must be
+        // monotone and internally consistent at every observation point,
+        // not just at drain.
         let mut streams_with_tokens = 0u64;
         let mut terminals = 0u64;
+        let mut prev = handle.stats();
         for mut stream in streams {
             let mut tokens = 0u64;
             while let Some(ev) = stream.next_event() {
@@ -127,6 +157,22 @@ proptest! {
             if tokens > 0 {
                 streams_with_tokens += 1;
             }
+            let snap = handle.stats();
+            prop_assert!(snap.prefix_hits >= prev.prefix_hits);
+            prop_assert!(snap.prefix_tokens_reused >= prev.prefix_tokens_reused);
+            prop_assert!(snap.spec_proposed >= prev.spec_proposed);
+            prop_assert!(snap.spec_accepted >= prev.spec_accepted);
+            prop_assert!(
+                snap.spec_accepted <= snap.spec_proposed,
+                "accepted {} beyond proposed {}",
+                snap.spec_accepted,
+                snap.spec_proposed
+            );
+            prop_assert!(
+                snap.prefix_tokens_reused >= snap.prefix_hits,
+                "every prefix hit adopts at least one token"
+            );
+            prev = snap;
         }
         prop_assert_eq!(terminals, ops.len() as u64);
 
@@ -161,5 +207,67 @@ proptest! {
              a first token"
         );
         prop_assert_eq!(stats.rejected_full, 0);
+        prop_assert!(stats.spec_accepted <= stats.spec_proposed);
+        prop_assert!(stats.prefix_tokens_reused >= stats.prefix_hits);
+        if !featured {
+            prop_assert_eq!(stats.prefix_hits, 0);
+            prop_assert_eq!(stats.prefix_tokens_reused, 0);
+            prop_assert_eq!(stats.spec_proposed, 0);
+            prop_assert_eq!(stats.spec_accepted, 0);
+        }
     }
+}
+
+/// Deterministic end-to-end check that the new counters actually
+/// populate through the engine: six greedy requests sharing a 16-token
+/// prompt prefix, a 2-bit draft, prefix cache on. Late admissions adopt
+/// the early requests' prefill blocks and the draft proposes every step.
+#[test]
+fn prefix_and_speculation_counters_populate_through_the_engine() {
+    let m = model()
+        .clone()
+        .with_kv_config(KvBlockConfig {
+            block_tokens: 8,
+            max_blocks: 0,
+        })
+        .with_prefix_cache(true);
+    let engine = ServeEngine::with_speculative(
+        m,
+        EngineConfig {
+            max_batch: 2,
+            queue_capacity: 6,
+        },
+        draft(),
+        4,
+    );
+    let handle = engine.handle();
+    let shared: Vec<usize> = (0..16).map(|t| (t * 5 + 3) % 64).collect();
+    let mut streams = Vec::new();
+    for i in 0..6usize {
+        let mut prompt = shared.clone();
+        prompt.push(i); // diverge after the shared prefix
+        let (_, stream) = handle
+            .submit(
+                Request::new(prompt)
+                    .max_new_tokens(8)
+                    .sampling(SamplingConfig::greedy()),
+            )
+            .expect("engine accepts");
+        streams.push(stream);
+    }
+    for mut s in streams {
+        s.wait().expect("request finishes");
+    }
+    let stats = handle.stats();
+    engine.shutdown();
+    assert_eq!(stats.finished, 6);
+    assert!(
+        stats.prefix_hits > 0,
+        "admissions behind a warm cache must hit ({:?} hits)",
+        stats.prefix_hits
+    );
+    assert!(stats.prefix_tokens_reused >= stats.prefix_hits * 8);
+    assert!(stats.spec_proposed > 0, "draft never proposed");
+    assert!(stats.spec_accepted <= stats.spec_proposed);
+    assert_eq!(stats.kv_live_bytes, 0, "drained engine still charges KV");
 }

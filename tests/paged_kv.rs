@@ -13,12 +13,14 @@
 //!   sequence's blocks before the next decode step.
 
 use edkm::core::{
-    CompressSpec, FinishReason, Generator, KvBlockConfig, PalettizedModel, SamplingConfig,
-    Scheduler, ServeRequest,
+    CompressSpec, FinishReason, Generator, KvBlockConfig, KvBlockPool, KvCache, PalettizedModel,
+    SamplingConfig, Scheduler, ServeRequest,
 };
 use edkm::nn::{LlamaConfig, LlamaModel};
 use edkm::tensor::{runtime, DType, Device};
 use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 fn served(seed: u64) -> PalettizedModel {
     let cfg = LlamaConfig {
@@ -233,6 +235,165 @@ fn cancel_frees_an_active_sequences_blocks_before_the_next_step() {
     assert_eq!(out[0].id, 1);
     assert_eq!(pool.blocks_in_use(), 0);
     assert_eq!(runtime::cpu_live_bytes(), baseline);
+}
+
+/// One live sequence of the shared-prefix interleaving: its full token
+/// path and the cache mapping its blocks.
+struct Table {
+    tokens: Vec<usize>,
+    cache: KvCache,
+}
+
+/// Refcount conservation snapshot: every shared physical block's
+/// `Arc::strong_count` must equal the number of block tables mapping it
+/// plus one if the radix index holds it; owned entries are exclusive;
+/// and the pool's in-use count equals owned entries plus distinct
+/// shared physical blocks. The device ledger must carry exactly one
+/// `block_bytes` charge per physical block.
+fn check_conservation(pool: &KvBlockPool, live: &[Table], baseline: usize) {
+    let indexed: HashSet<usize> = pool.indexed_block_ids().into_iter().collect();
+    let mut mapped: HashMap<usize, usize> = HashMap::new();
+    let mut owned_total = 0usize;
+    for t in live {
+        for (id, shared) in t.cache.block_entries() {
+            if shared {
+                *mapped.entry(id).or_default() += 1;
+            } else {
+                owned_total += 1;
+            }
+        }
+    }
+    for t in live {
+        for (i, (id, shared)) in t.cache.block_entries().enumerate() {
+            let want = if shared {
+                mapped[&id] + usize::from(indexed.contains(&id))
+            } else {
+                1
+            };
+            prop_assert_eq!(
+                t.cache.block_refcount(i),
+                want,
+                "block {} refcount != tables mapping it (+index)",
+                id
+            );
+        }
+    }
+    let distinct: HashSet<usize> = mapped.keys().copied().chain(indexed.clone()).collect();
+    prop_assert_eq!(
+        pool.blocks_in_use(),
+        owned_total + distinct.len(),
+        "pool in-use count out of sync with tables + index"
+    );
+    prop_assert_eq!(
+        runtime::cpu_live_bytes() - baseline,
+        pool.blocks_in_use() * pool.block_bytes(),
+        "ledger must charge each physical block exactly once"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary admit/fork/cancel/preempt/retire interleavings over
+    /// shared prefixes uphold refcount conservation after every
+    /// operation, and drain — tables dropped, index cleared — returns
+    /// the pool to zero blocks and the ledger to baseline.
+    #[test]
+    fn prop_shared_prefix_refcounts_are_conserved(
+        ops_raw in proptest::collection::vec(any::<u64>(), 1..24),
+        block_tokens in prop::sample::select(vec![2usize, 4]),
+        bounded in any::<bool>(),
+    ) {
+        runtime::reset();
+        let model = served(8).with_kv_config(KvBlockConfig {
+            block_tokens,
+            // Bounded enough to exercise the cap-pressure path (LRU
+            // eviction of index-only blocks) without ever refusing a
+            // checkout outright.
+            max_blocks: if bounded { 64 } else { 0 },
+        });
+        let pool = Arc::clone(model.kv_pool());
+        pool.set_prefix_cache(true);
+        let baseline = runtime::cpu_live_bytes();
+        let d = 8; // served() d_model
+        let n_layers = 2;
+        // Two prompt lineages: prompts of the same family share a stream
+        // prefix, so admissions deliberately collide in the radix index.
+        let fam = |f: usize, len: usize| -> Vec<usize> {
+            (0..len).map(|t| (t * 5 + f * 9 + 1) % 16).collect()
+        };
+        let mut live: Vec<Table> = Vec::new();
+        for &w in &ops_raw {
+            match w % 5 {
+                // Admit: look up the longest cached prefix, prefill only
+                // the suffix, publish the full blocks back to the index.
+                0 | 1 => {
+                    let f = (w >> 3) as usize % 2;
+                    let plen = 2 + (w >> 5) as usize % 11;
+                    let tokens = fam(f, plen);
+                    let mut cache = KvCache::new(Arc::clone(&pool));
+                    let reused = pool.prefix_lookup(&tokens, &mut cache);
+                    prop_assert!(reused < plen, "lookup must leave a suffix");
+                    if !cache.try_reserve(plen - reused) {
+                        continue; // bounded pool full: admission deferred
+                    }
+                    let rows = vec![0.25f32; (plen - reused) * d];
+                    for layer in 0..n_layers {
+                        cache.write_rows(layer, reused, &rows, &rows);
+                    }
+                    cache.commit(plen - reused);
+                    pool.prefix_insert(&tokens, &mut cache);
+                    live.push(Table { tokens, cache });
+                }
+                // Fork: write into an adopted shared block — COW must
+                // replace the mapping with a private copy and leave the
+                // index's block untouched.
+                2 => {
+                    let pick = (w >> 3) as usize % live.len().max(1);
+                    if let Some(t) = live.get_mut(pick) {
+                        let shared_at = t
+                            .cache
+                            .block_entries()
+                            .enumerate()
+                            .find(|(_, (_, shared))| *shared)
+                            .map(|(b, _)| b);
+                        if let Some(b) = shared_at {
+                            let row = vec![0.75f32; d];
+                            t.cache.write_rows(0, b * block_tokens, &row, &row);
+                            let entry = t.cache.block_entries().nth(b).expect("entry exists");
+                            prop_assert!(!entry.1, "write left the block shared");
+                        }
+                    }
+                }
+                // Retire: publish the final sequence to the index, then
+                // drop the table.
+                3 => {
+                    if !live.is_empty() {
+                        let mut t = live.swap_remove((w >> 3) as usize % live.len());
+                        pool.prefix_insert(&t.tokens.clone(), &mut t.cache);
+                    }
+                }
+                // Cancel / preempt: drop the table with no publication.
+                _ => {
+                    if !live.is_empty() {
+                        live.swap_remove((w >> 3) as usize % live.len());
+                    }
+                }
+            }
+            check_conservation(&pool, &live, baseline);
+        }
+        // Drain: tables release their blocks, the index keeps its shared
+        // blocks alive until explicitly cleared.
+        live.clear();
+        prop_assert_eq!(pool.blocks_in_use(), pool.prefix_cached_blocks());
+        pool.clear_prefix_cache();
+        prop_assert_eq!(pool.blocks_in_use(), 0, "leaked KV blocks");
+        prop_assert_eq!(
+            runtime::cpu_live_bytes(),
+            baseline,
+            "device ledger must return to baseline"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,211 @@
+//! Bit-parity contract of exact-acceptance speculative decoding: a
+//! scheduler verifying draft proposals in batched target forwards must
+//! emit exactly the tokens plain greedy decoding emits — for every
+//! draft-k, every batch cap, under KV-pressure preemption, and even when
+//! the draft model is garbage. Speculation is allowed to change only how
+//! fast tokens arrive (accepted drafts per step), never which tokens.
+
+use edkm::core::{
+    CompressSpec, FinishReason, KvBlockConfig, PalettizedModel, Priority, SamplingConfig,
+    Scheduler, ServeModel, ServeRequest, StepEvents,
+};
+use edkm::nn::{LlamaConfig, LlamaModel};
+use edkm::tensor::{runtime, DType, Device};
+use std::sync::{Arc, OnceLock};
+
+fn model_config() -> LlamaConfig {
+    LlamaConfig {
+        vocab: 64,
+        d_model: 32,
+        n_heads: 2,
+        n_layers: 2,
+        d_ff: 64,
+        max_seq: 48,
+    }
+}
+
+/// The dense model both the target and the faithful draft are palettized
+/// from (untrained — parity is a property of the decode loop, not of
+/// model quality).
+fn dense() -> &'static LlamaModel {
+    static DENSE: OnceLock<LlamaModel> = OnceLock::new();
+    DENSE.get_or_init(|| LlamaModel::new(model_config(), DType::Bf16, Device::Cpu, 0))
+}
+
+fn target() -> PalettizedModel {
+    let mut spec = CompressSpec::with_bits(3);
+    spec.dkm.iters = 2;
+    PalettizedModel::from_dense(dense(), &spec).expect("servable export")
+}
+
+/// A faithful draft: the same dense weights at 2 bits, so its greedy
+/// choices usually match the target's and most proposals are accepted.
+fn good_draft() -> Arc<dyn ServeModel> {
+    Arc::new(PalettizedModel::draft_from_dense(dense(), 2).expect("2-bit draft export"))
+}
+
+/// A garbage draft: a different random initialization entirely, so its
+/// proposals are near-uncorrelated with the target's choices. Exact
+/// acceptance must shrug this off — only the accept rate may drop.
+fn garbage_draft() -> Arc<dyn ServeModel> {
+    let other = LlamaModel::new(model_config(), DType::Bf16, Device::Cpu, 999);
+    Arc::new(PalettizedModel::draft_from_dense(&other, 2).expect("2-bit draft export"))
+}
+
+fn requests(n: usize) -> Vec<ServeRequest> {
+    let vocab = model_config().vocab;
+    (0..n)
+        .map(|i| ServeRequest {
+            id: i as u64,
+            prompt: (0..3 + i % 5)
+                .map(|t| (t * 11 + i * 7 + 2) % vocab)
+                .collect(),
+            max_new: 6 + i % 7,
+            sampling: SamplingConfig::greedy(),
+            stop_tokens: Vec::new(),
+            priority: Priority::Normal,
+            deadline_steps: None,
+        })
+        .collect()
+}
+
+/// One finished request: `(id, emitted tokens, finish reason)`.
+type Outcome = (u64, Vec<usize>, FinishReason);
+
+/// Run `reqs` to completion and return `(outcomes sorted by id, sched
+/// counters (preemptions, decode_steps, spec_proposed, spec_accepted))`.
+fn run(
+    model: &PalettizedModel,
+    speculative: Option<(Arc<dyn ServeModel>, usize)>,
+    reqs: &[ServeRequest],
+    max_batch: usize,
+) -> (Vec<Outcome>, [u64; 4]) {
+    let mut sched = match speculative {
+        Some((draft, k)) => Scheduler::with_speculative(model, max_batch, draft, k),
+        None => Scheduler::new(model, max_batch),
+    };
+    for r in reqs {
+        sched.submit(r.clone());
+    }
+    let mut events = StepEvents::default();
+    let mut out = Vec::new();
+    while !sched.is_idle() {
+        sched.step_events_into(&mut events);
+        for resp in events.finished.drain(..) {
+            out.push((resp.id, resp.tokens, resp.finish));
+        }
+    }
+    out.sort_by_key(|o| o.0);
+    let counters = [
+        sched.preemptions(),
+        sched.decode_steps(),
+        sched.spec_proposed(),
+        sched.spec_accepted(),
+    ];
+    (out, counters)
+}
+
+/// Speculative greedy decode is token-identical to plain greedy decode
+/// for draft-k in {1, 2, 4, 8} at batch caps 1, 4 and 8.
+#[test]
+fn speculative_greedy_matches_plain_greedy_across_k_and_batch() {
+    runtime::reset();
+    let model = target();
+    let reqs = requests(8);
+    for max_batch in [1usize, 4, 8] {
+        let (plain, _) = run(&model, None, &reqs, max_batch);
+        for draft_k in [1usize, 2, 4, 8] {
+            let (spec, c) = run(&model, Some((good_draft(), draft_k)), &reqs, max_batch);
+            assert_eq!(
+                plain, spec,
+                "draft_k {draft_k} batch {max_batch}: speculative output diverged"
+            );
+            assert!(c[2] > 0, "draft_k {draft_k}: draft never proposed");
+            assert!(c[3] <= c[2], "accepted beyond proposed");
+        }
+    }
+}
+
+/// Parity holds under KV-pool pressure: a pool too small for the full
+/// batch forces preemptions (and makes the speculative `try_reserve`
+/// fall back to plain decode), and the output still does not move.
+#[test]
+fn speculative_parity_survives_forced_preemption() {
+    runtime::reset();
+    let reqs = requests(6);
+    let longest = reqs
+        .iter()
+        .map(|r| r.prompt.len() + r.max_new)
+        .max()
+        .unwrap();
+    let kv = KvBlockConfig {
+        block_tokens: 4,
+        // Room for roughly two max-length sequences: batch 4 admission
+        // overcommits and decode growth must evict someone.
+        max_blocks: longest.div_ceil(4) * 2,
+    };
+    let model = target().with_kv_config(kv);
+    let (plain, pc) = run(&model, None, &reqs, 4);
+    assert!(
+        pc[0] > 0,
+        "pool was sized to force preemption, got none (peak demand never hit the cap)"
+    );
+    for draft_k in [2usize, 4] {
+        let (spec, c) = run(&model, Some((good_draft(), draft_k)), &reqs, 4);
+        // Compare ids and tokens, not finish reasons: speculation retires
+        // sequences in fewer steps, so who gets preempted when is a
+        // scheduling artifact — the emitted tokens must not move.
+        assert_eq!(plain.len(), spec.len());
+        for (p, s) in plain.iter().zip(&spec) {
+            assert_eq!(p.0, s.0);
+            assert_eq!(
+                p.1, s.1,
+                "draft_k {draft_k}: preemption broke speculative parity on request {}",
+                p.0
+            );
+        }
+        assert!(c[2] > 0, "draft never proposed under pressure");
+    }
+}
+
+/// A draft with unrelated weights proposes mostly-wrong tokens; exact
+/// acceptance rejects them and re-derives the target's own token, so the
+/// output is still identical — only the accept rate collapses relative
+/// to the faithful draft.
+#[test]
+fn garbage_draft_changes_accept_rate_but_not_tokens() {
+    runtime::reset();
+    let model = target();
+    let reqs = requests(8);
+    let (plain, _) = run(&model, None, &reqs, 4);
+    let (good, gc) = run(&model, Some((good_draft(), 4)), &reqs, 4);
+    let (bad, bc) = run(&model, Some((garbage_draft(), 4)), &reqs, 4);
+    assert_eq!(plain, good, "faithful draft diverged");
+    assert_eq!(plain, bad, "garbage draft diverged");
+    assert!(gc[2] > 0 && bc[2] > 0);
+    let good_rate = gc[3] as f64 / gc[2] as f64;
+    let bad_rate = bc[3] as f64 / bc[2] as f64;
+    assert!(
+        bad_rate < good_rate,
+        "garbage draft should be accepted less than the faithful one \
+         ({bad_rate:.3} vs {good_rate:.3})"
+    );
+}
+
+/// Speculation buys steps: with a faithful draft the same tokens arrive
+/// in strictly fewer batched target forwards than plain decode.
+#[test]
+fn faithful_draft_saves_decode_steps() {
+    runtime::reset();
+    let model = target();
+    let reqs = requests(8);
+    let (plain, pc) = run(&model, None, &reqs, 4);
+    let (spec, sc) = run(&model, Some((good_draft(), 4)), &reqs, 4);
+    assert_eq!(plain, spec);
+    assert!(
+        sc[1] < pc[1],
+        "faithful draft saved no steps ({} vs {})",
+        sc[1],
+        pc[1]
+    );
+}

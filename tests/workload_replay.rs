@@ -7,7 +7,8 @@ use edkm::core::{CompressSpec, KvBlockConfig, PalettizedModel};
 use edkm::nn::{LlamaConfig, LlamaModel};
 use edkm::tensor::{runtime, DType, Device};
 use edkm::workload::{
-    replay_engine, replay_trace, EngineReplayConfig, Trace, TraceConfig, TraceKind,
+    replay_engine, replay_trace, replay_trace_speculative, EngineReplayConfig, Trace, TraceConfig,
+    TraceKind,
 };
 
 fn model_config() -> LlamaConfig {
@@ -104,6 +105,104 @@ fn tokens_and_counters_are_identical_across_batch_caps() {
             );
         }
     }
+}
+
+/// Chat-trace regression for prefix sharing: multi-turn sessions replay
+/// their history, so with the prefix cache on later turns adopt the
+/// earlier turn's KV blocks copy-on-write. Tokens must not move at all;
+/// the cache must actually engage (`prefix_hit_rate > 0`) and concurrent
+/// turns mapping the same physical blocks must lower the deduplicated
+/// peak KV footprint strictly below the private-blocks replay.
+#[test]
+fn chat_trace_prefix_sharing_reuses_blocks_without_changing_tokens() {
+    runtime::reset();
+    let cfg = model_config();
+    let model = tiny_model();
+    // Enough sessions that turns sharing a history overlap in flight at
+    // the peak step (a handful of sessions rarely line that up).
+    let trace = Trace::generate(&TraceConfig::new(
+        TraceKind::Chat,
+        11,
+        24,
+        cfg.vocab,
+        cfg.max_seq,
+    ));
+    let kv = KvBlockConfig {
+        block_tokens: 8,
+        max_blocks: 0,
+    };
+    let off = replay_trace(&model.clone().with_kv_config(kv), &trace, 8);
+    let on = replay_trace(
+        &model.clone().with_kv_config(kv).with_prefix_cache(true),
+        &trace,
+        8,
+    );
+
+    assert_eq!(off.outcomes.len(), on.outcomes.len());
+    for (a, b) in off.outcomes.iter().zip(&on.outcomes) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(
+            a.tokens, b.tokens,
+            "prefix sharing changed tokens of request {}",
+            a.id
+        );
+        assert_eq!(a.finish, b.finish);
+    }
+    assert_eq!(off.counters.prefix_hits, 0);
+    assert!(
+        on.counters.prefix_hit_rate() > 0.0,
+        "chat trace must hit the prefix cache (hits {})",
+        on.counters.prefix_hits
+    );
+    assert!(
+        on.counters.prefix_tokens_reused >= on.counters.prefix_hits * kv.block_tokens as u64,
+        "every hit adopts at least one full block"
+    );
+    assert!(
+        on.counters.kv_peak_bytes < off.counters.kv_peak_bytes,
+        "sharing must strictly lower peak KV ({} vs {})",
+        on.counters.kv_peak_bytes,
+        off.counters.kv_peak_bytes
+    );
+}
+
+/// The speculative replay driver is greedy-exact: a 2-bit draft proposing
+/// 4 tokens per step leaves every chat-trace token and finish reason
+/// unchanged, while the speculation counters record real work.
+#[test]
+fn speculative_chat_replay_is_token_identical_to_plain_replay() {
+    runtime::reset();
+    let model = tiny_model();
+    let dense = LlamaModel::new(model_config(), DType::Bf16, Device::Cpu, 0);
+    let draft = std::sync::Arc::new(
+        PalettizedModel::draft_from_dense(&dense, 2).expect("2-bit draft export"),
+    );
+    let trace = trace_for(TraceKind::Chat, 11);
+    let plain = replay_trace(&model, &trace, 4);
+    let spec = replay_trace_speculative(&model, &trace, 4, draft, 4);
+    assert_eq!(plain.outcomes.len(), spec.outcomes.len());
+    for (a, b) in plain.outcomes.iter().zip(&spec.outcomes) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(
+            a.tokens, b.tokens,
+            "speculation changed tokens of request {}",
+            a.id
+        );
+        assert_eq!(a.finish, b.finish);
+    }
+    assert_eq!(plain.counters.spec_proposed, 0);
+    assert!(spec.counters.spec_proposed > 0, "draft never proposed");
+    assert!(
+        spec.counters.spec_accepted <= spec.counters.spec_proposed,
+        "cannot accept more than proposed"
+    );
+    // Fewer target forwards for the same tokens is the whole point.
+    assert!(
+        spec.counters.decode_steps <= plain.counters.decode_steps,
+        "speculation must not add target steps ({} vs {})",
+        spec.counters.decode_steps,
+        plain.counters.decode_steps
+    );
 }
 
 #[test]
