@@ -29,6 +29,7 @@
 //! sequential decode. Single-core machines record ~1× parity — the batched
 //! projection GEMMs fall below the parallel work threshold's win.
 
+use edkm_cluster::{Cluster, ClusterConfig};
 use edkm_core::{
     CompressSpec, CompressionPipeline, EngineConfig, Generator, KvBlockConfig, PalettizedModel,
     SamplingConfig, ServeEngine, ServeModel, ServeResponse, TokenEvent,
@@ -39,8 +40,8 @@ use edkm_eval::{evaluate_suite, perplexity};
 use edkm_nn::{AdamWConfig, LlamaConfig, LlamaModel, LmBatch, LrSchedule, TrainConfig, Trainer};
 use edkm_tensor::{runtime, DType, Device};
 use edkm_workload::{
-    replay_engine, replay_trace, replay_trace_speculative, EngineReplayConfig, Trace, TraceConfig,
-    TraceKind,
+    replay_engine, replay_router, replay_trace, replay_trace_speculative, EngineReplayConfig,
+    Trace, TraceConfig, TraceKind,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -384,6 +385,126 @@ fn run_prefix_spec(
     }
 }
 
+/// Metrics of the multi-replica cluster section.
+struct ClusterRow {
+    /// Fleet goodput at 1 / 2 / 4 replicas, affinity routing on.
+    replica_tok_s: [f64; 3],
+    /// Fraction of dispatches that landed on their prefix replica
+    /// (4 replicas, affinity on).
+    affinity_hit_rate: f64,
+    /// Fleet-wide peak of physical resident KV bytes (live sequences plus
+    /// prefix-cache residency), 4 replicas, affinity on.
+    kv_peak_affinity_on: usize,
+    /// Same fleet and trace with affinity routing off: session turns
+    /// scatter, every replica re-prefills and retains its own copy of the
+    /// conversation, so the fleet holds strictly more resident KV.
+    kv_peak_affinity_off: usize,
+    /// Every cluster replay (1/2/4 replicas, affinity on and off)
+    /// reproduced the bare single-engine tokens per request.
+    tokens_identical: bool,
+}
+
+/// Replay the chat trace through 1-, 2- and 4-replica clusters (affinity
+/// routing on) plus a 4-replica affinity-off control, next to a bare
+/// single-engine reference. Placement must never change sampled output:
+/// per-request tokens are asserted bit-identical across every run. The
+/// affinity-on vs -off aggregate KV peaks record what session stickiness
+/// buys — co-located chat turns deduplicate their history blocks inside
+/// one replica instead of prefilling them on several.
+fn run_cluster_sweep(model: &PalettizedModel, wl: &Workload, seed: u64) -> ClusterRow {
+    let trace = Trace::generate(&TraceConfig::new(
+        TraceKind::Chat,
+        seed,
+        wl.trace_requests.max(24),
+        wl.config.vocab,
+        wl.config.max_seq,
+    ));
+    let kv = KvBlockConfig {
+        block_tokens: 4,
+        max_blocks: 0,
+    };
+    let fleet = |n: usize| -> Vec<PalettizedModel> {
+        (0..n)
+            .map(|_| model.clone().with_kv_config(kv).with_prefix_cache(true))
+            .collect()
+    };
+    let engine_cfg = EngineReplayConfig {
+        max_batch: 8,
+        queue_capacity: trace.requests().len().max(1),
+    };
+    let bare = replay_engine(
+        model.clone().with_kv_config(kv).with_prefix_cache(true),
+        &trace,
+        engine_cfg,
+    );
+    let matches_bare = |rep: &edkm_workload::ClusterReplayReport| -> bool {
+        rep.outcomes.len() == bare.outcomes.len()
+            && rep.outcomes.iter().zip(&bare.outcomes).all(|(c, b)| {
+                c.id == b.id
+                    && (c.finish.is_aborted() || b.finish.is_aborted() || c.tokens == b.tokens)
+            })
+    };
+
+    // Own the cluster (rather than `replay_cluster`) so the pool-level
+    // resident KV peak is readable after the replay drains.
+    let run = |n: usize, affinity: bool| -> (edkm_workload::ClusterReplayReport, usize) {
+        let cluster = Cluster::new(
+            fleet(n),
+            ClusterConfig {
+                engine: EngineConfig {
+                    max_batch: engine_cfg.max_batch,
+                    queue_capacity: engine_cfg.queue_capacity,
+                },
+                affinity,
+                ..ClusterConfig::default()
+            },
+        );
+        let rep = replay_router(&cluster.handle(), &trace);
+        let resident_peak = cluster.resident_peak_bytes();
+        cluster.shutdown();
+        (rep, resident_peak)
+    };
+
+    let mut replica_tok_s = [0.0f64; 3];
+    let mut tokens_identical = true;
+    let mut four_on = None;
+    for (slot, &n) in [1usize, 2, 4].iter().enumerate() {
+        let (rep, peak) = run(n, true);
+        assert!(
+            matches_bare(&rep),
+            "{n}-replica cluster replay diverged from the bare engine"
+        );
+        tokens_identical &= matches_bare(&rep);
+        replica_tok_s[slot] = rep.goodput_tok_s;
+        if n == 4 {
+            four_on = Some((rep, peak));
+        }
+    }
+    let (four_on, peak_on) = four_on.expect("4-replica run happened");
+    let (four_off, peak_off) = run(4, false);
+    assert!(
+        matches_bare(&four_off),
+        "affinity-off cluster replay diverged from the bare engine"
+    );
+    tokens_identical &= matches_bare(&four_off);
+    assert!(
+        four_on.cluster.affinity_hit_rate() > 0.0,
+        "chat trace produced no affinity hits at 4 replicas"
+    );
+    assert!(
+        peak_on < peak_off,
+        "affinity routing should dedup session KV: resident peak \
+         {peak_on} B (on) vs {peak_off} B (off)"
+    );
+    ClusterRow {
+        replica_tok_s,
+        affinity_hit_rate: four_on.cluster.affinity_hit_rate(),
+        kv_peak_affinity_on: peak_on,
+        kv_peak_affinity_off: peak_off,
+        tokens_identical,
+    }
+}
+
 /// One bits setting on the quality/throughput frontier.
 struct FrontierRow {
     setting: &'static str,
@@ -606,6 +727,8 @@ fn main() {
     let workload_rows = run_workload_sweep(&model, &wl, workload_seed);
     println!("replaying chat trace with prefix sharing + speculative decoding...");
     let ps = run_prefix_spec(&model, &dense, &wl, workload_seed, 4);
+    println!("replaying chat trace through 1/2/4-replica clusters...");
+    let cl = run_cluster_sweep(&model, &wl, workload_seed);
     println!(
         "building quality/throughput frontier ({} pretrain steps)...",
         wl.frontier_steps
@@ -690,6 +813,22 @@ fn main() {
         ps.spec_proposed,
         ps.accepted_per_step,
         if ps.tokens_identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    println!(
+        "\n  cluster (chat trace, affinity on): {:.1} / {:.1} / {:.1} tok/s at 1/2/4 replicas",
+        cl.replica_tok_s[0], cl.replica_tok_s[1], cl.replica_tok_s[2]
+    );
+    println!(
+        "  affinity hit rate {:.3}, resident KV peak {} B (on) vs {} B (off), tokens {}",
+        cl.affinity_hit_rate,
+        cl.kv_peak_affinity_on,
+        cl.kv_peak_affinity_off,
+        if cl.tokens_identical {
             "identical"
         } else {
             "DIVERGED"
@@ -816,6 +955,13 @@ fn main() {
          \"accepted_per_step\": {:.4},\n  \
          \"spec_proposed\": {},\n  \
          \"spec_accepted\": {},\n  \
+         \"replicas_1_tok_s\": {:.1},\n  \
+         \"replicas_2_tok_s\": {:.1},\n  \
+         \"replicas_4_tok_s\": {:.1},\n  \
+         \"affinity_hit_rate\": {:.4},\n  \
+         \"cluster_kv_peak_affinity_on\": {},\n  \
+         \"cluster_kv_peak_affinity_off\": {},\n  \
+         \"cluster_tokens_identical\": {},\n  \
          \"lossless_acc_ok\": {lossless_acc_ok},\n  \
          \"slo_ok\": {slo_ok},\n  \
          \"tokens_identical\": {}\n}}\n",
@@ -844,6 +990,13 @@ fn main() {
         ps.accepted_per_step,
         ps.spec_proposed,
         ps.spec_accepted,
+        cl.replica_tok_s[0],
+        cl.replica_tok_s[1],
+        cl.replica_tok_s[2],
+        cl.affinity_hit_rate,
+        cl.kv_peak_affinity_on,
+        cl.kv_peak_affinity_off,
+        cl.tokens_identical,
         ps.tokens_identical,
     );
     std::fs::write("BENCH_serve.json", &record).expect("write BENCH_serve.json");

@@ -137,6 +137,16 @@ impl Request {
         self
     }
 
+    /// The prompt tokens this request will be prefilled with.
+    pub fn prompt(&self) -> &[usize] {
+        &self.prompt
+    }
+
+    /// The token budget ([`Request::max_new_tokens`]).
+    pub fn max_new(&self) -> usize {
+        self.max_new
+    }
+
     fn into_serve(self, id: u64) -> ServeRequest {
         ServeRequest {
             id,
@@ -223,6 +233,29 @@ impl TokenStream {
         }
     }
 
+    /// Wait at most `timeout` for the next event. Unlike
+    /// [`TokenStream::next_event`], a timeout is distinguishable from the
+    /// stream ending — routers hedging on a straggler threshold need that
+    /// distinction.
+    pub fn poll_event(&mut self, timeout: std::time::Duration) -> StreamPoll {
+        if self.done {
+            return StreamPoll::Ended;
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(ev) => {
+                if matches!(ev, TokenEvent::Finished(_)) {
+                    self.done = true;
+                }
+                StreamPoll::Event(ev)
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => StreamPoll::TimedOut,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                self.done = true;
+                StreamPoll::Ended
+            }
+        }
+    }
+
     /// Drain the stream to its terminal event and return the full
     /// [`ServeResponse`]. `None` only if the engine worker died before
     /// finishing the request.
@@ -241,6 +274,38 @@ impl Iterator for TokenStream {
 
     fn next(&mut self) -> Option<TokenEvent> {
         self.next_event()
+    }
+}
+
+/// Outcome of one [`TokenStream::poll_event`] wait.
+#[derive(Debug)]
+pub enum StreamPoll {
+    /// An event arrived within the timeout.
+    Event(TokenEvent),
+    /// Nothing arrived within the timeout; the stream is still live.
+    TimedOut,
+    /// The stream is over: the terminal event was already consumed, or the
+    /// engine died without finishing the request.
+    Ended,
+}
+
+/// Typed result of [`EngineHandle::cancel`]: cancellation is an idempotent
+/// no-op on a request that already reached a terminal event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The request was live (queued or mid-flight) and is now cancelled;
+    /// its stream receives a terminal [`FinishReason::Cancelled`] event.
+    Cancelled,
+    /// The request had already finished (or was never submitted): nothing
+    /// changed, its stream already holds a terminal event. Repeating the
+    /// call returns this again — cancel is an idempotent no-op here.
+    AlreadyFinished,
+}
+
+impl CancelOutcome {
+    /// `true` if this call is the one that cancelled the request.
+    pub fn was_cancelled(self) -> bool {
+        matches!(self, CancelOutcome::Cancelled)
     }
 }
 
@@ -303,7 +368,7 @@ impl TtftHistogram {
 /// Point-in-time view of the engine, refreshed by the worker after every
 /// scheduling step (and before terminal events are delivered, so stats
 /// read after a stream finished already cover that request).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsSnapshot {
     /// Requests admitted into the engine over its lifetime. At drain
     /// (every stream terminal) `finished + cancelled + expired` equals
@@ -355,6 +420,44 @@ pub struct StatsSnapshot {
     pub spec_accepted: u64,
 }
 
+impl StatsSnapshot {
+    /// Dimensionless load figure for cross-replica comparison: in-flight
+    /// work (`queued + active`) plus the fraction of this engine's own
+    /// observed peak KV footprint currently live (`0.0` before any KV was
+    /// charged). Higher means busier; a router comparing replicas of the
+    /// same fleet can rank them by this single number — whole units are
+    /// requests, the fractional part is KV pressure, so queue depth always
+    /// dominates.
+    pub fn utilization(&self) -> f64 {
+        let kv = if self.kv_peak_bytes == 0 {
+            0.0
+        } else {
+            self.kv_live_bytes as f64 / self.kv_peak_bytes as f64
+        };
+        (self.queued + self.active) as f64 + kv.min(1.0)
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    /// Compact one-line readout for router debugging and bench logs:
+    /// `q2 a4 | 312 tok / 87 steps | kv 4096/8192 B | fin 5 can 1 exp 0`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "q{} a{} | {} tok / {} steps | kv {}/{} B | fin {} can {} exp {}",
+            self.queued,
+            self.active,
+            self.tokens_generated,
+            self.decode_steps,
+            self.kv_live_bytes,
+            self.kv_peak_bytes,
+            self.finished,
+            self.cancelled,
+            self.expired
+        )
+    }
+}
+
 /// Sizing of a [`ServeEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
@@ -394,6 +497,13 @@ struct Inbox {
     next_id: u64,
     next_ticket: u64,
     shutdown: bool,
+    /// Drain mode: refuse new admissions but let everything in flight run
+    /// to its terminal event (a router's graceful replica retirement).
+    draining: bool,
+    /// Kill mode: the worker aborts at its next inbox visit without
+    /// delivering terminal events — in-flight streams disconnect, KV
+    /// blocks free as the scheduler drops (a simulated replica crash).
+    kill: bool,
 }
 
 #[derive(Debug)]
@@ -441,7 +551,7 @@ impl EngineHandle {
         self.validate(&request);
         let mut inbox = self.shared.lock_inbox();
         loop {
-            if inbox.shutdown {
+            if inbox.shutdown || inbox.draining {
                 return Err(SubmitError::ShutDown);
             }
             if inbox.live.len() < self.shared.capacity {
@@ -465,7 +575,7 @@ impl EngineHandle {
     pub fn try_submit(&self, request: Request) -> Result<(RequestId, TokenStream), SubmitError> {
         self.validate(&request);
         let mut inbox = self.shared.lock_inbox();
-        if inbox.shutdown {
+        if inbox.shutdown || inbox.draining {
             return Err(SubmitError::ShutDown);
         }
         if inbox.live.len() >= self.shared.capacity {
@@ -510,12 +620,17 @@ impl EngineHandle {
     /// will never emit another token; its stream receives a terminal
     /// [`FinishReason::Cancelled`] event carrying whatever was generated.
     ///
-    /// Returns `false` if the request already finished (or was never
-    /// submitted) — its stream already holds a terminal event.
-    pub fn cancel(&self, id: RequestId) -> bool {
+    /// Cancelling a request that already finished (or was never submitted)
+    /// is an **idempotent no-op**: nothing changes, its stream already
+    /// holds a terminal event, and the call returns
+    /// [`CancelOutcome::AlreadyFinished`] — on every repeat too. Exactly
+    /// one call can ever observe [`CancelOutcome::Cancelled`] for a given
+    /// request, even under concurrent cancels (`tests/engine_stream.rs`
+    /// pins both properties).
+    pub fn cancel(&self, id: RequestId) -> CancelOutcome {
         let mut inbox = self.shared.lock_inbox();
         if !inbox.live.contains(&id.0) {
-            return false;
+            return CancelOutcome::AlreadyFinished;
         }
         let ticket = inbox.next_ticket;
         inbox.next_ticket += 1;
@@ -523,7 +638,11 @@ impl EngineHandle {
         self.shared.cv.notify_all();
         loop {
             if let Some(found) = inbox.cancel_results.remove(&ticket) {
-                return found;
+                return if found {
+                    CancelOutcome::Cancelled
+                } else {
+                    CancelOutcome::AlreadyFinished
+                };
             }
             inbox = self.shared.cv.wait(inbox).expect("engine worker panicked");
         }
@@ -532,6 +651,24 @@ impl EngineHandle {
     /// Requests inside the engine right now (queued + active).
     pub fn in_flight(&self) -> usize {
         self.shared.lock_inbox().live.len()
+    }
+
+    /// Put the engine in drain mode: every further submit is refused with
+    /// [`SubmitError::ShutDown`], while everything already in flight runs
+    /// to its terminal event. The hook a fronting router uses to retire a
+    /// replica gracefully — once [`EngineHandle::in_flight`] reaches 0 the
+    /// replica is empty and can be shut down or respawned. Idempotent.
+    pub fn drain(&self) {
+        let mut inbox = self.shared.lock_inbox();
+        inbox.draining = true;
+        self.shared.cv.notify_all();
+    }
+
+    /// Whether [`EngineHandle::drain`] (or shutdown) was called: no new
+    /// admissions will be accepted.
+    pub fn is_draining(&self) -> bool {
+        let inbox = self.shared.lock_inbox();
+        inbox.draining || inbox.shutdown
     }
 
     /// The latest [`StatsSnapshot`], refreshed by the worker after every
@@ -633,6 +770,8 @@ impl ServeEngine {
                 next_id: 0,
                 next_ticket: 0,
                 shutdown: false,
+                draining: false,
+                kill: false,
             }),
             cv: Condvar::new(),
             stats: Mutex::new(StatsSnapshot::default()),
@@ -683,6 +822,31 @@ impl ServeEngine {
         let mut inbox = self.shared.lock_inbox();
         inbox.shutdown = true;
         self.shared.cv.notify_all();
+    }
+
+    /// Abrupt termination — a simulated replica crash. Unlike
+    /// [`ServeEngine::shutdown`], in-flight requests get **no** terminal
+    /// event: the worker stops at its next inbox visit (within one
+    /// scheduling step), every live stream disconnects
+    /// ([`TokenStream::next_event`] returns `None`), queued-but-unadmitted
+    /// requests are discarded, and all KV blocks return to the pool as the
+    /// scheduler drops. A fronting router observes the disconnects and
+    /// re-submits the affected requests to surviving replicas.
+    ///
+    /// Blocked [`EngineHandle::submit`] / [`EngineHandle::cancel`] callers
+    /// are woken and return [`SubmitError::ShutDown`] /
+    /// [`CancelOutcome::AlreadyFinished`] respectively. Worker panics are
+    /// swallowed (the engine is being declared dead regardless).
+    pub fn kill(mut self) {
+        {
+            let mut inbox = self.shared.lock_inbox();
+            inbox.kill = true;
+            inbox.shutdown = true;
+            self.shared.cv.notify_all();
+        }
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
     }
 }
 
@@ -765,6 +929,21 @@ fn worker_loop<M: ServeModel>(
         {
             let mut inbox = shared.lock_inbox();
             loop {
+                if inbox.kill {
+                    // Crash teardown: acknowledge blocked cancellers (the
+                    // request is as finished as it will ever get), discard
+                    // queued submissions (dropping their senders
+                    // disconnects the streams), and forget live ids so
+                    // capacity-blocked submitters wake into ShutDown.
+                    let cancels: Vec<(u64, u64)> = inbox.cancels.drain(..).collect();
+                    for (ticket, _) in cancels {
+                        inbox.cancel_results.insert(ticket, false);
+                    }
+                    inbox.pending.clear();
+                    inbox.live.clear();
+                    shared.cv.notify_all();
+                    break 'serve;
+                }
                 let cancels: Vec<(u64, u64)> = inbox.cancels.drain(..).collect();
                 let acked = !cancels.is_empty();
                 for (ticket, id) in cancels {
@@ -873,5 +1052,76 @@ fn worker_loop<M: ServeModel>(
             }
             shared.cv.notify_all();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_is_zero_for_an_idle_engine() {
+        assert_eq!(StatsSnapshot::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn utilization_counts_inflight_work_in_whole_units() {
+        let s = StatsSnapshot {
+            queued: 2,
+            active: 3,
+            ..StatsSnapshot::default()
+        };
+        assert_eq!(s.utilization(), 5.0);
+    }
+
+    #[test]
+    fn utilization_adds_kv_pressure_as_a_fraction() {
+        let s = StatsSnapshot {
+            active: 1,
+            kv_live_bytes: 512,
+            kv_peak_bytes: 1024,
+            ..StatsSnapshot::default()
+        };
+        assert_eq!(s.utilization(), 1.5);
+        // KV pressure can never outrank a whole queued request, even if a
+        // racy read pairs a fresh live figure with a stale peak.
+        let racy = StatsSnapshot {
+            kv_live_bytes: 2048,
+            kv_peak_bytes: 1024,
+            ..StatsSnapshot::default()
+        };
+        assert_eq!(racy.utilization(), 1.0);
+    }
+
+    #[test]
+    fn display_is_one_compact_line() {
+        let s = StatsSnapshot {
+            queued: 2,
+            active: 4,
+            tokens_generated: 312,
+            decode_steps: 87,
+            kv_live_bytes: 4096,
+            kv_peak_bytes: 8192,
+            finished: 5,
+            cancelled: 1,
+            ..StatsSnapshot::default()
+        };
+        let line = s.to_string();
+        assert_eq!(
+            line,
+            "q2 a4 | 312 tok / 87 steps | kv 4096/8192 B | fin 5 can 1 exp 0"
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn snapshots_compare_by_value() {
+        let a = StatsSnapshot {
+            submitted: 3,
+            ..StatsSnapshot::default()
+        };
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a, StatsSnapshot::default());
     }
 }

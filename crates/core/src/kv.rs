@@ -232,6 +232,7 @@ pub struct KvBlockPool {
     index: Mutex<PrefixIndex>,
     prefix_enabled: AtomicBool,
     shared_live: Arc<AtomicUsize>,
+    peak_blocks: AtomicUsize,
 }
 
 impl KvBlockPool {
@@ -257,6 +258,7 @@ impl KvBlockPool {
             index: Mutex::new(PrefixIndex::default()),
             prefix_enabled: AtomicBool::new(false),
             shared_live: Arc::new(AtomicUsize::new(0)),
+            peak_blocks: AtomicUsize::new(0),
         })
     }
 
@@ -286,6 +288,20 @@ impl KvBlockPool {
     /// block tables map it).
     pub fn blocks_in_use(&self) -> usize {
         self.inner.lock().in_use + self.shared_live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of physical resident blocks — owned checkouts plus
+    /// distinct shared prefix blocks, the device-memory footprint a
+    /// deployment must provision for. Unlike the engine's `kv_peak_bytes`
+    /// (in-flight sequences only), this includes blocks the prefix index
+    /// retains between requests, so cross-request dedup lowers it.
+    pub fn peak_blocks(&self) -> usize {
+        self.peak_blocks.load(Ordering::Relaxed)
+    }
+
+    /// [`Self::peak_blocks`] in device-pool bytes.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_blocks() * self.block_bytes()
     }
 
     /// Blocks still available for checkout (`usize::MAX` when unbounded).
@@ -460,7 +476,9 @@ impl KvBlockPool {
                 out.push(block);
             }
             inner.in_use += n;
+            let resident = inner.in_use + self.shared_live.load(Ordering::Relaxed);
             drop(inner);
+            self.peak_blocks.fetch_max(resident, Ordering::Relaxed);
             self.mem.alloc(n * self.block_bytes());
             return Some(out);
         }
@@ -752,6 +770,79 @@ impl Drop for KvCache {
     }
 }
 
+/// Incremental FNV-1a fingerprint over a token-id sequence: push tokens
+/// one at a time and read the fingerprint of every prefix along the way.
+/// A cluster router hashes a prompt once with this and probes its
+/// affinity table at each prefix length — the streaming dual of
+/// [`prefix_fingerprints`], which records the radix-chunk-aligned
+/// checkpoints of a dispatched prompt.
+///
+/// The hash is a pure function of the token ids (no per-process state),
+/// so fingerprints agree across replicas, processes and runs.
+#[derive(Debug, Clone)]
+pub struct PrefixHasher {
+    state: u64,
+}
+
+impl PrefixHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher over the empty prefix.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        PrefixHasher {
+            state: Self::OFFSET,
+        }
+    }
+
+    /// Absorb one token and return the fingerprint of the prefix ending
+    /// at it.
+    pub fn push(&mut self, token: usize) -> u64 {
+        for byte in (token as u64).to_le_bytes() {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+        self.state
+    }
+
+    /// Fingerprint of everything pushed so far.
+    pub fn fingerprint(&self) -> u64 {
+        self.state
+    }
+}
+
+/// FNV-1a fingerprint of a whole token-id sequence (the terminal value of
+/// a [`PrefixHasher`] fed the same tokens).
+pub fn token_fingerprint(tokens: &[usize]) -> u64 {
+    let mut h = PrefixHasher::new();
+    for &t in tokens {
+        h.push(t);
+    }
+    h.fingerprint()
+}
+
+/// `(prefix_len, fingerprint)` of every `block_tokens`-aligned prefix of
+/// `prompt` — the radix-index chunk boundaries of [`KvBlockPool`] — plus
+/// the whole prompt when it is not already chunk-aligned, ascending by
+/// length. These are the checkpoints a prefix-affinity router records at
+/// dispatch: a follow-up chat turn extends this prompt, so hashing the
+/// follow-up's prefixes (with [`PrefixHasher`]) rediscovers one of these
+/// fingerprints and with it the replica whose radix index holds the
+/// session's KV blocks.
+pub fn prefix_fingerprints(prompt: &[usize], block_tokens: usize) -> Vec<(usize, u64)> {
+    assert!(block_tokens > 0, "block_tokens must be positive");
+    let mut out = Vec::with_capacity(prompt.len() / block_tokens + 1);
+    let mut h = PrefixHasher::new();
+    for (i, &t) in prompt.iter().enumerate() {
+        let fp = h.push(t);
+        if (i + 1) % block_tokens == 0 || i + 1 == prompt.len() {
+            out.push((i + 1, fp));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1029,5 +1120,60 @@ mod tests {
         assert_eq!(p.prefix_cached_blocks(), 0);
         let mut adopter = KvCache::new(Arc::clone(&p));
         assert_eq!(p.prefix_lookup(&prompt, &mut adopter), 0);
+    }
+
+    #[test]
+    fn prefix_hasher_matches_whole_sequence_fingerprint() {
+        let tokens = [3usize, 1, 4, 1, 5, 9, 2, 6];
+        let mut h = PrefixHasher::new();
+        let mut last = 0;
+        for &t in &tokens {
+            last = h.push(t);
+        }
+        assert_eq!(last, token_fingerprint(&tokens));
+        assert_eq!(h.fingerprint(), token_fingerprint(&tokens));
+        // Prefix fingerprints only depend on the prefix.
+        assert_eq!(
+            token_fingerprint(&tokens[..3]),
+            token_fingerprint(&[3, 1, 4])
+        );
+        assert_ne!(token_fingerprint(&tokens), token_fingerprint(&tokens[..7]));
+    }
+
+    #[test]
+    fn prefix_fingerprints_mark_chunk_boundaries_and_the_whole_prompt() {
+        let prompt = [10usize, 11, 12, 13, 14, 15, 16];
+        let fps = prefix_fingerprints(&prompt, 3);
+        assert_eq!(
+            fps.iter().map(|&(n, _)| n).collect::<Vec<_>>(),
+            vec![3, 6, 7]
+        );
+        for &(n, fp) in &fps {
+            assert_eq!(fp, token_fingerprint(&prompt[..n]));
+        }
+        // A chunk-aligned prompt is not double-counted at its end.
+        let aligned = prefix_fingerprints(&prompt[..6], 3);
+        assert_eq!(
+            aligned.iter().map(|&(n, _)| n).collect::<Vec<_>>(),
+            vec![3, 6]
+        );
+        // A follow-up turn extending the prompt rediscovers every
+        // checkpoint via the streaming hasher — the affinity-lookup path.
+        let mut extended: Vec<usize> = prompt.to_vec();
+        extended.extend_from_slice(&[17, 18]);
+        let mut h = PrefixHasher::new();
+        let streamed: Vec<(usize, u64)> = extended
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i + 1, h.push(t)))
+            .collect();
+        for &(n, fp) in &fps {
+            assert!(streamed.contains(&(n, fp)));
+        }
+    }
+
+    #[test]
+    fn prefix_fingerprints_of_empty_prompt_are_empty() {
+        assert!(prefix_fingerprints(&[], 4).is_empty());
     }
 }

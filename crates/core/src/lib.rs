@@ -60,8 +60,8 @@ pub use ablation::{render_table2, run_one, run_table2, AblationRow, AblationSetu
 pub use accounting::AccountedVec;
 pub use dkm::{DkmConfig, DkmInit, DkmLayer, DkmOutput};
 pub use engine::{
-    EngineConfig, EngineHandle, Request, RequestId, ServeEngine, StatsSnapshot, SubmitError,
-    TokenEvent, TokenStream, TtftHistogram,
+    CancelOutcome, EngineConfig, EngineHandle, Request, RequestId, ServeEngine, StatsSnapshot,
+    StreamPoll, SubmitError, TokenEvent, TokenStream, TtftHistogram,
 };
 pub use entropy::{index_entropy_bits, EntropyCoded, HuffmanCode};
 pub use hooks::{EdkmConfig, EdkmHooks, HookStatsSnapshot};
@@ -69,7 +69,9 @@ pub use infer::{
     ChunkView, LutProjection, PalettizedLinear, PalettizedModel, Partition, ServeError, ServeModel,
     ShardedPalettizedLinear, ShardedPalettizedModel,
 };
-pub use kv::{KvBlockConfig, KvBlockPool, KvCache};
+pub use kv::{
+    prefix_fingerprints, token_fingerprint, KvBlockConfig, KvBlockPool, KvCache, PrefixHasher,
+};
 pub use marshal::{EdkmPacked, MarshalRegistry, StoredEntry};
 pub use palettize::{AffineQuantized, GroupedPalettized, PalettizedTensor};
 pub use pipeline::{

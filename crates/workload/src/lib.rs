@@ -25,6 +25,13 @@
 //!   wall-clock side: goodput, TTFT and per-token latency percentiles, and
 //!   backpressure rejections under a bounded admission queue.
 //!
+//! [`replay_cluster`] extends the wall-clock layer across a whole
+//! [`edkm_cluster::Cluster`] of engine replicas behind the prefix-affinity
+//! router, reporting fleet goodput plus the router's affinity/spill/
+//! hedge/re-route counters. Per-request tokens stay bit-identical to the
+//! single-engine replay whatever the replica count — placement never
+//! changes sampled output.
+//!
 //! Because sampling is per-request-seeded and logits rows are independent
 //! of batch composition, the token streams of the two layers are
 //! bit-identical for every request that runs to its natural finish — the
@@ -37,7 +44,8 @@ pub mod report;
 pub mod trace;
 
 pub use replay::{
-    replay_engine, replay_trace, replay_trace_speculative, EngineReplayConfig, EngineReplayReport,
+    replay_cluster, replay_engine, replay_router, replay_trace, replay_trace_speculative,
+    ClusterReplayConfig, ClusterReplayReport, EngineReplayConfig, EngineReplayReport,
     ReplayCounters, RequestOutcome, StepReplayReport,
 };
 pub use report::{percentile_f64, percentile_u64};

@@ -13,6 +13,7 @@
 
 use crate::report::{percentile_f64, percentile_u64};
 use crate::trace::Trace;
+use edkm_cluster::{Cluster, ClusterConfig, ClusterStats, RouteError, RouterHandle};
 use edkm_core::{
     EngineConfig, FinishReason, Request, Scheduler, ServeEngine, ServeModel, ServeRequest,
     StatsSnapshot, StepEvents, SubmitError, TokenEvent,
@@ -399,6 +400,205 @@ pub fn replay_engine<M: ServeModel + 'static>(
         outcomes,
         counters,
         stats,
+        wall_secs,
+        goodput_tok_s: good_tokens as f64 / wall_secs.max(1e-9),
+        backpressure_rejections: rejections,
+        ttft_ms,
+        per_token_ms,
+    }
+}
+
+/// Sizing of a wall-clock cluster replay: per-replica engine sizing plus
+/// the router's affinity switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterReplayConfig {
+    /// Per-replica engine sizing.
+    pub engine: EngineReplayConfig,
+    /// Route follow-up prompts to the replica holding their prefix.
+    pub affinity: bool,
+}
+
+/// Result of a wall-clock cluster replay ([`replay_cluster`]).
+#[derive(Debug, Clone)]
+pub struct ClusterReplayReport {
+    /// Per-request outcomes, sorted by trace id.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Fleet snapshot at drain: per-replica engine stats plus router
+    /// counters (affinity hits, spills, hedges, re-routes).
+    pub cluster: ClusterStats,
+    /// Wall-clock duration of the whole replay, seconds.
+    pub wall_secs: f64,
+    /// Naturally finished tokens per wall second across the fleet.
+    pub goodput_tok_s: f64,
+    /// `try_submit` refusals the driver absorbed (router saturation).
+    pub backpressure_rejections: u64,
+    /// Submission → first token, per request, milliseconds, ascending.
+    pub ttft_ms: Vec<f64>,
+    /// Gaps between consecutive tokens of a request, milliseconds,
+    /// ascending.
+    pub per_token_ms: Vec<f64>,
+}
+
+impl ClusterReplayReport {
+    /// Wall-clock TTFT percentile in milliseconds (`p` in `[0, 1]`).
+    pub fn ttft_ms_p(&self, p: f64) -> f64 {
+        percentile_f64(&self.ttft_ms, p)
+    }
+
+    /// Per-token gap percentile in milliseconds (`p` in `[0, 1]`).
+    pub fn per_token_ms_p(&self, p: f64) -> f64 {
+        percentile_f64(&self.per_token_ms, p)
+    }
+}
+
+/// Replay `trace` through a fresh [`Cluster`] of one engine per model —
+/// the multi-replica counterpart of [`replay_engine`]. Submissions go in
+/// arrival order through a [`RouterHandle`]; one consumer thread drains
+/// each stream. Deterministic per-request-seeded sampling makes per-request
+/// token values bit-identical to [`replay_engine`] over the same trace,
+/// whatever the replica count or placement.
+pub fn replay_cluster<M: ServeModel + 'static>(
+    models: Vec<M>,
+    trace: &Trace,
+    config: ClusterReplayConfig,
+) -> ClusterReplayReport {
+    let cluster = Cluster::new(
+        models,
+        ClusterConfig {
+            engine: EngineConfig {
+                max_batch: config.engine.max_batch,
+                queue_capacity: config.engine.queue_capacity,
+            },
+            affinity: config.affinity,
+            ..ClusterConfig::default()
+        },
+    );
+    let report = replay_router(&cluster.handle(), trace);
+    cluster.shutdown();
+    report
+}
+
+/// For each request, the position of the latest earlier request whose
+/// prompt is a proper prefix of its own — the prior turn of the same chat
+/// session (chat traces replay the full conversation in every prompt).
+/// Requests without such a predecessor are independent.
+fn turn_dependencies(trace: &Trace) -> Vec<Option<usize>> {
+    let requests = trace.requests();
+    let mut deps = vec![None; requests.len()];
+    for j in 0..requests.len() {
+        let pj = &requests[j].prompt;
+        deps[j] = (0..j).rev().find(|&i| {
+            let pi = &requests[i].prompt;
+            pi.len() < pj.len() && pj[..pi.len()] == pi[..]
+        });
+    }
+    deps
+}
+
+/// Replay `trace` through an existing [`RouterHandle`] — the driver behind
+/// [`replay_cluster`], exposed so a caller can keep ownership of the
+/// [`Cluster`] and exercise lifecycle transitions (drain/kill/respawn)
+/// mid-replay.
+///
+/// Submission honors chat causality: a turn whose prompt extends an
+/// earlier request's prompt is not sent until that request has finished,
+/// exactly as a real client cannot type a follow-up before the reply
+/// arrives. Independent requests still flood in arrival order. Ordering
+/// never changes token values (sampling is per-request-seeded), but it is
+/// what lets prefix-affinity routing convert session stickiness into KV
+/// reuse on the sticky replica.
+pub fn replay_router(router: &RouterHandle, trace: &Trace) -> ClusterReplayReport {
+    let t0 = Instant::now();
+    let mut rejections = 0u64;
+    let mut consumers = Vec::with_capacity(trace.requests().len());
+    let deps = turn_dependencies(trace);
+    let finished = std::sync::Arc::new((
+        std::sync::Mutex::new(vec![false; trace.requests().len()]),
+        std::sync::Condvar::new(),
+    ));
+    for (pos, r) in trace.requests().iter().enumerate() {
+        if let Some(dep) = deps[pos] {
+            let (flags, cv) = &*finished;
+            let mut done = flags.lock().expect("turn flags");
+            while !done[dep] {
+                done = cv.wait(done).expect("turn flags");
+            }
+        }
+        let mut request = Request::new(r.prompt.clone())
+            .max_new_tokens(r.max_new)
+            .sampling(r.sampling)
+            .priority(r.priority);
+        if let Some(d) = r.deadline_steps {
+            request = request.deadline_steps(d);
+        }
+        let (_, mut stream) = match router.try_submit(request.clone()) {
+            Ok(ok) => ok,
+            Err(RouteError::Saturated) => {
+                rejections += 1;
+                router
+                    .submit(request)
+                    .expect("router accepts after backoff")
+            }
+            Err(e) => panic!("router refused trace request: {e}"),
+        };
+        let trace_id = r.id;
+        let submitted = Instant::now();
+        let finished = std::sync::Arc::clone(&finished);
+        consumers.push(std::thread::spawn(move || {
+            let mut ttft = None;
+            let mut gaps = Vec::new();
+            let mut last = submitted;
+            let mut resp = None;
+            while let Some(ev) = stream.next_event() {
+                match ev {
+                    TokenEvent::Token { index, .. } => {
+                        let nowi = Instant::now();
+                        if index == 0 {
+                            ttft = Some(nowi.duration_since(submitted).as_secs_f64() * 1e3);
+                        } else {
+                            gaps.push(nowi.duration_since(last).as_secs_f64() * 1e3);
+                        }
+                        last = nowi;
+                    }
+                    TokenEvent::Finished(r) => resp = Some(r),
+                }
+            }
+            let (flags, cv) = &*finished;
+            flags.lock().expect("turn flags")[pos] = true;
+            cv.notify_all();
+            (trace_id, resp.expect("terminal event"), ttft, gaps)
+        }));
+    }
+
+    let mut outcomes = Vec::with_capacity(consumers.len());
+    let mut ttft_ms = Vec::new();
+    let mut per_token_ms = Vec::new();
+    for c in consumers {
+        let (trace_id, resp, ttft, gaps) = c.join().expect("stream consumer");
+        outcomes.push(RequestOutcome {
+            id: trace_id,
+            generated: resp.generated,
+            finish: resp.finish,
+            ttft_steps: None,
+            tokens: resp.tokens,
+        });
+        ttft_ms.extend(ttft);
+        per_token_ms.extend(gaps);
+    }
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let cluster = router.stats();
+
+    outcomes.sort_by_key(|o| o.id);
+    ttft_ms.sort_by(|a, b| a.total_cmp(b));
+    per_token_ms.sort_by(|a, b| a.total_cmp(b));
+    let good_tokens: u64 = outcomes
+        .iter()
+        .filter(|o| !o.finish.is_aborted())
+        .map(|o| o.generated as u64)
+        .sum();
+    ClusterReplayReport {
+        outcomes,
+        cluster,
         wall_secs,
         goodput_tok_s: good_tokens as f64 / wall_secs.max(1e-9),
         backpressure_rejections: rejections,

@@ -80,7 +80,7 @@ fn main() {
     let (doomed, mut doomed_stream) = handle
         .submit(Request::new(vec![4, 4, 4]).max_new_tokens(40))
         .expect("submit");
-    assert!(handle.cancel(doomed));
+    assert!(handle.cancel(doomed).was_cancelled());
     let resp = doomed_stream.wait().expect("terminal");
     println!(
         "{doomed} cancelled: {:?} ({} tokens)",

@@ -16,6 +16,7 @@
 //! quick interactive path a downstream user reaches for first.
 
 use edkm::autograd::SavedTensorHooks;
+use edkm::cluster::{Cluster, ClusterConfig};
 use edkm::core::{run_table2, AblationSetup};
 use edkm::core::{CompressSpec, CompressedTensor, CompressionPipeline, EdkmConfig, EdkmHooks};
 use edkm::core::{
@@ -81,6 +82,11 @@ commands:
                     draft model that proposes tokens the target verifies —
                     greedy requests only, tokens unchanged)
                     --draft-k K (4; draft tokens proposed per step)
+                    --replicas R (1; R > 1 serves a fleet of R engine
+                    replicas behind the load-aware edkm-cluster router —
+                    per-request tokens identical to a single engine)
+                    --affinity (with --replicas: route follow-up prompts
+                    to the replica already holding their prefix KV)
   bench workload
              generate a seeded request trace and replay it twice: once
              deterministically against the scheduler (step metrics), once
@@ -387,25 +393,10 @@ fn serve_with_model<M: ServeModel + 'static>(
     let sim0 = runtime::sim_seconds();
     let mut streams = Vec::new();
     for id in 0..n_requests as u64 {
-        let plen = (2 + id as usize % 5).min(max_prompt);
-        let prompt: Vec<usize> = (0..plen)
-            .map(|i| (3 + i * 11 + id as usize * 7) % vocab)
-            .collect();
-        let request = Request::new(prompt)
-            .max_new_tokens(n_new)
-            .sampling(if temperature > 0.0 {
-                SamplingConfig::with_top_k(temperature, 8, 100 + id)
-            } else {
-                SamplingConfig::greedy()
-            })
-            // Every 4th request jumps the FIFO queue — tokens are identical
-            // either way (batch-independent sampling), only admission order
-            // moves.
-            .priority(if id % 4 == 3 {
-                Priority::High
-            } else {
-                Priority::Normal
-            });
+        // Every 4th request jumps the FIFO queue — tokens are identical
+        // either way (batch-independent sampling), only admission order
+        // moves.
+        let request = serve_request(id, max_prompt, vocab, n_new, temperature);
         let (rid, stream) = handle.submit(request).expect("engine accepts submissions");
         streams.push((rid, stream));
     }
@@ -464,6 +455,94 @@ fn serve_with_model<M: ServeModel + 'static>(
     engine.shutdown();
 }
 
+/// The request set both serve drivers submit: short seeded prompts with a
+/// deterministic per-request sampling seed, every 4th request high
+/// priority.
+fn serve_request(id: u64, max_prompt: usize, vocab: usize, n_new: usize, temp: f32) -> Request {
+    let plen = (2 + id as usize % 5).min(max_prompt);
+    let prompt: Vec<usize> = (0..plen)
+        .map(|i| (3 + i * 11 + id as usize * 7) % vocab)
+        .collect();
+    Request::new(prompt)
+        .max_new_tokens(n_new)
+        .sampling(if temp > 0.0 {
+            SamplingConfig::with_top_k(temp, 8, 100 + id)
+        } else {
+            SamplingConfig::greedy()
+        })
+        .priority(if id % 4 == 3 {
+            Priority::High
+        } else {
+            Priority::Normal
+        })
+}
+
+/// Multi-replica variant of [`serve_with_model`]: the same requests
+/// submitted through the prefix-affinity router of an [`edkm::cluster`]
+/// fleet. Placement never changes sampled output — per-request tokens are
+/// bit-identical to the single-engine path.
+fn serve_with_cluster<M: ServeModel + 'static>(
+    models: Vec<M>,
+    max_batch: usize,
+    n_requests: usize,
+    n_new: usize,
+    temperature: f32,
+    affinity: bool,
+) {
+    let max_seq = models[0].config().max_seq;
+    let n_new = n_new.min(max_seq - 1);
+    let max_prompt = max_seq - n_new;
+    let vocab = models[0].config().vocab;
+    let replicas = models.len();
+    let cluster = Cluster::new(
+        models,
+        ClusterConfig {
+            engine: EngineConfig {
+                max_batch,
+                queue_capacity: n_requests.max(1),
+            },
+            affinity,
+            ..ClusterConfig::default()
+        },
+    );
+    let router = cluster.handle();
+    let t0 = std::time::Instant::now();
+    let mut streams = Vec::new();
+    for id in 0..n_requests as u64 {
+        let request = serve_request(id, max_prompt, vocab, n_new, temperature);
+        let (rid, stream) = router.submit(request).expect("router accepts submissions");
+        streams.push((rid, stream));
+    }
+    let mut responses = Vec::new();
+    for (rid, mut stream) in streams {
+        let resp = stream.wait().expect("cluster finishes every request");
+        responses.push((rid, resp));
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let stats = router.stats();
+    for (rid, r) in &responses {
+        println!("  {rid} ({:?}): {:?}", r.finish, r.tokens);
+    }
+    println!(
+        "\n{} tokens in {:.3}s = {:.1} tok/s over {replicas} replicas",
+        stats.tokens_generated(),
+        secs,
+        stats.tokens_generated() as f64 / secs.max(1e-9),
+    );
+    println!(
+        "router: {} dispatched, affinity hit rate {:.3}, {} spills, {} re-routes",
+        stats.routed,
+        stats.affinity_hit_rate(),
+        stats.spills,
+        stats.rerouted
+    );
+    println!(
+        "resident KV peak {} bytes across the fleet",
+        cluster.resident_peak_bytes()
+    );
+    cluster.shutdown();
+}
+
 fn cmd_serve(args: &[String]) {
     let bits: u8 = parse_or(args, "--bits", 3);
     let max_batch: usize = parse_or(args, "--batch", 4);
@@ -471,6 +550,8 @@ fn cmd_serve(args: &[String]) {
     let n_new: usize = parse_or(args, "--new", 16);
     let temperature: f32 = parse_or(args, "--temp", 0.8);
     let shards: usize = parse_or(args, "--shards", 1).max(1);
+    let replicas: usize = parse_or(args, "--replicas", 1).max(1);
+    let affinity = args.iter().any(|a| a == "--affinity");
     let kv_block_tokens: usize = parse_or(args, "--kv-block-tokens", 16).max(1);
     let kv_blocks: usize = parse_or(args, "--kv-blocks", 0);
     let prefix_cache = args.iter().any(|a| a == "--prefix-cache");
@@ -549,7 +630,46 @@ fn cmd_serve(args: &[String]) {
     } else {
         None
     };
-    if shards > 1 {
+    if replicas > 1 {
+        if speculative.is_some() {
+            eprintln!(
+                "note: --draft-bits is single-replica only; serving the \
+                 fleet without speculation"
+            );
+        }
+        println!(
+            "fleet of {replicas} replicas behind the {} router",
+            if affinity {
+                "prefix-affinity"
+            } else {
+                "load-aware"
+            }
+        );
+        // Each replica gets an independent KV pool (`with_kv_config`
+        // replaces the pool a clone would otherwise share).
+        if shards > 1 {
+            let fleet: Vec<_> = (0..replicas)
+                .map(|_| {
+                    model
+                        .clone()
+                        .shard(LearnerGroup::new(shards))
+                        .with_kv_config(kv)
+                        .with_prefix_cache(prefix_cache)
+                })
+                .collect();
+            serve_with_cluster(fleet, max_batch, n_requests, n_new, temperature, affinity);
+        } else {
+            let fleet: Vec<_> = (0..replicas)
+                .map(|_| {
+                    model
+                        .clone()
+                        .with_kv_config(kv)
+                        .with_prefix_cache(prefix_cache)
+                })
+                .collect();
+            serve_with_cluster(fleet, max_batch, n_requests, n_new, temperature, affinity);
+        }
+    } else if shards > 1 {
         let sharded = model
             .shard(LearnerGroup::new(shards))
             .with_kv_config(kv)

@@ -21,6 +21,7 @@
 //! | [`quant`] | `edkm-quant` | RTN / GPTQ / AWQ / SmoothQuant / LLM-QAT baselines |
 //! | [`dist`] | `edkm-dist` | simulated learner group + collectives |
 //! | [`core`] | `edkm-core` | DKM layer + eDKM memory optimizations (the paper) |
+//! | [`cluster`] | `edkm-cluster` | multi-replica fleet behind a load- and prefix-aware router |
 //! | [`eval`] | `edkm-eval` | perplexity / multiple-choice / few-shot harness |
 //! | [`workload`] | `edkm-workload` | seeded serving traces + replay drivers |
 //!
@@ -38,6 +39,7 @@
 //! ```
 
 pub use edkm_autograd as autograd;
+pub use edkm_cluster as cluster;
 pub use edkm_core as core;
 pub use edkm_data as data;
 pub use edkm_dist as dist;

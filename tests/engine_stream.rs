@@ -13,8 +13,9 @@
 //!   blocking `submit` unblocks when a slot frees.
 
 use edkm::core::{
-    CompressSpec, EngineConfig, FinishReason, KvBlockConfig, PalettizedModel, Priority, Request,
-    SamplingConfig, Scheduler, ServeEngine, ServeRequest, ServeResponse, SubmitError, TokenEvent,
+    CancelOutcome, CompressSpec, EngineConfig, FinishReason, KvBlockConfig, PalettizedModel,
+    Priority, Request, SamplingConfig, Scheduler, ServeEngine, ServeRequest, ServeResponse,
+    SubmitError, TokenEvent,
 };
 use edkm::dist::LearnerGroup;
 use edkm::nn::{LlamaConfig, LlamaModel};
@@ -220,7 +221,7 @@ fn cancelled_request_emits_nothing_after_cancel_returns_and_frees_blocks() {
     // Let the request actually start decoding.
     let first = stream.next_event().expect("first event");
     assert!(matches!(first, TokenEvent::Token { index: 0, .. }));
-    assert!(handle.cancel(id), "request was in flight");
+    assert!(handle.cancel(id).was_cancelled(), "request was in flight");
     // Cancel is acknowledged by the worker: the KV blocks are already back
     // in the pool, before any further decode step.
     assert_eq!(pool.blocks_in_use(), 0, "cancel must free blocks eagerly");
@@ -240,9 +241,45 @@ fn cancelled_request_emits_nothing_after_cancel_returns_and_frees_blocks() {
     // 1 (already consumed) + buffered tokens + terminal = generated + 1.
     assert_eq!(1 + rest.len(), resp.generated + 1);
     assert!(stream.next_event().is_none(), "nothing after the terminal");
-    assert!(!handle.cancel(id), "second cancel finds nothing");
+    assert_eq!(
+        handle.cancel(id),
+        CancelOutcome::AlreadyFinished,
+        "second cancel finds nothing"
+    );
     let stats = handle.stats();
     assert_eq!(stats.cancelled, 1);
+    engine.shutdown();
+}
+
+/// The pinned contract for cancelling a request that already reached its
+/// terminal event: an idempotent no-op with a typed result. However many
+/// times (and from however many handle clones) it is repeated, the engine
+/// reports [`CancelOutcome::AlreadyFinished`], counts no extra
+/// cancellation, and disturbs nothing.
+#[test]
+fn cancel_after_finish_is_an_idempotent_typed_no_op() {
+    runtime::reset();
+    let model = served(14);
+    let engine = ServeEngine::new(model, EngineConfig::default());
+    let handle = engine.handle();
+    let (id, mut stream) = handle
+        .submit(Request::new(vec![1, 2, 3]).max_new_tokens(4))
+        .expect("submit");
+    let resp = stream.wait().expect("terminal event");
+    assert_eq!(resp.finish, FinishReason::MaxTokens);
+    for _ in 0..3 {
+        assert_eq!(
+            handle.cancel(id),
+            CancelOutcome::AlreadyFinished,
+            "cancel of a finished request must be a typed no-op"
+        );
+    }
+    // A cloned handle sees the same answer — the contract is engine-wide,
+    // not per-handle.
+    assert_eq!(engine.handle().cancel(id), CancelOutcome::AlreadyFinished);
+    let stats = handle.stats();
+    assert_eq!(stats.cancelled, 0, "no phantom cancellations were counted");
+    assert_eq!(stats.finished, 1);
     engine.shutdown();
 }
 
@@ -370,7 +407,10 @@ fn concurrent_cancels_of_the_same_request_both_return() {
     let racer = std::thread::spawn(move || h2.cancel(id));
     let a = handle.cancel(id);
     let b = racer.join().expect("racing cancel returns");
-    assert!(a ^ b, "exactly one cancel wins, got ({a}, {b})");
+    assert!(
+        a.was_cancelled() ^ b.was_cancelled(),
+        "exactly one cancel wins, got ({a:?}, {b:?})"
+    );
     let resp = stream.wait().expect("terminal event");
     assert_eq!(resp.finish, FinishReason::Cancelled);
     let stats = handle.stats();

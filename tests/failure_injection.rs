@@ -313,6 +313,184 @@ fn cancel_storm_leaks_nothing_and_leaves_survivors_bit_identical() {
     );
 }
 
+/// Kill one replica of a three-replica fleet mid-replay. No request may be
+/// lost and no token duplicated: every stream — including those that were
+/// in flight on the dead engine and failed over — must deliver strictly
+/// consecutive token indices, finish naturally, and match an undisturbed
+/// single-engine run bit for bit (sampling is per-request-seeded, so a
+/// re-dispatched request regenerates the same tokens). The dead replica's
+/// block ledger must audit to zero.
+#[test]
+fn killed_replica_mid_replay_loses_no_request_and_leaks_no_block() {
+    use edkm::cluster::{Cluster, ClusterConfig, ReplicaState};
+    use edkm::core::{
+        EngineConfig, KvBlockConfig, PalettizedModel, Request, SamplingConfig, ServeEngine,
+        TokenEvent,
+    };
+    use edkm::workload::{Trace, TraceConfig, TraceKind};
+
+    runtime::reset();
+    let cfg = LlamaConfig {
+        vocab: 64,
+        d_model: 32,
+        n_heads: 2,
+        n_layers: 2,
+        d_ff: 64,
+        max_seq: 48,
+    };
+    let dense = LlamaModel::new(cfg, DType::Bf16, Device::Cpu, 0);
+    let mut spec = CompressSpec::with_bits(3);
+    spec.dkm.iters = 2;
+    let model = PalettizedModel::from_dense(&dense, &spec).expect("servable export");
+    let trace = Trace::generate(&TraceConfig::new(
+        TraceKind::Chat,
+        5,
+        12,
+        cfg.vocab,
+        cfg.max_seq,
+    ));
+    let kv = KvBlockConfig {
+        block_tokens: 4,
+        max_blocks: 0,
+    };
+
+    // Nine long "anchor" requests (load-aware dispatch spreads them ~3 per
+    // replica) keep every engine busy for ~hundreds of decode steps, so
+    // the kill below can catch replica 0 with work in flight — the short
+    // chat requests alone drain too fast to kill reliably.
+    let mut requests: Vec<Request> = (0..9u64)
+        .map(|i| {
+            Request::new(vec![1 + i as usize])
+                .max_new_tokens(cfg.max_seq - 1)
+                .sampling(SamplingConfig::with_top_k(0.8, 8, 1000 + i))
+        })
+        .collect();
+    for r in trace.requests() {
+        requests.push(
+            Request::new(r.prompt.clone())
+                .max_new_tokens(r.max_new)
+                .sampling(r.sampling)
+                .priority(r.priority),
+        );
+    }
+    let engine_cfg = EngineConfig {
+        max_batch: 4,
+        queue_capacity: requests.len(),
+    };
+
+    // Reference: the same requests on one engine, nobody pulling the plug.
+    let reference: Vec<Vec<usize>> = {
+        let engine = ServeEngine::new(model.clone().with_kv_config(kv), engine_cfg);
+        let handle = engine.handle();
+        let streams: Vec<_> = requests
+            .iter()
+            .map(|r| handle.submit(r.clone()).expect("engine accepts").1)
+            .collect();
+        let tokens = streams
+            .into_iter()
+            .map(|mut s| s.wait().expect("finishes").tokens)
+            .collect();
+        engine.shutdown();
+        tokens
+    };
+
+    // The kill-window race is real: on a loaded machine the fleet can
+    // drain the whole request set before this thread lands the kill. The
+    // correctness assertions (bit-identical tokens, exact-once indices,
+    // zero-leak ledger) hold on every attempt; only catching the fleet
+    // mid-flight (`rerouted >= 1`) may need another try.
+    let mut rerouted = 0u64;
+    for _attempt in 0..5 {
+        // No prefix cache on the fleet: the radix index retains blocks
+        // past retirement (they count in `blocks_in_use`), which would
+        // mask the zero-leak audit on the dead replica's ledger.
+        let fleet: Vec<PalettizedModel> =
+            (0..3).map(|_| model.clone().with_kv_config(kv)).collect();
+        let mut cluster = Cluster::new(
+            fleet,
+            ClusterConfig {
+                engine: engine_cfg,
+                ..ClusterConfig::default()
+            },
+        );
+        let router = cluster.handle();
+        let mut streams = Vec::new();
+        for (pos, req) in requests.iter().enumerate() {
+            let (rid, stream) = router
+                .submit(req.clone())
+                .expect("router accepts the trace");
+            streams.push((pos, rid, stream));
+        }
+
+        // Yank replica 0 once it has emitted tokens with work still in
+        // flight (its anchors alone run for ~hundreds of steps).
+        let t0 = std::time::Instant::now();
+        loop {
+            let stats = router.stats();
+            let (_, r0) = &stats.replicas[0];
+            let in_flight = r0.submitted - r0.finished - r0.cancelled - r0.expired;
+            if (r0.tokens_generated > 0 && in_flight > 0) || t0.elapsed().as_secs() >= 5 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        cluster.kill(0);
+        assert_eq!(cluster.replica_state(0), ReplicaState::Dead);
+
+        let mut outcomes = Vec::new();
+        for (pos, _rid, mut stream) in streams {
+            let mut next = 0usize;
+            let mut resp = None;
+            while let Some(ev) = stream.next_event() {
+                match ev {
+                    TokenEvent::Token { index, .. } => {
+                        assert_eq!(
+                            index, next,
+                            "request {pos}: failover must neither duplicate \
+                             nor skip a token index"
+                        );
+                        next += 1;
+                    }
+                    TokenEvent::Finished(r) => {
+                        assert!(resp.is_none(), "exactly one terminal event per stream");
+                        resp = Some(r);
+                    }
+                }
+            }
+            outcomes.push((pos, resp.expect("every request survives the kill")));
+        }
+
+        for (pos, resp) in &outcomes {
+            assert!(
+                !resp.finish.is_aborted(),
+                "request {pos}: a kill must re-dispatch, not abort ({:?})",
+                resp.finish
+            );
+            assert_eq!(
+                resp.tokens, reference[*pos],
+                "request {pos}: tokens after failover must be bit-identical \
+                 to the undisturbed run"
+            );
+        }
+
+        assert_eq!(
+            cluster.pool(0).blocks_in_use(),
+            0,
+            "dead replica's block ledger must audit to zero"
+        );
+        rerouted = router.stats().rerouted;
+        cluster.shutdown();
+        if rerouted >= 1 {
+            break;
+        }
+    }
+    assert!(
+        rerouted >= 1,
+        "killing a replica with tokens flowing must re-dispatch something \
+         in at least one of five attempts"
+    );
+}
+
 /// Budgets reset with the runtime: a fresh runtime has no capacity and no
 /// stale OOM events.
 #[test]

@@ -3,12 +3,13 @@
 //! `(model, trace, max_batch)` — identical token streams and aggregate
 //! counters across runs, batch caps, and engine worker interleavings.
 
-use edkm::core::{CompressSpec, KvBlockConfig, PalettizedModel};
+use edkm::cluster::{Cluster, ClusterConfig};
+use edkm::core::{CompressSpec, EngineConfig, KvBlockConfig, PalettizedModel};
 use edkm::nn::{LlamaConfig, LlamaModel};
 use edkm::tensor::{runtime, DType, Device};
 use edkm::workload::{
-    replay_engine, replay_trace, replay_trace_speculative, EngineReplayConfig, Trace, TraceConfig,
-    TraceKind,
+    replay_cluster, replay_engine, replay_router, replay_trace, replay_trace_speculative,
+    ClusterReplayConfig, EngineReplayConfig, Trace, TraceConfig, TraceKind,
 };
 
 fn model_config() -> LlamaConfig {
@@ -243,4 +244,95 @@ fn engine_replay_matches_step_replay_across_worker_interleavings() {
         );
         assert_eq!(eng.stats.kv_live_bytes, 0, "drained engine leaked KV");
     }
+}
+
+#[test]
+fn cluster_replay_is_token_identical_to_engine_replay_at_any_replica_count() {
+    runtime::reset();
+    let model = tiny_model();
+    let trace = trace_for(TraceKind::Chat, 42);
+    let kv = KvBlockConfig {
+        block_tokens: 4,
+        max_blocks: 0,
+    };
+    let cfg = EngineReplayConfig {
+        max_batch: 4,
+        queue_capacity: trace.requests().len(),
+    };
+    let bare = replay_engine(
+        model.clone().with_kv_config(kv).with_prefix_cache(true),
+        &trace,
+        cfg,
+    );
+    for replicas in [1usize, 2, 4] {
+        let fleet: Vec<PalettizedModel> = (0..replicas)
+            .map(|_| model.clone().with_kv_config(kv).with_prefix_cache(true))
+            .collect();
+        let rep = replay_cluster(
+            fleet,
+            &trace,
+            ClusterReplayConfig {
+                engine: cfg,
+                affinity: true,
+            },
+        );
+        assert_eq!(rep.outcomes.len(), bare.outcomes.len());
+        for (c, b) in rep.outcomes.iter().zip(&bare.outcomes) {
+            assert_eq!(c.id, b.id);
+            assert_eq!(
+                c.tokens, b.tokens,
+                "{replicas}-replica cluster diverged from the bare engine \
+                 on request {}",
+                c.id
+            );
+        }
+    }
+}
+
+#[test]
+fn affinity_routing_lowers_fleet_resident_kv_peak() {
+    runtime::reset();
+    let model = tiny_model();
+    let cfg = model_config();
+    // Enough chat sessions that placement matters.
+    let trace = Trace::generate(&TraceConfig::new(
+        TraceKind::Chat,
+        7,
+        24,
+        cfg.vocab,
+        cfg.max_seq,
+    ));
+    let kv = KvBlockConfig {
+        block_tokens: 4,
+        max_blocks: 0,
+    };
+    let run = |affinity: bool| -> (usize, f64) {
+        let fleet: Vec<PalettizedModel> = (0..4)
+            .map(|_| model.clone().with_kv_config(kv).with_prefix_cache(true))
+            .collect();
+        let cluster = Cluster::new(
+            fleet,
+            ClusterConfig {
+                engine: EngineConfig {
+                    max_batch: 8,
+                    queue_capacity: trace.requests().len(),
+                },
+                affinity,
+                ..ClusterConfig::default()
+            },
+        );
+        let rep = replay_router(&cluster.handle(), &trace);
+        let peak = cluster.resident_peak_bytes();
+        cluster.shutdown();
+        (peak, rep.cluster.affinity_hit_rate())
+    };
+    let (peak_on, hit_rate) = run(true);
+    let (peak_off, _) = run(false);
+    assert!(hit_rate > 0.0, "chat turns should rediscover their replica");
+    assert!(
+        peak_on < peak_off,
+        "sticky sessions dedup their history into one radix index, so the \
+         fleet must hold strictly less resident KV with affinity on \
+         ({peak_on} B) than off ({peak_off} B)"
+    );
 }
