@@ -29,6 +29,7 @@
 //! sequential decode. Single-core machines record ~1× parity — the batched
 //! projection GEMMs fall below the parallel work threshold's win.
 
+use edkm_chaos::{FaultPlan, FaultProfile};
 use edkm_cluster::{Cluster, ClusterConfig};
 use edkm_core::{
     CompressSpec, CompressionPipeline, EngineConfig, Generator, KvBlockConfig, PalettizedModel,
@@ -40,8 +41,8 @@ use edkm_eval::{evaluate_suite, perplexity};
 use edkm_nn::{AdamWConfig, LlamaConfig, LlamaModel, LmBatch, LrSchedule, TrainConfig, Trainer};
 use edkm_tensor::{runtime, DType, Device};
 use edkm_workload::{
-    replay_engine, replay_router, replay_trace, replay_trace_speculative, EngineReplayConfig,
-    Trace, TraceConfig, TraceKind,
+    audit_invariants, replay_cluster_chaos, replay_engine, replay_router, replay_trace,
+    replay_trace_speculative, ChaosReplayConfig, EngineReplayConfig, Trace, TraceConfig, TraceKind,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -505,6 +506,91 @@ fn run_cluster_sweep(model: &PalettizedModel, wl: &Workload, seed: u64) -> Clust
     }
 }
 
+/// One fault profile's chaos-replay outcome.
+struct ChaosRow {
+    profile: FaultProfile,
+    plan_fingerprint: u64,
+    faults_applied: usize,
+    requests_lost: u64,
+    index_violations: u64,
+    survivors: usize,
+    shed: usize,
+    survivors_bit_identical: bool,
+    pools_at_baseline: bool,
+    recovery_p99_steps: u64,
+    corrupted_reloads: u64,
+    goodput_tok_s: f64,
+}
+
+/// Replay a mixed trace through a 3-replica fleet under every seeded
+/// fault profile, the supervisor driving recovery, and pin the global
+/// invariants: no request lost, no token-index violation, survivors
+/// bit-identical to the undisturbed run, pools back at their ledger
+/// baseline. The rows land in `BENCH_serve.json` for the CI chaos gate.
+fn run_chaos_sweep(model: &PalettizedModel, wl: &Workload, seed: u64) -> Vec<ChaosRow> {
+    let trace = Trace::generate(&TraceConfig::new(
+        TraceKind::Mixed,
+        seed,
+        wl.trace_requests.max(16),
+        wl.config.vocab,
+        wl.config.max_seq,
+    ));
+    let kv = KvBlockConfig {
+        block_tokens: 4,
+        max_blocks: 0,
+    };
+    let max_batch = 4usize;
+    // Fault-band horizon in virtual steps: the fleet decodes up to
+    // `max_batch` tokens per engine step, so total completion budget over
+    // the batch width is the order of magnitude the run actually reaches.
+    let total_new: usize = trace.requests().iter().map(|r| r.max_new).sum();
+    let horizon = ((total_new / max_batch) as u64).max(48);
+    FaultProfile::ALL
+        .iter()
+        .map(|&profile| {
+            let plan = FaultPlan::generate(profile, seed, 3, horizon);
+            let report = replay_cluster_chaos(
+                |corrupt| {
+                    if corrupt {
+                        Err("bit-flipped replica image fails reload verification".to_string())
+                    } else {
+                        Ok(model.clone().with_kv_config(kv).with_prefix_cache(true))
+                    }
+                },
+                3,
+                &trace,
+                &plan,
+                ChaosReplayConfig {
+                    engine: EngineReplayConfig {
+                        max_batch,
+                        queue_capacity: trace.requests().len().max(1),
+                    },
+                    ..ChaosReplayConfig::default()
+                },
+            );
+            let violations = audit_invariants(&report);
+            assert!(
+                violations.is_empty(),
+                "chaos profile {profile} violated global invariants: {violations:?}"
+            );
+            ChaosRow {
+                profile,
+                plan_fingerprint: report.plan_fingerprint,
+                faults_applied: report.faults.len(),
+                requests_lost: report.requests_lost(),
+                index_violations: report.index_violations,
+                survivors: report.survivors,
+                shed: report.shed.len(),
+                survivors_bit_identical: report.survivors_bit_identical,
+                pools_at_baseline: report.pools_at_baseline,
+                recovery_p99_steps: report.recovery_p99_steps(),
+                corrupted_reloads: report.corrupted_reloads,
+                goodput_tok_s: report.goodput_tok_s,
+            }
+        })
+        .collect()
+}
+
 /// One bits setting on the quality/throughput frontier.
 struct FrontierRow {
     setting: &'static str,
@@ -729,6 +815,8 @@ fn main() {
     let ps = run_prefix_spec(&model, &dense, &wl, workload_seed, 4);
     println!("replaying chat trace through 1/2/4-replica clusters...");
     let cl = run_cluster_sweep(&model, &wl, workload_seed);
+    println!("replaying mixed trace under seeded fault profiles (3 replicas)...");
+    let chaos_rows = run_chaos_sweep(&model, &wl, workload_seed);
     println!(
         "building quality/throughput frontier ({} pretrain steps)...",
         wl.frontier_steps
@@ -836,6 +924,28 @@ fn main() {
     );
 
     println!(
+        "\n  {:<16} {:>6} {:>5} {:>5} {:>6} {:>8} {:>10}",
+        "chaos profile", "faults", "lost", "shed", "viols", "rec p99", "goodput"
+    );
+    for r in &chaos_rows {
+        println!(
+            "  {:<16} {:>6} {:>5} {:>5} {:>6} {:>8} {:>10.1}  tokens {}",
+            format!("{}", r.profile),
+            r.faults_applied,
+            r.requests_lost,
+            r.shed,
+            r.index_violations,
+            r.recovery_p99_steps,
+            r.goodput_tok_s,
+            if r.survivors_bit_identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+
+    println!(
         "\n  {:<12} {:>5} {:>12} {:>10} {:>9} {:>10}",
         "setting", "bits", "size B", "ppl", "acc %", "goodput"
     );
@@ -919,6 +1029,44 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n");
 
+    let chaos_json: String = chaos_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"profile\": \"{}\", \"plan_fingerprint\": \"{:016x}\", \
+                 \"faults_applied\": {}, \"requests_lost\": {}, \
+                 \"index_violations\": {}, \"survivors\": {}, \"shed\": {}, \
+                 \"survivors_bit_identical\": {}, \"pools_at_baseline\": {}, \
+                 \"recovery_p99_steps\": {}, \"corrupted_reloads\": {}, \
+                 \"goodput_tok_s\": {:.1}}}",
+                r.profile,
+                r.plan_fingerprint,
+                r.faults_applied,
+                r.requests_lost,
+                r.index_violations,
+                r.survivors,
+                r.shed,
+                r.survivors_bit_identical,
+                r.pools_at_baseline,
+                r.recovery_p99_steps,
+                r.corrupted_reloads,
+                r.goodput_tok_s
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let chaos_tokens_identical = chaos_rows.iter().all(|r| r.survivors_bit_identical);
+    let chaos_requests_lost: u64 = chaos_rows.iter().map(|r| r.requests_lost).sum();
+    let chaos_recovery_p99_steps = chaos_rows
+        .iter()
+        .map(|r| r.recovery_p99_steps)
+        .max()
+        .unwrap_or(0);
+    let chaos_goodput_min = chaos_rows
+        .iter()
+        .map(|r| r.goodput_tok_s)
+        .fold(f64::INFINITY, f64::min);
+
     let (kernel_backend, kernel_lanes) = edkm_core::infer::launch::active();
     let cpu_features = edkm_core::infer::launch::cpu_features();
     let record = format!(
@@ -962,6 +1110,11 @@ fn main() {
          \"cluster_kv_peak_affinity_on\": {},\n  \
          \"cluster_kv_peak_affinity_off\": {},\n  \
          \"cluster_tokens_identical\": {},\n  \
+         \"chaos\": [\n{chaos_json}\n  ],\n  \
+         \"chaos_tokens_identical\": {chaos_tokens_identical},\n  \
+         \"chaos_requests_lost\": {chaos_requests_lost},\n  \
+         \"chaos_recovery_p99_steps\": {chaos_recovery_p99_steps},\n  \
+         \"chaos_goodput_min_tok_s\": {chaos_goodput_min:.1},\n  \
          \"lossless_acc_ok\": {lossless_acc_ok},\n  \
          \"slo_ok\": {slo_ok},\n  \
          \"tokens_identical\": {}\n}}\n",

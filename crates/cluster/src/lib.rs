@@ -55,8 +55,10 @@
 
 #![warn(missing_docs)]
 
+pub mod supervisor;
+
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -66,7 +68,11 @@ use edkm_core::engine::{
 };
 use edkm_core::infer::ServeModel;
 use edkm_core::kv::{prefix_fingerprints, KvBlockPool, PrefixHasher};
-use edkm_core::serve::ServeResponse;
+use edkm_core::serve::{Priority, ServeResponse};
+
+pub use supervisor::{
+    BreakerState, DegradeEvent, DegradeLevel, Supervisor, SupervisorAction, SupervisorConfig,
+};
 
 /// How many distinct prefix fingerprints the affinity map retains before
 /// evicting the oldest (FIFO) entries.
@@ -121,6 +127,11 @@ pub struct ClusterConfig {
     /// Per-tenant fairness policy for the `*_for` submit variants.
     /// `None` admits every tenant unconditionally.
     pub tenancy: Option<TenantPolicy>,
+    /// Speculative draft budget restored to every replica when the degrade
+    /// ladder recovers below [`DegradeLevel::ShrinkDraft`]. Only
+    /// meaningful for fleets whose engines decode speculatively; the
+    /// retune is a no-op on plain engines either way.
+    pub draft_k_full: usize,
 }
 
 impl Default for ClusterConfig {
@@ -131,6 +142,7 @@ impl Default for ClusterConfig {
             spill_threshold: 0,
             hedge_after: None,
             tenancy: None,
+            draft_k_full: 4,
         }
     }
 }
@@ -153,6 +165,13 @@ pub enum RouteError {
         /// The tenant that was rejected.
         tenant: String,
     },
+    /// The request was shed by the degrade ladder: under sustained
+    /// pressure the router stops admitting low-value traffic before it
+    /// stops serving anyone (see [`DegradeLevel`]).
+    Shed {
+        /// The ladder level that refused the request.
+        level: u8,
+    },
     /// The cluster was shut down.
     ShutDown,
 }
@@ -168,12 +187,48 @@ impl std::fmt::Display for RouteError {
             RouteError::TenantSaturated { tenant } => {
                 write!(f, "tenant {tenant:?} is at its in-flight cap")
             }
+            RouteError::Shed { level } => {
+                write!(f, "request shed by degrade ladder level {level}")
+            }
             RouteError::ShutDown => write!(f, "cluster is shut down"),
         }
     }
 }
 
 impl std::error::Error for RouteError {}
+
+/// Typed result of [`Cluster::drain`], mirroring
+/// [`CancelOutcome`]: draining is idempotent, and every
+/// outcome says what the slot was already doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainOutcome {
+    /// The replica was active and is now draining: no new dispatch, and
+    /// in-flight work runs to its terminal events.
+    Draining,
+    /// The replica was already draining — nothing changed. Repeating the
+    /// call returns this again.
+    AlreadyDraining,
+    /// The replica is dead; there is nothing to drain. (A dead slot stays
+    /// dead until [`Cluster::respawn`].)
+    Dead,
+}
+
+impl DrainOutcome {
+    /// `true` if this call is the one that started the drain.
+    pub fn started_drain(self) -> bool {
+        matches!(self, DrainOutcome::Draining)
+    }
+}
+
+impl std::fmt::Display for DrainOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DrainOutcome::Draining => write!(f, "draining"),
+            DrainOutcome::AlreadyDraining => write!(f, "already draining"),
+            DrainOutcome::Dead => write!(f, "dead"),
+        }
+    }
+}
 
 /// Cluster-level request identifier, assigned by the router. Stable across
 /// hedging and replica failover; the [`ServeResponse::id`] delivered on a
@@ -221,6 +276,12 @@ pub struct ClusterStats {
     pub hedges: u64,
     /// Requests re-submitted to a survivor after their replica died.
     pub rerouted: u64,
+    /// Requests refused by the degrade ladder ([`RouteError::Shed`]).
+    pub shed: u64,
+    /// Current degrade-ladder level (0 = full service).
+    pub degrade_level: u8,
+    /// Every ladder transition so far, in order (see [`DegradeEvent`]).
+    pub degrade_events: Vec<DegradeEvent>,
 }
 
 impl ClusterStats {
@@ -252,6 +313,10 @@ impl ClusterStats {
 struct Slot {
     handle: EngineHandle,
     state: ReplicaState,
+    /// Circuit-breaker dispatch gate: a closed (`false`) gate keeps the
+    /// replica out of the candidate list even while its engine is Active.
+    /// Owned by the supervisor; `true` on (re)spawn.
+    gate_open: bool,
 }
 
 struct TenantState {
@@ -322,6 +387,11 @@ struct RouterInner {
     spills: AtomicU64,
     hedges: AtomicU64,
     rerouted: AtomicU64,
+    shed: AtomicU64,
+    /// Current degrade-ladder level; admission and hedging consult it with
+    /// one relaxed load (the chaos-off cost).
+    degrade_level: AtomicU8,
+    degrade_events: Mutex<Vec<DegradeEvent>>,
 }
 
 impl RouterInner {
@@ -371,21 +441,40 @@ impl RouterInner {
         if self.shutdown.load(Ordering::Relaxed) {
             return Err(RouteError::ShutDown);
         }
+        fn load_score(slot: &Slot) -> f64 {
+            let stats = slot.handle.stats();
+            let kv_frac = if stats.kv_peak_bytes == 0 {
+                0.0
+            } else {
+                (stats.kv_live_bytes as f64 / stats.kv_peak_bytes as f64).min(1.0)
+            };
+            slot.handle.in_flight() as f64 + kv_frac
+        }
         let mut scored: Vec<(usize, EngineHandle, f64)> = Vec::new();
         {
             let slots = self.slots.lock().expect("slots poisoned");
+            let mut gated_out = false;
             for (i, slot) in slots.iter().enumerate() {
                 if slot.state != ReplicaState::Active || Some(i) == exclude {
                     continue;
                 }
-                let stats = slot.handle.stats();
-                let kv_frac = if stats.kv_peak_bytes == 0 {
-                    0.0
-                } else {
-                    (stats.kv_live_bytes as f64 / stats.kv_peak_bytes as f64).min(1.0)
-                };
-                let score = slot.handle.in_flight() as f64 + kv_frac;
-                scored.push((i, slot.handle.clone(), score));
+                if !slot.gate_open {
+                    gated_out = true;
+                    continue;
+                }
+                scored.push((i, slot.handle.clone(), load_score(slot)));
+            }
+            // Every active replica is breaker-gated: dispatch to them
+            // anyway. An open breaker sheds load from a struggling replica
+            // while alternatives exist; it never turns a degraded fleet
+            // into a total outage.
+            if scored.is_empty() && gated_out {
+                for (i, slot) in slots.iter().enumerate() {
+                    if slot.state != ReplicaState::Active || Some(i) == exclude {
+                        continue;
+                    }
+                    scored.push((i, slot.handle.clone(), load_score(slot)));
+                }
             }
         }
         if scored.is_empty() {
@@ -549,12 +638,39 @@ impl RouterInner {
         }
     }
 
+    /// Degrade-ladder admission: at `RejectLow` and above the router
+    /// refuses `Priority::Low` work outright; at `ChatOnly` only
+    /// high-priority requests and requests whose prompt extends a known
+    /// session prefix (an affinity hit — the signature of an ongoing chat
+    /// turn in this stack) are admitted. One relaxed load when the ladder
+    /// is at full service.
+    fn shed_check(&self, request: &Request) -> Result<(), RouteError> {
+        let level = self.degrade_level.load(Ordering::Relaxed);
+        if level < DegradeLevel::RejectLow as u8 {
+            return Ok(());
+        }
+        let refuse = match request.priority_class() {
+            Priority::Low => true,
+            Priority::High => false,
+            Priority::Normal => {
+                level >= DegradeLevel::ChatOnly as u8
+                    && self.affinity_probe(request.prompt()).is_none()
+            }
+        };
+        if refuse {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(RouteError::Shed { level });
+        }
+        Ok(())
+    }
+
     fn route(
         self: &Arc<Self>,
         tenant: Option<&str>,
         request: Request,
         blocking: bool,
     ) -> Result<(RouteId, ClusterStream), RouteError> {
+        self.shed_check(&request)?;
         if let Some(t) = tenant {
             self.tenant_admit(t)?;
         }
@@ -701,7 +817,78 @@ impl RouterHandle {
             spills: self.inner.spills.load(Ordering::Relaxed),
             hedges: self.inner.hedges.load(Ordering::Relaxed),
             rerouted: self.inner.rerouted.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
+            degrade_level: self.inner.degrade_level.load(Ordering::Relaxed),
+            degrade_events: self
+                .inner
+                .degrade_events
+                .lock()
+                .expect("degrade events poisoned")
+                .clone(),
         }
+    }
+
+    /// Open (`true`) or close (`false`) one replica's circuit-breaker
+    /// dispatch gate. A closed gate keeps the replica out of the candidate
+    /// list while its engine stays alive — the [`Supervisor`]'s lever for
+    /// shedding load from a replica it suspects is unhealthy. If every
+    /// active replica ends up gated, dispatch falls back to ignoring the
+    /// gates: the breaker degrades routing, it never causes a total
+    /// outage. Out-of-range `replica` is a no-op.
+    pub fn set_dispatch_gate(&self, replica: usize, open: bool) {
+        let mut slots = self.inner.slots.lock().expect("slots poisoned");
+        if let Some(slot) = slots.get_mut(replica) {
+            slot.gate_open = open;
+        }
+    }
+
+    /// Whether one replica's dispatch gate is open (`true` for unknown
+    /// slots, matching the default).
+    pub fn dispatch_gate(&self, replica: usize) -> bool {
+        let slots = self.inner.slots.lock().expect("slots poisoned");
+        slots.get(replica).map(|s| s.gate_open).unwrap_or(true)
+    }
+
+    /// Move the degrade ladder to `level` as of virtual step `step`,
+    /// recording a typed [`DegradeEvent`] when the level actually changes.
+    /// Effects per level are cumulative (each includes everything below):
+    ///
+    /// 1. [`DegradeLevel::NoHedging`] — stop arming hedged duplicates.
+    /// 2. [`DegradeLevel::ShrinkDraft`] — pin every replica's speculative
+    ///    draft budget to 1 (restored to
+    ///    [`ClusterConfig::draft_k_full`] on recovery).
+    /// 3. [`DegradeLevel::RejectLow`] — refuse `Priority::Low` at
+    ///    admission with [`RouteError::Shed`].
+    /// 4. [`DegradeLevel::ChatOnly`] — additionally refuse normal-priority
+    ///    requests with no session-prefix affinity hit.
+    pub fn set_degrade_level(&self, level: DegradeLevel, step: u64) {
+        let to = level as u8;
+        let from = self.inner.degrade_level.swap(to, Ordering::Relaxed);
+        if from == to {
+            return;
+        }
+        let shrink = DegradeLevel::ShrinkDraft as u8;
+        if from < shrink && to >= shrink {
+            let slots = self.inner.slots.lock().expect("slots poisoned");
+            for slot in slots.iter() {
+                slot.handle.set_draft_k(1);
+            }
+        } else if from >= shrink && to < shrink {
+            let slots = self.inner.slots.lock().expect("slots poisoned");
+            for slot in slots.iter() {
+                slot.handle.set_draft_k(self.inner.cfg.draft_k_full);
+            }
+        }
+        self.inner
+            .degrade_events
+            .lock()
+            .expect("degrade events poisoned")
+            .push(DegradeEvent { step, from, to });
+    }
+
+    /// The current degrade-ladder level.
+    pub fn degrade_level(&self) -> u8 {
+        self.inner.degrade_level.load(Ordering::Relaxed)
     }
 }
 
@@ -888,7 +1075,13 @@ impl ClusterStream {
 
     /// Duplicate the request onto the best replica other than the current
     /// one. Failure to place a hedge is silent — the primary still runs.
+    /// Suppressed entirely while the degrade ladder is at
+    /// [`DegradeLevel::NoHedging`] or above: under pressure, duplicate
+    /// work is the first thing to go.
     fn arm_hedge(&mut self) {
+        if self.inner.degrade_level.load(Ordering::Relaxed) >= DegradeLevel::NoHedging as u8 {
+            return;
+        }
         let request = {
             let routes = self.inner.routes.lock().expect("route table poisoned");
             match routes.get(&self.id.0) {
@@ -1051,6 +1244,7 @@ impl Cluster {
             slots.push(Slot {
                 handle: engine.handle(),
                 state: ReplicaState::Active,
+                gate_open: true,
             });
             engines.push(Some(engine));
         }
@@ -1072,6 +1266,9 @@ impl Cluster {
             spills: AtomicU64::new(0),
             hedges: AtomicU64::new(0),
             rerouted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            degrade_level: AtomicU8::new(0),
+            degrade_events: Mutex::new(Vec::new()),
         });
         Cluster {
             engines,
@@ -1103,6 +1300,15 @@ impl Cluster {
         Arc::clone(&self.pools[replica])
     }
 
+    /// The engine handle behind one replica slot, for out-of-band control
+    /// (fault injection, stall/stream-drop hooks). The handle outlives a
+    /// kill — operations on a dead engine are harmless no-ops.
+    pub fn engine_handle(&self, replica: usize) -> EngineHandle {
+        self.inner.slots.lock().expect("slots poisoned")[replica]
+            .handle
+            .clone()
+    }
+
     /// Fleet-wide high-water mark of physical resident KV bytes: the sum
     /// over replicas of each pool's peak of owned plus distinct shared
     /// blocks. This is the capacity number placement policy moves —
@@ -1116,13 +1322,25 @@ impl Cluster {
     /// Drain one replica: the router stops dispatching to it and its
     /// engine refuses new work, while everything in flight runs to its
     /// terminal event.
-    pub fn drain(&self, replica: usize) {
+    ///
+    /// Idempotent with a typed [`DrainOutcome`] (mirroring
+    /// [`CancelOutcome`]): exactly one call observes
+    /// [`DrainOutcome::Draining`]; repeats report
+    /// [`DrainOutcome::AlreadyDraining`], and draining a dead slot is a
+    /// [`DrainOutcome::Dead`] no-op.
+    pub fn drain(&self, replica: usize) -> DrainOutcome {
         let handle = {
             let mut slots = self.inner.slots.lock().expect("slots poisoned");
+            match slots[replica].state {
+                ReplicaState::Dead => return DrainOutcome::Dead,
+                ReplicaState::Draining => return DrainOutcome::AlreadyDraining,
+                ReplicaState::Active => {}
+            }
             slots[replica].state = ReplicaState::Draining;
             slots[replica].handle.clone()
         };
         handle.drain();
+        DrainOutcome::Draining
     }
 
     /// Kill one replica abruptly: its worker exits within a step and every
@@ -1154,6 +1372,7 @@ impl Cluster {
             slots[replica] = Slot {
                 handle: engine.handle(),
                 state: ReplicaState::Active,
+                gate_open: true,
             };
         }
         self.engines[replica] = Some(engine);
@@ -1426,6 +1645,99 @@ mod tests {
         let mut s0 = s0;
         let resp = s0.wait().expect("in-flight work survives a drain");
         assert_eq!(resp.generated, 16);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn drain_is_idempotent_with_typed_outcomes() {
+        let model = base_model();
+        let mut cluster = Cluster::new(fleet(&model, 2), ClusterConfig::default());
+        // Exactly one call observes the transition; repeats are typed
+        // no-ops, mirroring `CancelOutcome`.
+        assert_eq!(cluster.drain(0), DrainOutcome::Draining);
+        assert!(DrainOutcome::Draining.started_drain());
+        assert_eq!(cluster.drain(0), DrainOutcome::AlreadyDraining);
+        assert_eq!(cluster.drain(0), DrainOutcome::AlreadyDraining);
+        assert!(!DrainOutcome::AlreadyDraining.started_drain());
+        assert_eq!(cluster.replica_state(0), ReplicaState::Draining);
+        // Draining a dead slot reports Dead and changes nothing.
+        cluster.kill(1);
+        assert_eq!(cluster.drain(1), DrainOutcome::Dead);
+        assert_eq!(cluster.replica_state(1), ReplicaState::Dead);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn degrade_ladder_sheds_by_priority_and_recovers() {
+        let model = base_model();
+        let cluster = Cluster::new(fleet(&model, 2), ClusterConfig::default());
+        let router = cluster.handle();
+        router.set_degrade_level(DegradeLevel::RejectLow, 10);
+
+        // Low priority is refused with a typed error; normal still flows.
+        let low = req(vec![9, 8, 7], 70, 2).priority(Priority::Low);
+        match router.submit(low) {
+            Err(RouteError::Shed { level }) => {
+                assert_eq!(level, DegradeLevel::RejectLow as u8)
+            }
+            other => panic!("Low must be shed at RejectLow, got {other:?}"),
+        }
+        let (_, mut ok) = router
+            .submit(req(vec![1, 2, 3], 71, 2))
+            .expect("normal priority survives RejectLow");
+        ok.wait().expect("finishes");
+
+        // ChatOnly also refuses cold normal-priority prompts; High flows.
+        router.set_degrade_level(DegradeLevel::ChatOnly, 20);
+        match router.submit(req(vec![4, 5, 6], 72, 2)) {
+            Err(RouteError::Shed { .. }) => {}
+            other => panic!("cold normal prompt must be shed at ChatOnly, got {other:?}"),
+        }
+        let (_, mut hi) = router
+            .submit(req(vec![2, 4, 6], 73, 2).priority(Priority::High))
+            .expect("High survives ChatOnly");
+        hi.wait().expect("finishes");
+
+        // Recovery restores full admission, and stats carry the history.
+        router.set_degrade_level(DegradeLevel::Full, 30);
+        let (_, mut back) = router
+            .submit(req(vec![9, 8, 7], 74, 2).priority(Priority::Low))
+            .expect("Low flows again at Full");
+        back.wait().expect("finishes");
+        let stats = router.stats();
+        assert_eq!(stats.shed, 2);
+        assert_eq!(stats.degrade_level, DegradeLevel::Full as u8);
+        assert_eq!(stats.degrade_events.len(), 3);
+        assert!(stats.degrade_events[0].is_escalation());
+        assert!(!stats.degrade_events[2].is_escalation());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn gated_replica_gets_no_dispatch_until_reopened() {
+        let model = base_model();
+        let cluster = Cluster::new(fleet(&model, 2), ClusterConfig::default());
+        let router = cluster.handle();
+        router.set_dispatch_gate(0, false);
+        assert!(!router.dispatch_gate(0));
+        let mut streams = Vec::new();
+        for i in 0..4 {
+            let (_, s) = router
+                .submit(req(vec![3 + i, 1, 4], 80 + i as u64, 2))
+                .unwrap();
+            assert_eq!(s.replica, 1, "gated replica must take no dispatch");
+            streams.push(s);
+        }
+        // All-gated never means outage: the router falls back to ignoring
+        // gates rather than refusing everyone.
+        router.set_dispatch_gate(1, false);
+        let (_, s) = router.submit(req(vec![7, 7, 7], 90, 2)).unwrap();
+        streams.push(s);
+        router.set_dispatch_gate(0, true);
+        assert!(router.dispatch_gate(0));
+        for mut s in streams {
+            s.wait().expect("finishes");
+        }
         cluster.shutdown();
     }
 

@@ -147,6 +147,13 @@ impl Request {
         self.max_new
     }
 
+    /// The scheduling class this request was built with — what a router's
+    /// admission policy (e.g. a degrade ladder shedding low-priority
+    /// traffic) keys on.
+    pub fn priority_class(&self) -> Priority {
+        self.priority
+    }
+
     fn into_serve(self, id: u64) -> ServeRequest {
         ServeRequest {
             id,
@@ -256,6 +263,28 @@ impl TokenStream {
         }
     }
 
+    /// Like [`TokenStream::next_event`], but give up after `timeout` with
+    /// a typed error instead of blocking forever — the consumer-side guard
+    /// against a wedged replica that stopped producing without
+    /// disconnecting.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeout::TimedOut`] if nothing arrived in time (the stream is
+    /// still live and may be polled again); [`RecvTimeout::Ended`] if the
+    /// stream is over — terminal event already consumed, or the engine
+    /// died without finishing the request.
+    pub fn recv_timeout(
+        &mut self,
+        timeout: std::time::Duration,
+    ) -> Result<TokenEvent, RecvTimeout> {
+        match self.poll_event(timeout) {
+            StreamPoll::Event(ev) => Ok(ev),
+            StreamPoll::TimedOut => Err(RecvTimeout::TimedOut),
+            StreamPoll::Ended => Err(RecvTimeout::Ended),
+        }
+    }
+
     /// Drain the stream to its terminal event and return the full
     /// [`ServeResponse`]. `None` only if the engine worker died before
     /// finishing the request.
@@ -289,6 +318,27 @@ pub enum StreamPoll {
     Ended,
 }
 
+/// Why a [`TokenStream::recv_timeout`] wait returned no event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeout {
+    /// Nothing arrived within the timeout; the stream is still live.
+    TimedOut,
+    /// The stream is over: the terminal event was already consumed, or the
+    /// engine died without finishing the request.
+    Ended,
+}
+
+impl std::fmt::Display for RecvTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeout::TimedOut => write!(f, "token stream timed out"),
+            RecvTimeout::Ended => write!(f, "token stream ended"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeout {}
+
 /// Typed result of [`EngineHandle::cancel`]: cancellation is an idempotent
 /// no-op on a request that already reached a terminal event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -306,6 +356,15 @@ impl CancelOutcome {
     /// `true` if this call is the one that cancelled the request.
     pub fn was_cancelled(self) -> bool {
         matches!(self, CancelOutcome::Cancelled)
+    }
+}
+
+impl std::fmt::Display for CancelOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CancelOutcome::Cancelled => write!(f, "request cancelled"),
+            CancelOutcome::AlreadyFinished => write!(f, "request had already finished"),
+        }
     }
 }
 
@@ -330,6 +389,10 @@ impl std::fmt::Display for SubmitError {
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Wall-clock duration one injected stall step burns in the worker loop
+/// (see [`EngineHandle::inject_stall`]).
+pub const STALL_TICK: std::time::Duration = std::time::Duration::from_millis(1);
 
 /// Upper bucket bounds (inclusive, in scheduler steps) of the TTFT
 /// histogram; one overflow bucket follows the last bound.
@@ -504,6 +567,14 @@ struct Inbox {
     /// delivering terminal events — in-flight streams disconnect, KV
     /// blocks free as the scheduler drops (a simulated replica crash).
     kill: bool,
+    /// Channel-drop fault: at its next inbox visit the worker severs every
+    /// live token stream without a terminal event (senders dropped, KV
+    /// freed) but stays alive — the router sees disconnects and fails the
+    /// requests over, while the replica keeps serving new work.
+    drop_streams: bool,
+    /// Pending speculative draft-budget retune, applied by the worker at
+    /// its next inbox visit (degrade-ladder knob; no-op on plain engines).
+    set_draft_k: Option<usize>,
 }
 
 #[derive(Debug)]
@@ -518,6 +589,10 @@ struct Shared {
     submitted: AtomicU64,
     /// Lifetime `try_submit` capacity refusals.
     rejected_full: AtomicU64,
+    /// Outstanding injected stall steps (slow-replica fault): while
+    /// positive, the worker burns one per iteration sleeping instead of
+    /// decoding. One relaxed load per step when zero — the chaos-off cost.
+    stall_steps: AtomicU64,
 }
 
 impl Shared {
@@ -671,6 +746,48 @@ impl EngineHandle {
         inbox.draining || inbox.shutdown
     }
 
+    /// Inject `steps` stalled decode steps — the slow-replica fault. The
+    /// worker burns one stalled step per loop iteration (sleeping
+    /// [`STALL_TICK`] instead of decoding), so in-flight streams stop
+    /// producing while the engine stays alive and cancellable: exactly the
+    /// wedge signature a supervisor detects through snapshot staleness.
+    /// Additive across calls; a no-op engine-side once the balance drains.
+    pub fn inject_stall(&self, steps: u64) {
+        self.shared.stall_steps.fetch_add(steps, Ordering::Relaxed);
+        self.shared.cv.notify_all();
+    }
+
+    /// Injected stall steps not yet burned by the worker.
+    pub fn stalled_steps(&self) -> u64 {
+        self.shared.stall_steps.load(Ordering::Relaxed)
+    }
+
+    /// Retune the speculative draft budget (clamped to ≥ 1 by the
+    /// scheduler; a no-op on engines without a draft model). Applied by
+    /// the worker at its next inbox visit. Exact acceptance keeps token
+    /// streams bit-identical across any retune — only the accepted-per-
+    /// step rate moves — so the degrade ladder can shed draft compute
+    /// mid-flight without disturbing in-flight requests.
+    pub fn set_draft_k(&self, k: usize) {
+        let mut inbox = self.shared.lock_inbox();
+        inbox.set_draft_k = Some(k);
+        self.shared.cv.notify_all();
+    }
+
+    /// Sever every live token stream — the router↔replica channel-drop
+    /// fault. At its next inbox visit the worker drops all per-request
+    /// senders **without** terminal events (consumers see a disconnect,
+    /// exactly as if the replica died), cancels the underlying sequences so
+    /// their KV blocks return to the pool, and keeps serving new work.
+    /// Returns the number of streams that were live when the fault landed.
+    pub fn drop_streams(&self) -> usize {
+        let mut inbox = self.shared.lock_inbox();
+        let live = inbox.live.len();
+        inbox.drop_streams = true;
+        self.shared.cv.notify_all();
+        live
+    }
+
     /// The latest [`StatsSnapshot`], refreshed by the worker after every
     /// scheduling step.
     pub fn stats(&self) -> StatsSnapshot {
@@ -772,6 +889,8 @@ impl ServeEngine {
                 shutdown: false,
                 draining: false,
                 kill: false,
+                drop_streams: false,
+                set_draft_k: None,
             }),
             cv: Condvar::new(),
             stats: Mutex::new(StatsSnapshot::default()),
@@ -779,6 +898,7 @@ impl ServeEngine {
             max_seq: model.config().max_seq,
             submitted: AtomicU64::new(0),
             rejected_full: AtomicU64::new(0),
+            stall_steps: AtomicU64::new(0),
         });
         let worker_shared = Arc::clone(&shared);
         let rt = runtime::current();
@@ -944,6 +1064,34 @@ fn worker_loop<M: ServeModel>(
                     shared.cv.notify_all();
                     break 'serve;
                 }
+                if inbox.drop_streams {
+                    // Channel-drop fault: sever every live stream with no
+                    // terminal event — queued submissions are discarded and
+                    // in-flight sequences cancelled (KV freed) while the
+                    // worker keeps running. Consumers observe a disconnect
+                    // exactly as on a kill; the engine itself stays
+                    // routable. Severed requests count as cancelled so the
+                    // `finished + cancelled + expired == submitted`
+                    // invariant still closes at drain.
+                    inbox.drop_streams = false;
+                    while let Some((req, _tx)) = inbox.pending.pop_front() {
+                        inbox.live.remove(&req.id);
+                        tallies.cancelled += 1;
+                    }
+                    let ids: Vec<u64> = streams.keys().copied().collect();
+                    for id in ids {
+                        if sched.cancel(id).is_some() {
+                            tallies.cancelled += 1;
+                        }
+                        streams.remove(&id);
+                        submit_step.remove(&id);
+                        inbox.live.remove(&id);
+                    }
+                    shared.cv.notify_all();
+                }
+                if let Some(k) = inbox.set_draft_k.take() {
+                    sched.set_draft_k(k);
+                }
                 let cancels: Vec<(u64, u64)> = inbox.cancels.drain(..).collect();
                 let acked = !cancels.is_empty();
                 for (ticket, id) in cancels {
@@ -991,6 +1139,14 @@ fn worker_loop<M: ServeModel>(
         }
 
         // Phase 2 — one scheduling step into the reusable event buffer.
+        // An injected stall burns this iteration sleeping instead: streams
+        // stop producing, stats stop moving, the replica wedges — the
+        // chaos path is one relaxed load when no stall is pending.
+        if shared.stall_steps.load(Ordering::Relaxed) > 0 {
+            shared.stall_steps.fetch_sub(1, Ordering::Relaxed);
+            std::thread::sleep(STALL_TICK);
+            continue 'serve;
+        }
         sched.step_events_into(&mut events);
         tallies.kv_peak = tallies.kv_peak.max(sched.kv_live_bytes());
         for t in &events.tokens {

@@ -224,7 +224,7 @@ struct PoolInner {
 #[derive(Debug)]
 pub struct KvBlockPool {
     block_tokens: usize,
-    max_blocks: usize,
+    max_blocks: AtomicUsize,
     n_layers: usize,
     d_model: usize,
     inner: Mutex<PoolInner>,
@@ -246,7 +246,7 @@ impl KvBlockPool {
         assert!(cfg.block_tokens > 0, "block_tokens must be positive");
         Arc::new(KvBlockPool {
             block_tokens: cfg.block_tokens,
-            max_blocks: cfg.max_blocks,
+            max_blocks: AtomicUsize::new(cfg.max_blocks),
             n_layers,
             d_model,
             inner: Mutex::new(PoolInner {
@@ -269,7 +269,19 @@ impl KvBlockPool {
 
     /// Physical block cap (`0` = unbounded).
     pub fn max_blocks(&self) -> usize {
-        self.max_blocks
+        self.max_blocks.load(Ordering::Relaxed)
+    }
+
+    /// Replace the physical block cap and return the previous one — the
+    /// KV-squeeze fault hook (`0` = unbounded). Blocks already checked out
+    /// are never revoked: a squeeze below the current residency only
+    /// refuses *new* checkouts (evicting index-only prefix blocks where it
+    /// can) until enough sequences retire, so in-flight work is safe and
+    /// the pressure resolves through the scheduler's ordinary
+    /// admission-gating and preemption paths. Restoring the old cap lifts
+    /// the squeeze.
+    pub fn set_max_blocks(&self, max_blocks: usize) -> usize {
+        self.max_blocks.swap(max_blocks, Ordering::Relaxed)
     }
 
     /// Device-pool bytes one block accounts for: K + V rows for every
@@ -306,10 +318,11 @@ impl KvBlockPool {
 
     /// Blocks still available for checkout (`usize::MAX` when unbounded).
     pub fn free_blocks(&self) -> usize {
-        if self.max_blocks == 0 {
+        let cap = self.max_blocks();
+        if cap == 0 {
             usize::MAX
         } else {
-            self.max_blocks.saturating_sub(self.blocks_in_use())
+            cap.saturating_sub(self.blocks_in_use())
         }
     }
 
@@ -452,11 +465,12 @@ impl KvBlockPool {
     fn try_take(&self, n: usize) -> Option<Vec<KvBlock>> {
         let row_floats = self.n_layers * self.block_tokens * self.d_model;
         loop {
+            let cap = self.max_blocks();
             let mut inner = self.inner.lock();
             let physical = inner.in_use + self.shared_live.load(Ordering::Relaxed);
-            if self.max_blocks > 0 && physical + n > self.max_blocks {
+            if cap > 0 && physical + n > cap {
                 drop(inner);
-                let need = physical + n - self.max_blocks;
+                let need = physical + n - cap;
                 if self.evict_prefix_blocks(need) == 0 {
                     return None;
                 }

@@ -60,8 +60,8 @@ pub use ablation::{render_table2, run_one, run_table2, AblationRow, AblationSetu
 pub use accounting::AccountedVec;
 pub use dkm::{DkmConfig, DkmInit, DkmLayer, DkmOutput};
 pub use engine::{
-    CancelOutcome, EngineConfig, EngineHandle, Request, RequestId, ServeEngine, StatsSnapshot,
-    StreamPoll, SubmitError, TokenEvent, TokenStream, TtftHistogram,
+    CancelOutcome, EngineConfig, EngineHandle, RecvTimeout, Request, RequestId, ServeEngine,
+    StatsSnapshot, StreamPoll, SubmitError, TokenEvent, TokenStream, TtftHistogram,
 };
 pub use entropy::{index_entropy_bits, EntropyCoded, HuffmanCode};
 pub use hooks::{EdkmConfig, EdkmHooks, HookStatsSnapshot};

@@ -651,6 +651,23 @@ impl<'m, M: ServeModel> Scheduler<'m, M> {
         sched
     }
 
+    /// Current speculative draft budget, `None` when this scheduler
+    /// decodes plainly.
+    pub fn draft_k(&self) -> Option<usize> {
+        self.spec.as_ref().map(|s| s.draft_k)
+    }
+
+    /// Retune the speculative draft budget mid-flight (clamped to ≥ 1; a
+    /// no-op on a plain scheduler). Exact acceptance makes this safe at
+    /// any moment: a smaller `k` only shortens the proposal walk, never
+    /// changes an emitted token — the degrade ladder's cheap way to shed
+    /// draft-model compute under pressure.
+    pub fn set_draft_k(&mut self, k: usize) {
+        if let Some(spec) = self.spec.as_mut() {
+            spec.draft_k = k.max(1);
+        }
+    }
+
     /// Enqueue a request. Admission during [`Scheduler::step`] picks the
     /// highest [`Priority`] class first and is FIFO by submission age
     /// within a class; a `deadline_steps` budget starts counting now.

@@ -37,12 +37,22 @@
 //! bit-identical for every request that runs to its natural finish — the
 //! cross-check `tests/workload_replay.rs` pins.
 
+//! [`replay_cluster_chaos`] closes the loop on robustness: it replays a
+//! trace *and* a seeded [`edkm_chaos::FaultPlan`] together through a
+//! supervised fleet, then audits the global invariants — no request
+//! lost, no duplicate token index, survivors bit-identical to the
+//! undisturbed run, every pool ledger back at baseline.
+
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod replay;
 pub mod report;
 pub mod trace;
 
+pub use chaos::{
+    audit_invariants, replay_cluster_chaos, AppliedFault, ChaosReplayConfig, ChaosReplayReport,
+};
 pub use replay::{
     replay_cluster, replay_engine, replay_router, replay_trace, replay_trace_speculative,
     ClusterReplayConfig, ClusterReplayReport, EngineReplayConfig, EngineReplayReport,

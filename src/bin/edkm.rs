@@ -16,6 +16,7 @@
 //! quick interactive path a downstream user reaches for first.
 
 use edkm::autograd::SavedTensorHooks;
+use edkm::chaos::{FaultPlan, FaultProfile};
 use edkm::cluster::{Cluster, ClusterConfig};
 use edkm::core::{run_table2, AblationSetup};
 use edkm::core::{CompressSpec, CompressedTensor, CompressionPipeline, EdkmConfig, EdkmHooks};
@@ -29,7 +30,8 @@ use edkm::eval::perplexity;
 use edkm::nn::{AdamWConfig, LlamaConfig, LlamaModel, LmBatch, TrainConfig, Trainer};
 use edkm::tensor::{runtime, DType, Device, Tensor};
 use edkm::workload::{
-    replay_engine, replay_trace, EngineReplayConfig, Trace, TraceConfig, TraceKind,
+    audit_invariants, replay_cluster_chaos, replay_engine, replay_trace, ChaosReplayConfig,
+    EngineReplayConfig, Trace, TraceConfig, TraceKind,
 };
 use std::process::ExitCode;
 
@@ -87,6 +89,13 @@ commands:
                     per-request tokens identical to a single engine)
                     --affinity (with --replicas: route follow-up prompts
                     to the replica already holding their prefix KV)
+                    --chaos-seed S (off; replay a seeded trace through the
+                    fleet while a deterministic fault plan kills, stalls,
+                    and KV-squeezes replicas — the supervisor respawns,
+                    breaks circuits, and rides the degrade ladder; exits
+                    non-zero if any global invariant is violated)
+                    --chaos-profile replica-churn|slow-brownout|kv-pressure
+                    (replica-churn; which fault mix the plan draws)
   bench workload
              generate a seeded request trace and replay it twice: once
              deterministically against the scheduler (step metrics), once
@@ -543,6 +552,122 @@ fn serve_with_cluster<M: ServeModel + 'static>(
     cluster.shutdown();
 }
 
+/// Flags of the `--chaos-seed` serve path, bundled so the driver stays a
+/// plain function call.
+struct ChaosServe {
+    replicas: usize,
+    max_batch: usize,
+    n_requests: usize,
+    affinity: bool,
+    seed: u64,
+    profile: FaultProfile,
+}
+
+/// `edkm serve --chaos-seed S`: replay a seeded trace through a fleet
+/// while a deterministic [`FaultPlan`] kills, stalls, KV-squeezes, and
+/// corrupts replicas, with the cluster supervisor driving recovery.
+/// Prints the applied faults and the invariant audit; exits non-zero if
+/// any global invariant is violated.
+fn serve_with_chaos(
+    model: PalettizedModel,
+    kv: KvBlockConfig,
+    prefix_cache: bool,
+    run: ChaosServe,
+) {
+    let cfg = model.config();
+    let trace = Trace::generate(&TraceConfig::new(
+        TraceKind::Mixed,
+        run.seed,
+        run.n_requests,
+        cfg.vocab,
+        cfg.max_seq,
+    ));
+    // Virtual-step horizon for the fault band: continuous batching decodes
+    // up to `max_batch` tokens per engine step, so fleet-wide decode steps
+    // scale with the trace's total completion budget over the batch width.
+    let total_new: usize = trace.requests().iter().map(|r| r.max_new).sum();
+    let horizon = ((total_new / run.max_batch.max(1)) as u64).max(48);
+    let plan = FaultPlan::generate(run.profile, run.seed, run.replicas, horizon);
+    println!(
+        "chaos profile {}, seed {}: {} scheduled fault(s) over a {horizon}-step horizon \
+         (plan fingerprint {:016x})",
+        run.profile,
+        run.seed,
+        plan.events().len(),
+        plan.fingerprint()
+    );
+    for event in plan.events() {
+        println!("  {event}");
+    }
+    let report = replay_cluster_chaos(
+        |corrupt| {
+            if corrupt {
+                Err("bit-flipped replica image fails reload verification".to_string())
+            } else {
+                Ok(model
+                    .clone()
+                    .with_kv_config(kv)
+                    .with_prefix_cache(prefix_cache))
+            }
+        },
+        run.replicas,
+        &trace,
+        &plan,
+        ChaosReplayConfig {
+            engine: EngineReplayConfig {
+                max_batch: run.max_batch,
+                queue_capacity: run.n_requests.max(1),
+            },
+            affinity: run.affinity,
+            ..ChaosReplayConfig::default()
+        },
+    );
+    println!("\nfaults applied:");
+    for fault in &report.faults {
+        println!(
+            "  step {:>4}: {} -> {}",
+            fault.at_step, fault.event, fault.applied
+        );
+    }
+    println!(
+        "\n{} of {} request(s) survived chaos ({} shed by the degrade ladder), \
+         {:.1} tok/s goodput over {:.3}s",
+        report.survivors,
+        run.n_requests,
+        report.shed.len(),
+        report.goodput_tok_s,
+        report.wall_secs
+    );
+    if !report.recovery_steps.is_empty() || report.corrupted_reloads > 0 {
+        println!(
+            "recovery: {} respawn(s), p99 {} virtual steps, {} corrupted reload(s) rejected",
+            report.recovery_steps.len(),
+            report.recovery_p99_steps(),
+            report.corrupted_reloads
+        );
+    }
+    for event in &report.degrade_events {
+        println!("degrade: {event}");
+    }
+    println!(
+        "invariants: requests_lost={} index_violations={} survivors_bit_identical={} \
+         pools_at_baseline={}",
+        report.requests_lost(),
+        report.index_violations,
+        report.survivors_bit_identical,
+        report.pools_at_baseline
+    );
+    let violations = audit_invariants(&report);
+    if violations.is_empty() {
+        println!("all chaos invariants hold");
+    } else {
+        for violation in &violations {
+            eprintln!("invariant violated: {violation}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn cmd_serve(args: &[String]) {
     let bits: u8 = parse_or(args, "--bits", 3);
     let max_batch: usize = parse_or(args, "--batch", 4);
@@ -606,6 +731,43 @@ fn cmd_serve(args: &[String]) {
         model.size_bytes(),
         wb.model.native_size_bytes() as f64 / model.size_bytes() as f64
     );
+    if let Some(seed_text) = flag_value(args, "--chaos-seed") {
+        let Ok(seed) = seed_text.parse::<u64>() else {
+            eprintln!("--chaos-seed wants an unsigned integer, got {seed_text:?}\n");
+            usage();
+            std::process::exit(2);
+        };
+        let profile_name =
+            flag_value(args, "--chaos-profile").unwrap_or_else(|| "replica-churn".into());
+        let Some(profile) = FaultProfile::parse(&profile_name) else {
+            eprintln!(
+                "unknown --chaos-profile {profile_name:?} \
+                 (want replica-churn, slow-brownout, or kv-pressure)\n"
+            );
+            usage();
+            std::process::exit(2);
+        };
+        if shards > 1 {
+            eprintln!("note: --chaos-seed serves unsharded replicas; ignoring --shards");
+        }
+        if replicas < 2 {
+            eprintln!("note: chaos needs survivors; raising --replicas to 2");
+        }
+        serve_with_chaos(
+            model,
+            kv,
+            prefix_cache,
+            ChaosServe {
+                replicas: replicas.max(2),
+                max_batch,
+                n_requests,
+                affinity,
+                seed,
+                profile,
+            },
+        );
+        return;
+    }
     let speculative: Option<(std::sync::Arc<dyn ServeModel>, usize)> = if draft_bits > 0 {
         match PalettizedModel::draft_from_dense(&wb.model, draft_bits) {
             Ok(draft) => {

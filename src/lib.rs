@@ -22,6 +22,7 @@
 //! | [`dist`] | `edkm-dist` | simulated learner group + collectives |
 //! | [`core`] | `edkm-core` | DKM layer + eDKM memory optimizations (the paper) |
 //! | [`cluster`] | `edkm-cluster` | multi-replica fleet behind a load- and prefix-aware router |
+//! | [`chaos`] | `edkm-chaos` | seeded deterministic fault-injection plans and hooks |
 //! | [`eval`] | `edkm-eval` | perplexity / multiple-choice / few-shot harness |
 //! | [`workload`] | `edkm-workload` | seeded serving traces + replay drivers |
 //!
@@ -39,6 +40,7 @@
 //! ```
 
 pub use edkm_autograd as autograd;
+pub use edkm_chaos as chaos;
 pub use edkm_cluster as cluster;
 pub use edkm_core as core;
 pub use edkm_data as data;

@@ -476,3 +476,59 @@ fn cancelling_a_preempted_request_keeps_its_streamed_tokens() {
     assert_eq!(finished_in_loop[0].id, 0);
     assert_eq!(model.kv_pool().blocks_in_use(), 0);
 }
+
+#[test]
+fn recv_timeout_delivers_events_then_reports_typed_ends() {
+    use edkm::core::RecvTimeout;
+    use std::time::Duration;
+    runtime::reset();
+    let engine = ServeEngine::new(served(17), EngineConfig::default());
+    let handle = engine.handle();
+
+    // Stall the worker long enough that a short wait sees no event: the
+    // typed `TimedOut` distinguishes "slow" from "over".
+    handle.inject_stall(200);
+    let (_, mut stream) = handle
+        .submit(
+            Request::new(vec![1, 2, 3])
+                .max_new_tokens(3)
+                .sampling(SamplingConfig::greedy()),
+        )
+        .expect("submit");
+    assert_eq!(
+        stream.recv_timeout(Duration::from_millis(5)),
+        Err(RecvTimeout::TimedOut),
+        "a stalled engine yields nothing within a short deadline"
+    );
+
+    // With a generous deadline every event of a live request arrives.
+    let mut tokens = 0usize;
+    loop {
+        match stream.recv_timeout(Duration::from_secs(30)) {
+            Ok(TokenEvent::Token { .. }) => tokens += 1,
+            Ok(TokenEvent::Finished(resp)) => {
+                assert_eq!(resp.generated, 3);
+                break;
+            }
+            Err(e) => panic!("live stream must deliver within the deadline: {e}"),
+        }
+    }
+    assert_eq!(tokens, 3);
+
+    // Past the terminal the stream is over — `Ended`, idempotently, and
+    // without waiting out the timeout.
+    let t0 = std::time::Instant::now();
+    assert_eq!(
+        stream.recv_timeout(Duration::from_secs(30)),
+        Err(RecvTimeout::Ended)
+    );
+    assert_eq!(
+        stream.recv_timeout(Duration::from_secs(30)),
+        Err(RecvTimeout::Ended)
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "a finished stream must report Ended immediately"
+    );
+    engine.shutdown();
+}

@@ -508,3 +508,106 @@ fn reset_clears_capacity_and_oom_state() {
         "no capacity => unlimited"
     );
 }
+
+/// The chaos plan is a pure function of its inputs: regenerating under
+/// the same `(profile, seed, replicas, horizon)` must reproduce the exact
+/// bytes, and each knob must change them.
+#[test]
+fn fault_plans_replay_byte_identically() {
+    use edkm::chaos::{FaultPlan, FaultProfile};
+    for profile in FaultProfile::ALL {
+        let a = FaultPlan::generate(profile, 7, 4, 400);
+        let b = FaultPlan::generate(profile, 7, 4, 400);
+        assert_eq!(a.to_bytes(), b.to_bytes(), "{profile}: bytes must match");
+        assert_eq!(a.fingerprint(), b.fingerprint(), "{profile}: fingerprint");
+        assert_ne!(
+            a.fingerprint(),
+            FaultPlan::generate(profile, 8, 4, 400).fingerprint(),
+            "{profile}: the seed must matter"
+        );
+    }
+}
+
+/// The acceptance gate of the chaos subsystem: replay one fixed trace
+/// under every shipped fault profile with the supervisor closing the
+/// loop, and assert the global invariants — no request lost, no
+/// duplicate or skipped token index, survivors bit-identical to the
+/// undisturbed run, and every KV pool back at its ledger baseline at
+/// drain.
+#[test]
+fn chaos_profiles_preserve_global_invariants() {
+    use edkm::chaos::{FaultPlan, FaultProfile};
+    use edkm::core::{CompressSpec, KvBlockConfig, PalettizedModel};
+    use edkm::workload::{
+        audit_invariants, replay_cluster_chaos, ChaosReplayConfig, EngineReplayConfig, Trace,
+        TraceConfig, TraceKind,
+    };
+
+    runtime::reset();
+    let cfg = LlamaConfig {
+        vocab: 64,
+        d_model: 32,
+        n_heads: 2,
+        n_layers: 2,
+        d_ff: 64,
+        max_seq: 48,
+    };
+    let dense = LlamaModel::new(cfg, DType::Bf16, Device::Cpu, 0);
+    let mut spec = CompressSpec::with_bits(3);
+    spec.dkm.iters = 2;
+    let model = PalettizedModel::from_dense(&dense, &spec).expect("servable export");
+    let kv = KvBlockConfig {
+        block_tokens: 4,
+        max_blocks: 0,
+    };
+    let trace = Trace::generate(&TraceConfig::new(
+        TraceKind::Mixed,
+        11,
+        16,
+        cfg.vocab,
+        cfg.max_seq,
+    ));
+
+    for profile in FaultProfile::ALL {
+        let plan = FaultPlan::generate(profile, 7, 3, 300);
+        let report = replay_cluster_chaos(
+            |corrupt| {
+                if corrupt {
+                    Err("bit-flipped container image fails checksum".into())
+                } else {
+                    Ok(model.clone().with_kv_config(kv))
+                }
+            },
+            3,
+            &trace,
+            &plan,
+            ChaosReplayConfig {
+                engine: EngineReplayConfig {
+                    max_batch: 4,
+                    queue_capacity: 32,
+                },
+                affinity: true,
+                ..ChaosReplayConfig::default()
+            },
+        );
+        assert_eq!(
+            report.plan_fingerprint,
+            plan.fingerprint(),
+            "{profile}: the report pins the plan it actually injected"
+        );
+        let violations = audit_invariants(&report);
+        assert!(
+            violations.is_empty(),
+            "{profile}: robustness invariants violated: {violations:?}\n\
+             faults applied: {:?}",
+            report.faults
+        );
+        assert_eq!(report.requests_lost(), 0, "{profile}: zero lost");
+        assert_eq!(report.index_violations, 0, "{profile}: exact-once indices");
+        assert!(
+            report.survivors_bit_identical,
+            "{profile}: survivors must match the undisturbed run"
+        );
+        assert!(report.pools_at_baseline, "{profile}: ledgers at baseline");
+    }
+}
